@@ -1,0 +1,63 @@
+"""Shared state for the benchmark harness.
+
+The main-results sweep (Figure 8, Tables 3-4, Figure 11) is expensive, so
+it runs once per session and is reused by every bench that projects from
+it.  Each bench writes its rendered table to ``benchmarks/results/`` so
+the regenerated paper tables survive the run.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import List, Sequence
+
+from repro.devices import ibmq_manhattan, ibmq_paris, ibmq_toronto
+from repro.experiments.main_results import MainResultRow, run_main_results
+from repro.workloads import paper_suite
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Benchmarks run the full paper suite by default; set REPRO_BENCH_FAST=1
+#: to restrict to a representative subset for quick iterations.
+FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+SEED = 0
+TOTAL_TRIALS = 32_768
+
+
+@functools.lru_cache(maxsize=1)
+def devices():
+    return (ibmq_toronto(), ibmq_paris(), ibmq_manhattan())
+
+
+@functools.lru_cache(maxsize=1)
+def suite():
+    workloads = paper_suite()
+    if FAST:
+        keep = {"BV-6", "QAOA-10 p2", "GHZ-14", "Graycode-18"}
+        workloads = [w for w in workloads if w.name in keep]
+    return tuple(workloads)
+
+
+@functools.lru_cache(maxsize=1)
+def main_results() -> tuple:
+    """The Figure 8 sweep: every scheme on every (device, workload) pair."""
+    rows = run_main_results(
+        devices=devices(),
+        workloads=list(suite()),
+        seed=SEED,
+        total_trials=TOTAL_TRIALS,
+        exact=True,
+        include_no_recompile=True,
+    )
+    return tuple(rows)
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/ and print it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)

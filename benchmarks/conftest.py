@@ -1,0 +1,7 @@
+"""Benchmark-harness configuration."""
+
+import sys
+import os
+
+# Make the sibling `_shared` module importable regardless of rootdir.
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,34 @@
+"""Figure 10: per-qubit measurement success, baseline vs recompiled CPM.
+
+Paper: for BV-6 on IBMQ-Toronto, the probability of correctly measuring a
+qubit inside a recompiled CPM improves by up to 3.25x over the baseline
+mapping's per-qubit readout.
+"""
+
+from _shared import save_result
+from repro.devices import ibmq_toronto
+from repro.experiments import figure10_per_qubit, figure10_text
+from repro.workloads import bv
+
+
+def test_figure10_per_qubit_readout(benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure10_per_qubit(
+            device=ibmq_toronto(), workload=bv(6), seed=6, exact=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure10_per_qubit_readout", figure10_text(rows))
+
+    assert len(rows) == 6
+    # CPM readout never loses to the baseline on any program qubit...
+    assert all(r.cpm >= r.baseline - 0.02 for r in rows)
+    # ...every qubit improves...
+    assert all(r.improvement >= 1.0 for r in rows)
+    # ...and the worst baseline qubit is among the biggest winners (the
+    # paper's 3.25x headline is against a much weaker real-device
+    # baseline; see EXPERIMENTS.md for the magnitude discussion).
+    worst = min(rows, key=lambda r: r.baseline)
+    median_gain = sorted(r.improvement for r in rows)[len(rows) // 2]
+    assert worst.improvement >= median_gain

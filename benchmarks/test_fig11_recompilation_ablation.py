@@ -1,0 +1,25 @@
+"""Figure 11: mean relative PST with and without CPM recompilation.
+
+Paper: subsetting alone gives 1.92x mean PST; adding recompilation lifts
+it to 2.91x; JigSaw-M with recompilation reaches 3.65x.  EDM stays ~1x.
+"""
+
+from _shared import main_results, save_result
+from repro.experiments.main_results import figure11_rows, figure11_text
+
+
+def test_figure11_recompilation(benchmark):
+    rows = list(main_results())
+    table = benchmark.pedantic(
+        lambda: figure11_rows(rows), rounds=1, iterations=1
+    )
+    save_result("figure11_recompilation", figure11_text(rows))
+
+    for device, edm, no_recomp, with_recomp, jigsaw_m in table:
+        # Subsetting alone already beats the baseline on average...
+        assert no_recomp > 1.0, device
+        # ...recompilation adds on top of it...
+        assert with_recomp >= 0.95 * no_recomp, device
+        # ...and JigSaw-M tops the chart, with EDM near 1x.
+        assert jigsaw_m >= 0.95 * with_recomp, device
+        assert edm < no_recomp, device

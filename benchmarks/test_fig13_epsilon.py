@@ -1,0 +1,36 @@
+"""Figure 13: global-PMF entries and epsilon versus trial count.
+
+Paper: on IBMQ-Paris, observed entries grow sub-linearly with trials and
+epsilon (= entries / trials) falls well below 1 and keeps dropping — the
+quantity that bounds reconstruction memory and time (§7).
+"""
+
+from _shared import FAST, save_result
+from repro.devices import ibmq_paris
+from repro.experiments import figure13_epsilon_sweep, figure13_text
+
+
+def test_figure13_epsilon(benchmark):
+    ladder = (8_192, 65_536, 524_288) if FAST else (
+        8_192, 65_536, 524_288, 2_097_152
+    )
+    points = benchmark.pedantic(
+        lambda: figure13_epsilon_sweep(
+            device=ibmq_paris(),
+            workload_names=("GHZ-14", "GHZ-16", "QAOA-10 p1", "QAOA-10 p2"),
+            trial_ladder=ladder,
+            seed=13,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure13_epsilon", figure13_text(points))
+
+    for name in {p.workload for p in points}:
+        series = sorted(
+            (p for p in points if p.workload == name), key=lambda p: p.trials
+        )
+        # Entries grow with trials, epsilon shrinks (Fig. 13 a+b).
+        assert series[-1].observed_entries >= series[0].observed_entries
+        assert series[-1].epsilon <= series[0].epsilon
+        assert series[-1].epsilon < 0.25

@@ -1,0 +1,34 @@
+"""Figure 14: JigSaw versus IBM's matrix-based mitigation (MBM).
+
+Paper: JigSaw alone beats MBM alone on the small QAOA benchmarks, and the
+composition (JigSaw + MBM, JigSaw-M + MBM) beats either standalone.
+"""
+
+from _shared import save_result
+from repro.devices import ibmq_paris, ibmq_toronto
+from repro.experiments import figure14_text, run_figure14
+
+
+def test_figure14_mbm(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_figure14(
+            devices=[ibmq_toronto(), ibmq_paris()],
+            workload_names=("QAOA-8 p1", "QAOA-8 p2", "QAOA-10 p1"),
+            seed=14,
+            exact=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure14_mbm", figure14_text(rows))
+
+    for row in rows:
+        label = f"{row.device}/{row.workload}"
+        # The composition does not trail JigSaw alone...
+        assert row.jigsaw_mbm >= 0.95 * row.jigsaw, label
+        # ...and beats MBM alone.
+        assert row.jigsaw_mbm >= row.mbm, label
+    # On average JigSaw alone also beats MBM alone (the paper's ordering).
+    mean_jigsaw = sum(r.jigsaw for r in rows) / len(rows)
+    mean_mbm = sum(r.mbm for r in rows) / len(rows)
+    assert mean_jigsaw > 0.9 * mean_mbm

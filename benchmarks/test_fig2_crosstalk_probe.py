@@ -1,0 +1,52 @@
+"""Figure 2: probe-qubit fidelity vs number of simultaneous measurements.
+
+Paper: on IBMQ-Paris, the probe qubit's readout fidelity degrades visibly
+as 1 -> 10 qubits are measured at once, for every prepared state.
+"""
+
+from _shared import save_result
+from repro.devices import ibmq_paris
+from repro.experiments import figure2_crosstalk_sweep, format_table
+
+
+def test_figure2_crosstalk_probe(benchmark):
+    points = benchmark.pedantic(
+        lambda: figure2_crosstalk_sweep(
+            device=ibmq_paris(), probe_physical=6, max_measured=10,
+            samples_per_point=8, seed=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    states = sorted({p.probe_state for p in points})
+    ns = sorted({p.num_measured for p in points})
+    rows = []
+    for state in states:
+        row = [state]
+        for n in ns:
+            match = [
+                p.fidelity
+                for p in points
+                if p.probe_state == state and p.num_measured == n
+            ]
+            row.append(match[0])
+        rows.append(row)
+    text = format_table(
+        ["Probe state"] + [f"N={n}" for n in ns],
+        rows,
+        title="Figure 2: Probe-qubit fidelity vs simultaneous measurements",
+        float_format="{:.4f}",
+    )
+    save_result("figure2_crosstalk_probe", text)
+
+    # Fidelity at N=10 must be strictly below N=1 for every probe state.
+    for state in states:
+        at_1 = next(
+            p.fidelity for p in points
+            if p.probe_state == state and p.num_measured == 1
+        )
+        at_10 = next(
+            p.fidelity for p in points
+            if p.probe_state == state and p.num_measured == 10
+        )
+        assert at_10 < at_1, state

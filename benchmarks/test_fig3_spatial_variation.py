@@ -1,0 +1,44 @@
+"""Figure 3: spatial variation of measurement error on IBMQ-Toronto.
+
+Paper annotations: mean 4.70 %, median 2.76 %, min 0.85 %, max 22.2 %,
+with the best qubits scattered across the chip.
+"""
+
+import pytest
+
+from _shared import save_result
+from repro.devices import ibmq_toronto
+from repro.experiments import figure3_spatial_variation, format_table
+
+
+def test_figure3_spatial_variation(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure3_spatial_variation(ibmq_toronto()),
+        rounds=1,
+        iterations=1,
+    )
+    stats_text = format_table(
+        ["Statistic", "Value (%)"],
+        [
+            ["Mean", result["mean_percent"]],
+            ["Median", result["median_percent"]],
+            ["Minimum", result["min_percent"]],
+            ["Maximum", result["max_percent"]],
+        ],
+        title="Figure 3: Measurement error rates on IBMQ-Toronto",
+        float_format="{:.2f}",
+    )
+    map_text = format_table(
+        ["Qubit", "Percentile bucket"],
+        sorted(result["percentile_bucket_by_qubit"].items()),
+        title="Per-qubit percentile map",
+    )
+    save_result("figure3_spatial_variation", stats_text + "\n\n" + map_text)
+
+    assert result["mean_percent"] == pytest.approx(4.70, abs=0.1)
+    assert result["median_percent"] == pytest.approx(2.76, abs=0.2)
+    assert result["min_percent"] == pytest.approx(0.85, abs=0.05)
+    assert result["max_percent"] == pytest.approx(22.2, abs=0.3)
+    # A quarter of the chip sits in each percentile bucket.
+    buckets = list(result["percentile_bucket_by_qubit"].values())
+    assert buckets.count(">75") >= 6

@@ -1,0 +1,36 @@
+"""Figure 7: application PST versus number of trials (saturation).
+
+Paper: PST is flat from thousands to millions of trials on IBMQ-Paris —
+correlated errors, not sampling noise, limit fidelity.  This justifies
+the even global/subset trial split (§5.4).
+"""
+
+from _shared import FAST, save_result
+from repro.devices import ibmq_paris
+from repro.experiments import figure7_text, run_trials_sweep
+
+
+def test_figure7_trials_saturation(benchmark):
+    workloads = ("GHZ-12", "GHZ-14", "QAOA-10 p1", "QAOA-10 p2")
+    ladder = (8_192, 65_536, 524_288) if FAST else (
+        8_192, 65_536, 524_288, 2_097_152
+    )
+    points = benchmark.pedantic(
+        lambda: run_trials_sweep(
+            device=ibmq_paris(),
+            workload_names=workloads,
+            trial_ladder=ladder,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure7_trials_saturation", figure7_text(points))
+
+    # Saturation: for every workload the PST at the largest trial count is
+    # within a small absolute band of the PST at the smallest.
+    for name in workloads:
+        series = sorted(
+            (p for p in points if p.workload == name), key=lambda p: p.trials
+        )
+        assert abs(series[-1].pst - series[0].pst) < 0.05, name

@@ -1,0 +1,30 @@
+"""Figure 8: relative PST of EDM / JigSaw / JigSaw-M on three machines.
+
+Paper: JigSaw improves PST 2.91x on average (up to 7.87x); JigSaw-M 3.65x
+(up to 8.42x); EDM barely moves PST.  This bench regenerates the full grid
+and the per-device GMean rows.
+"""
+
+from _shared import main_results, save_result
+from repro.experiments.main_results import figure8_text
+
+
+def test_figure8_relative_pst(benchmark):
+    rows = benchmark.pedantic(main_results, rounds=1, iterations=1)
+    text = figure8_text(list(rows))
+    save_result("figure8_relative_pst", text)
+
+    # Shape assertions mirroring the paper's headline claims.
+    by_device = {}
+    for row in rows:
+        by_device.setdefault(row.device, []).append(row)
+    for device, device_rows in by_device.items():
+        jigsaw_gains = [r.relative_pst("jigsaw") for r in device_rows]
+        jigsawm_gains = [r.relative_pst("jigsaw_m") for r in device_rows]
+        # JigSaw improves PST for the large majority of workloads...
+        improved = sum(1 for g in jigsaw_gains if g > 1.0)
+        assert improved >= len(jigsaw_gains) - 2, device
+        # ...and JigSaw-M does not trail JigSaw on average.
+        mean_j = sum(jigsaw_gains) / len(jigsaw_gains)
+        mean_m = sum(jigsawm_gains) / len(jigsawm_gains)
+        assert mean_m >= 0.95 * mean_j, device

@@ -1,0 +1,74 @@
+"""Figure 9: sensitivity to CPM count (9a) and selection method (9b).
+
+Paper: gains from extra size-2 CPMs saturate quickly (9a), and random
+covering selections all land near the same relative PST (9b) — JigSaw is
+insensitive to which CPMs are used.
+"""
+
+import functools
+
+from _shared import save_result
+from repro.devices import ibmq_paris
+from repro.experiments import (
+    build_cpm_pool,
+    figure9a_sweep,
+    figure9a_text,
+    figure9b_distribution,
+    figure9b_text,
+)
+from repro.workloads import qaoa_maxcut
+
+
+@functools.lru_cache(maxsize=1)
+def pool():
+    return build_cpm_pool(
+        device=ibmq_paris(),
+        workload=qaoaload(),
+        seed=9,
+        exact=True,
+    )
+
+
+@functools.lru_cache(maxsize=1)
+def qaoaload():
+    return qaoa_maxcut(12, depth=1)
+
+
+def test_figure9a_cpm_count(benchmark):
+    the_pool = pool()
+    points = benchmark.pedantic(
+        lambda: figure9a_sweep(
+            the_pool,
+            cpm_counts=(1, 2, 4, 8, 12, 24, 48, 66),
+            repeats=15,
+            seed=10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure9a_cpm_count", figure9a_text(points))
+
+    by_count = {p.num_cpms: p.mean_relative_pst for p in points}
+    # Gains grow from 1 CPM to 12 CPMs...
+    assert by_count[12] > by_count[1]
+    # ...with strongly diminishing returns: the per-CPM gain beyond
+    # N = 12 is a fraction of the per-CPM gain up to N = 12 (the paper's
+    # saturation; see EXPERIMENTS.md on where the knee falls here).
+    early_slope = (by_count[12] - by_count[1]) / 11.0
+    late_slope = (by_count[66] - by_count[12]) / 54.0
+    assert late_slope < 0.5 * early_slope
+
+
+def test_figure9b_selection_method(benchmark):
+    the_pool = pool()
+    stats = benchmark.pedantic(
+        lambda: figure9b_distribution(the_pool, num_cpms=12, repeats=120, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure9b_selection_method", figure9b_text(stats))
+
+    # The paper's conclusion: results are similar irrespective of the CPMs
+    # chosen — the spread across selections is small relative to the mean.
+    assert stats["std"] <= 0.15 * stats["mean"]
+    assert stats["min"] > 1.0  # every covering selection still improves PST

@@ -1,0 +1,61 @@
+"""Empirical timing of the reconstruction step (§7.4's linearity claim).
+
+Table 7 is an analytical model; this bench *measures* a reconstruction
+round on synthetic PMFs and checks the wall-clock cost grows roughly
+linearly with the support size (the eps*T term) at fixed marginal count.
+Unlike the table/figure benches this one uses pytest-benchmark's real
+timing loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PMF, Marginal, bayesian_reconstruction_round
+
+
+def synthetic_inputs(support: int, num_bits: int, num_marginals: int):
+    rng = np.random.default_rng(support)
+    codes = rng.choice(1 << num_bits, size=support, replace=False)
+    probs = rng.random(support)
+    prior = PMF(
+        {
+            format(int(code), f"0{num_bits}b"): float(p)
+            for code, p in zip(codes, probs)
+        }
+    )
+    marginals = []
+    for index in range(num_marginals):
+        a = index % num_bits
+        b = (index + 1) % num_bits
+        values = rng.random(4) + 0.05
+        marginals.append(
+            Marginal(
+                tuple(sorted((a, b))),
+                PMF({format(i, "02b"): float(v) for i, v in enumerate(values)}),
+            )
+        )
+    return prior, marginals
+
+
+@pytest.mark.parametrize("support", [1_000, 4_000, 16_000])
+def test_reconstruction_round_scales_with_support(benchmark, support):
+    prior, marginals = synthetic_inputs(support, num_bits=18, num_marginals=18)
+    result = benchmark(bayesian_reconstruction_round, prior, marginals)
+    assert result.support_size <= support
+
+
+def test_reconstruction_cost_is_subquadratic():
+    """Timing ratio between 16x support sizes stays far below 16^2."""
+    import time
+
+    timings = {}
+    for support in (1_000, 16_000):
+        prior, marginals = synthetic_inputs(support, 18, 18)
+        start = time.perf_counter()
+        for _ in range(3):
+            bayesian_reconstruction_round(prior, marginals)
+        timings[support] = (time.perf_counter() - start) / 3
+    ratio = timings[16_000] / timings[1_000]
+    # Linear would be ~16; allow generous constant-factor noise while
+    # ruling out quadratic (256) blow-up.
+    assert ratio < 60, timings

@@ -1,0 +1,29 @@
+"""Table 4: Fidelity (1 - TVD) relative to the baseline.
+
+Paper: JigSaw improves fidelity 2.12x on average, JigSaw-M 2.47x (up to
+8.41x); EDM is roughly fidelity-neutral (0.93-1.19x average).
+"""
+
+from _shared import main_results, save_result
+from repro.experiments.main_results import (
+    MainResultRow,
+    relative_stats_table,
+    table4_text,
+)
+
+
+def test_table4_fidelity(benchmark):
+    rows = list(main_results())
+
+    def project():
+        return relative_stats_table(rows, MainResultRow.relative_fidelity)
+
+    table = benchmark.pedantic(project, rounds=1, iterations=1)
+    save_result("table4_fidelity", table4_text(rows))
+
+    for cells in table:
+        edm_avg, jigsaw_avg, jigsawm_avg = cells[3], cells[6], cells[9]
+        # JigSaw improves fidelity on average; EDM hovers near 1.
+        assert jigsaw_avg > 1.0
+        assert 0.7 <= edm_avg <= 1.4
+        assert jigsawm_avg >= 0.95 * jigsaw_avg

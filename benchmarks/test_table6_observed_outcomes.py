@@ -1,0 +1,26 @@
+"""Table 6: observed vs maximum outcomes for Graycode-18 at 512K trials.
+
+Paper: only ~17-18.5K of the 256K possible outcomes are ever observed
+(6.6-7.2 %) — the bound that keeps JigSaw's post-processing linear.
+"""
+
+from _shared import FAST, devices, save_result
+from repro.experiments import table6_observed_outcomes, table6_text
+
+
+def test_table6_observed_outcomes(benchmark):
+    trials = 131_072 if FAST else 524_288
+    rows = benchmark.pedantic(
+        lambda: table6_observed_outcomes(
+            devices=devices(), workload_name="Graycode-18", trials=trials, seed=12
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table6_observed_outcomes", table6_text(rows))
+
+    for row in rows:
+        assert row.maximum == 1 << 18
+        # Far fewer outcomes observed than possible (paper: ~7 %).
+        assert row.observed < 0.35 * row.maximum
+        assert row.observed > 0

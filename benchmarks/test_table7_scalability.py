@@ -1,0 +1,62 @@
+"""Table 7: analytical memory / operation costs of reconstruction.
+
+Paper: at n=100..500 qubits and up to 1M trials, JigSaw needs at most a
+few GB and a few hundred million operations; both scale linearly in
+trials and qubits.  Spot values: JigSaw (n=100, eps=0.05, T=1024K) runs
+21.0 M ops; the eps=1 upper bound is 0.96 GB / 419 M ops.
+"""
+
+import pytest
+
+from _shared import save_result
+from repro.core import table7_rows
+from repro.experiments import format_table
+
+
+def test_table7_scalability(benchmark):
+    rows = benchmark.pedantic(table7_rows, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "Qubits", "eps=delta", "Trials",
+            "JigSaw Mem (GB)", "JigSaw OPs (M)",
+            "JigSaw-M Mem (GB)", "JigSaw-M OPs (M)",
+        ],
+        [
+            [
+                row["qubits"], row["epsilon"], row["trials"],
+                row["jigsaw_memory_gb"], row["jigsaw_ops_millions"],
+                row["jigsawm_memory_gb"], row["jigsawm_ops_millions"],
+            ]
+            for row in rows
+        ],
+        title="Table 7: Scalability of JigSaw and JigSaw-M",
+        float_format="{:.2f}",
+    )
+    save_result("table7_scalability", text)
+
+    indexed = {
+        (row["qubits"], row["epsilon"], row["trials"]): row for row in rows
+    }
+    # Spot-check the paper's cells.
+    assert indexed[(100, 0.05, 1024 * 1024)][
+        "jigsaw_ops_millions"
+    ] == pytest.approx(21.0, rel=0.01)
+    assert indexed[(100, 0.05, 1024 * 1024)][
+        "jigsawm_ops_millions"
+    ] == pytest.approx(83.9, rel=0.01)
+    assert indexed[(100, 1.0, 1024 * 1024)][
+        "jigsaw_memory_gb"
+    ] == pytest.approx(0.96, abs=0.02)
+    assert indexed[(100, 1.0, 1024 * 1024)][
+        "jigsawm_memory_gb"
+    ] == pytest.approx(3.97, abs=0.1)
+    assert indexed[(500, 0.05, 1024 * 1024)][
+        "jigsaw_ops_millions"
+    ] == pytest.approx(105.0, rel=0.01)
+    assert indexed[(500, 1.0, 1024 * 1024)][
+        "jigsaw_ops_millions"
+    ] == pytest.approx(2097.0, rel=0.01)
+    # Linear scaling in trials (32K -> 1024K is exactly x32).
+    small = indexed[(100, 0.05, 32 * 1024)]["jigsaw_ops_millions"]
+    large = indexed[(100, 0.05, 1024 * 1024)]["jigsaw_ops_millions"]
+    assert large == pytest.approx(32 * small, rel=1e-6)

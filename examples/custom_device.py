@@ -1,0 +1,74 @@
+"""Bring your own device: JigSaw on a custom topology and calibration.
+
+Builds a 16-qubit heavy-hex device with a hand-crafted calibration (two
+deliberately terrible readout qubits), runs a Bernstein-Vazirani program
+through the full pipeline, and shows how CPM recompilation routes the
+measurements around the vulnerable qubits — the paper's §4.2.2 mechanism,
+inspectable end to end.
+
+Run:  python examples/custom_device.py
+"""
+
+import numpy as np
+
+from repro.core import JigSaw, JigSawConfig
+from repro.devices import Calibration, Device, heavy_hex_topology
+from repro.metrics import probability_of_successful_trial
+from repro.workloads import bv
+
+
+def build_device() -> Device:
+    graph = heavy_hex_topology(2, 7)
+    n = graph.number_of_nodes()
+    rng = np.random.default_rng(99)
+    readout = rng.uniform(0.01, 0.04, size=n)
+    readout[3] = 0.22   # vulnerable qubit A (as in the paper's Fig. 3)
+    readout[10] = 0.18  # vulnerable qubit B
+    calibration = Calibration(
+        p01=readout * 0.85,
+        p10=readout * 1.15,
+        crosstalk=rng.uniform(0.001, 0.004, size=n),
+        gate_error_1q=np.full(n, 0.0005),
+        gate_error_2q={
+            (min(u, v), max(u, v)): float(rng.uniform(0.008, 0.02))
+            for u, v in graph.edges
+        },
+    )
+    return Device("custom-heavy-hex", graph, calibration)
+
+
+def main() -> None:
+    device = build_device()
+    workload = bv(6)
+    print(f"Device: {device}")
+    print(f"Vulnerable qubits (>75th pct readout): "
+          f"{device.vulnerable_qubits()}\n")
+
+    jigsaw = JigSaw(device, JigSawConfig(exact=True), seed=8)
+    result = jigsaw.run(workload.circuit, total_trials=32_768)
+
+    readout = device.calibration.readout_error
+    print("Global mapping measures physical qubits:",
+          result.global_executable.measured_physical_qubits)
+    print("  readout errors:",
+          [f"{readout[q]:.3f}"
+           for q in result.global_executable.measured_physical_qubits])
+    print("\nRecompiled CPMs (subset -> physical qubits, readout errors):")
+    for subset, executable in zip(result.subsets, result.cpm_executables):
+        physical = executable.measured_physical_qubits
+        errors = [f"{readout[q]:.3f}" for q in physical]
+        print(f"  {subset} -> {physical}  {errors}  "
+              f"(+{executable.num_swaps} swaps)")
+
+    base = probability_of_successful_trial(
+        result.global_pmf, workload.correct_outcomes
+    )
+    out = probability_of_successful_trial(
+        result.output_pmf, workload.correct_outcomes
+    )
+    print(f"\nBaseline PST {base:.4f} -> JigSaw PST {out:.4f} "
+          f"({out / base:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""QAOA MaxCut under JigSaw: the paper's application-specific metric.
+
+Solves MaxCut on a 10-node path graph with depth-2 QAOA on the synthetic
+IBMQ-Paris model and compares the Approximation Ratio Gap (ARG, paper
+Eq. 4 — lower is better) across Baseline, EDM, JigSaw, and JigSaw-M,
+reproducing a row of the paper's Table 5.
+
+Run:  python examples/qaoa_maxcut.py
+"""
+
+from repro.devices import ibmq_paris
+from repro.experiments import SchemeRunner
+from repro.metrics import approximation_ratio, workload_arg
+from repro.workloads import qaoa_maxcut
+
+
+def main() -> None:
+    device = ibmq_paris()
+    workload = qaoa_maxcut(10, depth=2)
+    edges = workload.metadata["edges"]
+    max_cut = workload.metadata["max_cut"]
+
+    print(f"Device:   {device.name}")
+    print(f"Workload: {workload.name} on a path graph, "
+          f"max cut = {max_cut:.0f}")
+    ar_ideal = approximation_ratio(
+        workload.ideal_distribution(), edges, max_cut
+    )
+    print(f"Noise-free approximation ratio: {ar_ideal:.3f}")
+    print(f"MaxCut solutions: {workload.correct_outcomes}\n")
+
+    runner = SchemeRunner(device, seed=3, exact=True)
+    print(f"{'Scheme':12s}  {'PST':>7s}  {'ARG (%)':>8s}")
+    for scheme in ("baseline", "edm", "jigsaw", "jigsaw_m"):
+        pmf = runner.run_scheme(scheme, workload)
+        metrics = runner.evaluate(workload, pmf)
+        print(f"{scheme:12s}  {metrics.pst:7.4f}  {metrics.arg:8.2f}")
+
+    print(
+        "\nJigSaw and JigSaw-M cut the ARG well below the baseline and "
+        "EDM,\nmatching the ordering of the paper's Table 5."
+    )
+
+
+if __name__ == "__main__":
+    main()

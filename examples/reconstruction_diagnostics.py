@@ -1,0 +1,62 @@
+"""Inspect a JigSaw run: marginal quality, convergence, support growth.
+
+Uses the analysis toolkit to answer three practitioner questions about a
+run on the synthetic IBMQ-Toronto model:
+
+1. Are the CPM marginals really better than marginals derived from the
+   global PMF?  (The paper's §4.2 premise.)
+2. How fast does the Bayesian reconstruction converge?  (§4.3's
+   Hellinger-distance termination rule.)
+3. How sparse is the global PMF?  (§7.1's ε = entries / trials.)
+
+Run:  python examples/reconstruction_diagnostics.py
+"""
+
+from repro.analysis import (
+    marginal_quality_report,
+    reconstruction_trace,
+    support_statistics,
+)
+from repro.circuits import draw
+from repro.core import JigSaw, JigSawConfig
+from repro.devices import ibmq_toronto
+from repro.workloads import ghz
+
+
+def main() -> None:
+    device = ibmq_toronto()
+    workload = ghz(8)
+    print(f"{workload.name} on {device.name}:\n")
+    print(draw(workload.circuit))
+
+    jigsaw = JigSaw(device, JigSawConfig(exact=False), seed=17)
+    result = jigsaw.run(workload.circuit, total_trials=65_536)
+
+    print("\n1. CPM marginal quality (TVD to the ideal marginal):")
+    print(f"   {'subset':10s} {'CPM':>8s} {'from global':>12s}  verdict")
+    report = marginal_quality_report(result, workload.ideal_distribution())
+    for entry in report:
+        verdict = "CPM wins" if entry.cpm_wins else "global wins"
+        print(
+            f"   {str(entry.qubits):10s} {entry.tvd_cpm_vs_ideal:8.4f} "
+            f"{entry.tvd_global_vs_ideal:12.4f}  {verdict}"
+        )
+
+    print("\n2. Reconstruction convergence (Hellinger distance per round):")
+    trace = reconstruction_trace(result.global_pmf, result.marginals)
+    for round_index, distance in enumerate(trace, start=1):
+        bar = "#" * max(1, int(distance * 200))
+        print(f"   round {round_index}: {distance:.6f} {bar}")
+
+    print("\n3. Global-PMF sparsity:")
+    stats = support_statistics(
+        result.global_pmf.as_dict(), trials=result.global_trials
+    )
+    print(f"   support {stats['support']:.0f} of "
+          f"{stats['max_outcomes']:.0f} possible outcomes "
+          f"({100 * stats['occupancy']:.1f} %)")
+    print(f"   epsilon = support / trials = {stats['epsilon']:.4f}")
+
+
+if __name__ == "__main__":
+    main()

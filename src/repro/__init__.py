@@ -1,0 +1,50 @@
+"""repro — reproduction of JigSaw (MICRO 2021).
+
+JigSaw boosts the fidelity of NISQ programs by running half of the trials
+with all qubits measured (global mode) and half with small measured subsets
+(subset mode), then Bayesian-updating the global PMF with the high-fidelity
+local PMFs.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the per-table/figure reproduction record.
+
+Public API highlights::
+
+    from repro import QuantumCircuit, JigSaw, JigSawM
+    from repro.devices import ibmq_toronto
+    from repro.workloads import ghz
+
+    device = ibmq_toronto(seed=7)
+    program = ghz(4)
+    result = JigSaw(device, seed=11).run(program, total_trials=8192)
+    print(result.output_pmf.top(3))
+"""
+
+from repro.circuits import Gate, Instruction, QuantumCircuit
+from repro.version import __version__
+
+__all__ = [
+    "Gate",
+    "Instruction",
+    "QuantumCircuit",
+    "__version__",
+]
+
+try:  # High-level classes appear as the build progresses; keep imports soft.
+    from repro.core import (  # noqa: F401
+        PMF,
+        JigSaw,
+        JigSawM,
+        Marginal,
+        bayesian_reconstruction,
+        bayesian_update,
+    )
+
+    __all__ += [
+        "PMF",
+        "Marginal",
+        "JigSaw",
+        "JigSawM",
+        "bayesian_reconstruction",
+        "bayesian_update",
+    ]
+except ImportError:  # pragma: no cover - during incremental development
+    pass

@@ -1,0 +1,18 @@
+"""Post-run analysis: reconstruction diagnostics and adaptive budgeting."""
+
+from repro.analysis.adaptive import AdaptiveSplit, tune_trial_split
+from repro.analysis.diagnostics import (
+    MarginalQuality,
+    marginal_quality_report,
+    reconstruction_trace,
+    support_statistics,
+)
+
+__all__ = [
+    "MarginalQuality",
+    "marginal_quality_report",
+    "reconstruction_trace",
+    "support_statistics",
+    "AdaptiveSplit",
+    "tune_trial_split",
+]

@@ -1,0 +1,97 @@
+"""Adaptive trial-split tuning (the paper's Appendix A.2 suggestion).
+
+The paper uses an even global/subset split "for simplicity because the
+fidelity saturates for the number of trials used.  If the number of
+trials is severely limited, the split ... can be tuned to possibly
+obtain even larger gains."  This module implements that tuning: given a
+constrained budget, it allocates the subset mode just enough trials for
+its CPMs to resolve their local PMFs (per the Appendix A.2 coverage
+estimate times a resolution factor) and gives everything else to the
+global mode, whose support grows with trials (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.trials import cpm_trial_estimate
+from repro.exceptions import ReconstructionError
+
+__all__ = ["AdaptiveSplit", "tune_trial_split"]
+
+
+@dataclass(frozen=True)
+class AdaptiveSplit:
+    """A tuned allocation of a constrained trial budget."""
+
+    total_trials: int
+    global_trials: int
+    trials_per_cpm: int
+    num_cpms: int
+    #: Fraction of the budget in global mode under this tuning.
+    global_fraction: float
+    #: True when the budget was large enough that the even split would
+    #: have been fine anyway (the paper's default regime).
+    saturated: bool
+
+
+def tune_trial_split(
+    total_trials: int,
+    subset_sizes: Sequence[int],
+    num_cpms_per_size: Sequence[int],
+    confidence: float = 0.9999,
+    resolution_factor: float = 4.0,
+    min_global_fraction: float = 0.25,
+) -> AdaptiveSplit:
+    """Tune the global/subset split for a constrained budget.
+
+    Each CPM is allocated ``resolution_factor`` times its Appendix A.2
+    coverage estimate (enough to *resolve* probabilities, not merely to
+    observe each outcome once); the remainder goes to global mode, which
+    is floored at ``min_global_fraction`` of the budget.  When the even
+    split already gives every CPM its resolution allowance, the even
+    split is returned unchanged (``saturated=True``), matching the
+    paper's default.
+    """
+    if len(subset_sizes) != len(num_cpms_per_size):
+        raise ReconstructionError("sizes and counts must align")
+    num_cpms = int(sum(num_cpms_per_size))
+    if num_cpms < 1:
+        raise ReconstructionError("need at least one CPM")
+    if total_trials < 2 * (num_cpms + 1):
+        raise ReconstructionError("budget too small for this CPM family")
+    if not 0.0 < min_global_fraction < 1.0:
+        raise ReconstructionError("min_global_fraction must be in (0, 1)")
+
+    needed_per_cpm = max(
+        int(resolution_factor * cpm_trial_estimate(size, confidence))
+        for size in subset_sizes
+    )
+
+    even_per_cpm = (total_trials // 2) // num_cpms
+    if even_per_cpm >= needed_per_cpm:
+        global_trials = total_trials // 2
+        return AdaptiveSplit(
+            total_trials=total_trials,
+            global_trials=global_trials,
+            trials_per_cpm=even_per_cpm,
+            num_cpms=num_cpms,
+            global_fraction=global_trials / total_trials,
+            saturated=True,
+        )
+
+    subset_budget = min(
+        needed_per_cpm * num_cpms,
+        int(total_trials * (1.0 - min_global_fraction)),
+    )
+    per_cpm = max(1, subset_budget // num_cpms)
+    global_trials = total_trials - per_cpm * num_cpms
+    return AdaptiveSplit(
+        total_trials=total_trials,
+        global_trials=global_trials,
+        trials_per_cpm=per_cpm,
+        num_cpms=num_cpms,
+        global_fraction=global_trials / total_trials,
+        saturated=False,
+    )

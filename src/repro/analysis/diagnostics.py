@@ -1,0 +1,125 @@
+"""Diagnostics for JigSaw runs: why (and how much) reconstruction helped.
+
+Tools a practitioner uses to understand a JigSaw result:
+
+* :func:`marginal_quality_report` — per-CPM comparison of the local PMF
+  against the marginal *derived from the global PMF* and against the
+  exact ideal marginal.  The paper's core premise (§4.2) is that CPM
+  marginals beat global-derived marginals; this quantifies it per subset.
+* :func:`reconstruction_trace` — Hellinger distance of the evolving
+  output PMF to the prior per round, exposing the convergence behaviour
+  that the §4.3 termination rule relies on.
+* :func:`support_statistics` — the ε = entries/trials bookkeeping of §7.1
+  for any counts histogram or PMF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.jigsaw import JigSawResult
+from repro.core.pmf import PMF, Marginal
+from repro.core.reconstruction import (
+    bayesian_reconstruction_round,
+    hellinger_distance,
+)
+from repro.exceptions import ReproError
+from repro.metrics.distances import total_variation_distance
+
+__all__ = [
+    "MarginalQuality",
+    "marginal_quality_report",
+    "reconstruction_trace",
+    "support_statistics",
+]
+
+
+@dataclass(frozen=True)
+class MarginalQuality:
+    """Fidelity of one CPM's local PMF vs its alternatives.
+
+    ``tvd_cpm_vs_ideal`` is the CPM marginal's distance to the exact
+    ideal marginal; ``tvd_global_vs_ideal`` is the distance of the same
+    marginal *derived from the global PMF*.  JigSaw's premise holds when
+    the former is smaller (§4.2: "higher reliability of CPM marginals
+    compared to ... deriving the marginals from the global-PMF").
+    """
+
+    qubits: tuple
+    tvd_cpm_vs_ideal: float
+    tvd_global_vs_ideal: float
+
+    @property
+    def cpm_wins(self) -> bool:
+        return self.tvd_cpm_vs_ideal <= self.tvd_global_vs_ideal
+
+
+def marginal_quality_report(
+    result: JigSawResult, ideal_distribution: Mapping[str, float]
+) -> List[MarginalQuality]:
+    """Compare every CPM marginal against the global-derived one."""
+    ideal_pmf = PMF(dict(ideal_distribution))
+    report: List[MarginalQuality] = []
+    for marginal in result.marginals:
+        ideal_marginal = ideal_pmf.marginal(marginal.qubits)
+        derived = result.global_pmf.marginal(marginal.qubits)
+        report.append(
+            MarginalQuality(
+                qubits=marginal.qubits,
+                tvd_cpm_vs_ideal=total_variation_distance(
+                    marginal.pmf, ideal_marginal
+                ),
+                tvd_global_vs_ideal=total_variation_distance(
+                    derived, ideal_marginal
+                ),
+            )
+        )
+    return report
+
+
+def reconstruction_trace(
+    prior: PMF,
+    marginals: Sequence[Marginal],
+    max_rounds: int = 16,
+) -> List[float]:
+    """Hellinger distance between successive reconstruction rounds.
+
+    The sequence should shrink toward zero — the convergence the paper's
+    termination criterion (§4.3) assumes.  Returns one distance per round
+    actually executed (stops early once the distance underflows 1e-12).
+    """
+    if max_rounds < 1:
+        raise ReproError("max_rounds must be >= 1")
+    distances: List[float] = []
+    current = prior
+    for _ in range(max_rounds):
+        updated = bayesian_reconstruction_round(current, list(marginals))
+        distance = hellinger_distance(current, updated)
+        distances.append(distance)
+        current = updated
+        if distance < 1e-12:
+            break
+    return distances
+
+
+def support_statistics(
+    distribution: Mapping[str, float], trials: Optional[int] = None
+) -> Dict[str, float]:
+    """§7.1 bookkeeping: support size, epsilon, and outcome-space usage."""
+    if not distribution:
+        raise ReproError("empty distribution")
+    width = len(next(iter(distribution)))
+    support = sum(1 for v in distribution.values() if v > 0)
+    stats: Dict[str, float] = {
+        "num_bits": float(width),
+        "support": float(support),
+        "max_outcomes": float(1 << width),
+        "occupancy": support / float(1 << width),
+    }
+    if trials is not None:
+        if trials <= 0:
+            raise ReproError("trials must be positive")
+        stats["trials"] = float(trials)
+        stats["epsilon"] = support / float(trials)
+    return stats

@@ -1,0 +1,36 @@
+"""Circuit intermediate representation: gates, circuits, DAG view, QASM."""
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.dag import CircuitDAG, DAGNode
+from repro.circuits.gates import (
+    GATE_ARITY,
+    GATE_PARAM_COUNT,
+    NATIVE_1Q_GATES,
+    NATIVE_2Q_GATES,
+    Gate,
+    controlled,
+    gate_matrix,
+    is_unitary,
+    u3_matrix,
+)
+from repro.circuits.draw import draw
+from repro.circuits.qasm import from_qasm, to_qasm
+
+__all__ = [
+    "Gate",
+    "Instruction",
+    "QuantumCircuit",
+    "CircuitDAG",
+    "DAGNode",
+    "GATE_ARITY",
+    "GATE_PARAM_COUNT",
+    "NATIVE_1Q_GATES",
+    "NATIVE_2Q_GATES",
+    "gate_matrix",
+    "u3_matrix",
+    "controlled",
+    "is_unitary",
+    "to_qasm",
+    "from_qasm",
+    "draw",
+]

@@ -1,0 +1,76 @@
+"""ASCII rendering of circuits, for examples, debugging and docs.
+
+One text row per qubit; gates stack left to right in ASAP layers::
+
+    q0: -[h]--●----------M0-
+    q1: ------⊕---●------M1-
+    q2: ----------⊕--[x]-M2-
+
+Multi-qubit gates draw a control dot on the first qubit and a target
+marker on the rest; measurements show the classical bit index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDAG
+
+__all__ = ["draw"]
+
+_CONTROL = "●"
+_TARGET = "⊕"
+_SWAP_MARK = "x"
+
+
+def _gate_label(name: str, params) -> str:
+    if not params:
+        return f"[{name}]"
+    inner = ",".join(f"{p:.2g}" for p in params)
+    return f"[{name}({inner})]"
+
+
+def draw(circuit: QuantumCircuit, max_width: int = 120) -> str:
+    """Render ``circuit`` as fixed-width ASCII art.
+
+    ``max_width`` truncates very long circuits with an ellipsis so the
+    output stays terminal-friendly.
+    """
+    layers = CircuitDAG(circuit).layers()
+    n = circuit.num_qubits
+    rows: List[List[str]] = [[] for _ in range(n)]
+
+    for layer in layers:
+        cells: Dict[int, str] = {}
+        for node in layer:
+            ins = node.instruction
+            if ins.kind == "barrier":
+                for q in ins.qubits:
+                    cells[q] = "|"
+            elif ins.is_measure:
+                cells[ins.qubits[0]] = f"M{ins.clbits[0]}"
+            elif len(ins.qubits) == 1:
+                cells[ins.qubits[0]] = _gate_label(
+                    ins.gate.name, ins.gate.params
+                )
+            elif ins.gate.name == "swap":
+                cells[ins.qubits[0]] = _SWAP_MARK
+                cells[ins.qubits[1]] = _SWAP_MARK
+            else:
+                cells[ins.qubits[0]] = _CONTROL
+                for q in ins.qubits[1:]:
+                    cells[q] = _TARGET
+        width = max((len(c) for c in cells.values()), default=1)
+        for q in range(n):
+            cell = cells.get(q, "")
+            rows[q].append("-" + cell.center(width, "-") + "-")
+
+    label_width = len(f"q{n - 1}: ")
+    lines: List[str] = []
+    for q in range(n):
+        line = f"q{q}: ".ljust(label_width) + "".join(rows[q])
+        if len(line) > max_width:
+            line = line[: max_width - 3] + "..."
+        lines.append(line)
+    return "\n".join(lines)

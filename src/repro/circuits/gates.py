@@ -1,0 +1,329 @@
+"""Gate library: named quantum gates with unitary matrices.
+
+The gate set mirrors what IBM's NISQ devices expose (single-qubit rotations
+plus CNOT) together with the standard named gates used by the JigSaw paper's
+benchmarks (H, X, CX, RZ/RX/RY, U3, SWAP, CZ).
+
+A :class:`Gate` is an immutable description: a name, the number of qubits it
+acts on, and optional real-valued parameters.  The unitary matrix is computed
+on demand via :meth:`Gate.matrix`.  Instructions that are *not* unitary
+(measure, barrier, reset) are represented by :class:`Instruction` subclasses
+in :mod:`repro.circuits.circuit` and never carry a matrix.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import GateError
+
+__all__ = [
+    "Gate",
+    "GATE_ARITY",
+    "GATE_PARAM_COUNT",
+    "NATIVE_1Q_GATES",
+    "NATIVE_2Q_GATES",
+    "gate_matrix",
+    "u3_matrix",
+    "is_unitary",
+    "controlled",
+]
+
+# ---------------------------------------------------------------------------
+# Static single-qubit matrices
+# ---------------------------------------------------------------------------
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+_I2 = np.eye(2, dtype=complex)
+
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = np.array([[1, 1], [1, -1]], dtype=complex) * _SQRT2_INV
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+_SDG = np.array([[1, 0], [0, -1j]], dtype=complex)
+_T = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+_TDG = np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+
+def u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Return the IBM ``U3(theta, phi, lam)`` single-qubit unitary.
+
+    ``U3`` is the most general single-qubit gate up to global phase; the
+    crosstalk-characterisation circuits in the paper (Fig. 2a) prepare
+    arbitrary states with it.
+    """
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return np.array(
+        [
+            [cos, -cmath.exp(1j * lam) * sin],
+            [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+        ],
+        dtype=complex,
+    )
+
+
+def _rx_matrix(theta: float) -> np.ndarray:
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return np.array([[cos, -1j * sin], [-1j * sin, cos]], dtype=complex)
+
+
+def _ry_matrix(theta: float) -> np.ndarray:
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return np.array([[cos, -sin], [sin, cos]], dtype=complex)
+
+
+def _rz_matrix(theta: float) -> np.ndarray:
+    phase = cmath.exp(-1j * theta / 2.0)
+    return np.array([[phase, 0], [0, phase.conjugate()]], dtype=complex)
+
+
+def _p_matrix(theta: float) -> np.ndarray:
+    return np.array([[1, 0], [0, cmath.exp(1j * theta)]], dtype=complex)
+
+
+# ---------------------------------------------------------------------------
+# Static two-qubit matrices (little-endian: qubit order (q0, q1) maps to
+# basis index q1*2 + q0; the circuit layer handles qubit ordering, these
+# matrices are defined with the *first* listed qubit as the control).
+# ---------------------------------------------------------------------------
+
+_CX = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+
+_CZ = np.diag([1, 1, 1, -1]).astype(complex)
+
+_SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+
+def _rzz_matrix(theta: float) -> np.ndarray:
+    phase = cmath.exp(-1j * theta / 2.0)
+    return np.diag([phase, phase.conjugate(), phase.conjugate(), phase]).astype(complex)
+
+
+def _cp_matrix(theta: float) -> np.ndarray:
+    return np.diag([1, 1, 1, cmath.exp(1j * theta)]).astype(complex)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: Number of qubits each named gate acts on.
+GATE_ARITY: Dict[str, int] = {
+    "id": 1,
+    "x": 1,
+    "y": 1,
+    "z": 1,
+    "h": 1,
+    "s": 1,
+    "sdg": 1,
+    "t": 1,
+    "tdg": 1,
+    "sx": 1,
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "p": 1,
+    "u3": 1,
+    "cx": 2,
+    "cz": 2,
+    "swap": 2,
+    "rzz": 2,
+    "cp": 2,
+    "ccx": 3,
+}
+
+#: Number of float parameters each named gate takes.
+GATE_PARAM_COUNT: Dict[str, int] = {
+    "id": 0,
+    "x": 0,
+    "y": 0,
+    "z": 0,
+    "h": 0,
+    "s": 0,
+    "sdg": 0,
+    "t": 0,
+    "tdg": 0,
+    "sx": 0,
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "p": 1,
+    "u3": 3,
+    "cx": 0,
+    "cz": 0,
+    "swap": 0,
+    "rzz": 1,
+    "cp": 1,
+    "ccx": 0,
+}
+
+#: Gates treated as native single-qubit operations by the compiler.
+NATIVE_1Q_GATES = frozenset(
+    {"id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "rx", "ry", "rz", "p", "u3"}
+)
+
+#: Gates treated as native two-qubit operations by the compiler.
+NATIVE_2Q_GATES = frozenset({"cx", "cz", "swap", "rzz", "cp"})
+
+_STATIC_MATRICES: Dict[str, np.ndarray] = {
+    "id": _I2,
+    "x": _X,
+    "y": _Y,
+    "z": _Z,
+    "h": _H,
+    "s": _S,
+    "sdg": _SDG,
+    "t": _T,
+    "tdg": _TDG,
+    "sx": _SX,
+    "cx": _CX,
+    "cz": _CZ,
+    "swap": _SWAP,
+}
+
+_PARAMETRIC_MATRICES: Dict[str, Callable[..., np.ndarray]] = {
+    "rx": _rx_matrix,
+    "ry": _ry_matrix,
+    "rz": _rz_matrix,
+    "p": _p_matrix,
+    "u3": u3_matrix,
+    "rzz": _rzz_matrix,
+    "cp": _cp_matrix,
+}
+
+
+def _ccx_matrix() -> np.ndarray:
+    mat = np.eye(8, dtype=complex)
+    mat[[6, 7], :] = mat[[7, 6], :]
+    return mat
+
+
+def gate_matrix(name: str, params: Tuple[float, ...] = ()) -> np.ndarray:
+    """Return the unitary matrix for gate ``name`` with ``params``.
+
+    Raises :class:`GateError` for unknown names or wrong parameter counts.
+    """
+    if name not in GATE_ARITY:
+        raise GateError(f"unknown gate: {name!r}")
+    expected = GATE_PARAM_COUNT[name]
+    if len(params) != expected:
+        raise GateError(
+            f"gate {name!r} takes {expected} parameter(s), got {len(params)}"
+        )
+    if name == "ccx":
+        return _ccx_matrix()
+    if name in _STATIC_MATRICES:
+        return _STATIC_MATRICES[name].copy()
+    return _PARAMETRIC_MATRICES[name](*params)
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Return ``True`` when ``matrix`` is unitary within tolerance ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix.conj().T @ matrix, identity, atol=atol))
+
+
+def controlled(matrix: np.ndarray) -> np.ndarray:
+    """Return the controlled version of a single-qubit unitary.
+
+    The control is the first qubit (matrix block layout ``|0><0| ⊗ I +
+    |1><1| ⊗ U``), matching the convention of :data:`_CX`.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise GateError("controlled() expects a 2x2 matrix")
+    out = np.eye(4, dtype=complex)
+    out[2:, 2:] = matrix
+    return out
+
+
+@dataclass(frozen=True)
+class Gate:
+    """An immutable named gate with parameters.
+
+    Attributes:
+        name: lower-case gate mnemonic, e.g. ``"cx"``.
+        params: tuple of float parameters (Euler angles etc.).
+    """
+
+    name: str
+    params: Tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.name not in GATE_ARITY:
+            raise GateError(f"unknown gate: {self.name!r}")
+        expected = GATE_PARAM_COUNT[self.name]
+        if len(self.params) != expected:
+            raise GateError(
+                f"gate {self.name!r} takes {expected} parameter(s), "
+                f"got {len(self.params)}"
+            )
+        # Normalise params to plain floats so instances hash consistently.
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate acts on."""
+        return GATE_ARITY[self.name]
+
+    def matrix(self) -> np.ndarray:
+        """Unitary matrix of the gate."""
+        return gate_matrix(self.name, self.params)
+
+    def inverse(self) -> "Gate":
+        """Return the inverse gate as a named :class:`Gate`.
+
+        Self-inverse gates map to themselves; rotations negate their angle;
+        ``s``/``t`` map to their daggers.  ``u3`` inverts analytically.
+        """
+        self_inverse = {"id", "x", "y", "z", "h", "cx", "cz", "swap", "ccx"}
+        if self.name in self_inverse:
+            return self
+        dagger_pairs = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+        if self.name in dagger_pairs:
+            return Gate(dagger_pairs[self.name])
+        if self.name in {"rx", "ry", "rz", "p", "rzz", "cp"}:
+            return Gate(self.name, (-self.params[0],))
+        if self.name == "u3":
+            theta, phi, lam = self.params
+            return Gate("u3", (-theta, -lam, -phi))
+        if self.name == "sx":
+            # sx^-1 = sxdg = u3(-pi/2, -pi/2... ) ; express via rx.
+            return Gate("rx", (-math.pi / 2.0,))
+        raise GateError(f"no inverse rule for gate {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.params:
+            inner = ", ".join(f"{p:.6g}" for p in self.params)
+            return f"Gate({self.name}, [{inner}])"
+        return f"Gate({self.name})"

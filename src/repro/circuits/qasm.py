@@ -1,0 +1,132 @@
+"""Minimal OpenQASM 2.0 serialisation for :class:`QuantumCircuit`.
+
+Supports the gate set of :mod:`repro.circuits.gates` plus ``measure`` and
+``barrier``.  The importer accepts the exporter's output (round-trip safe)
+and the common single-register subset of OpenQASM 2.0 emitted by other
+tools, which is enough to move the paper's benchmarks in and out of the
+library.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+_QARG = re.compile(r"q\[(\d+)\]")
+_CARG = re.compile(r"c\[(\d+)\]")
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise ``circuit`` to an OpenQASM 2.0 string."""
+    lines: List[str] = [_HEADER.rstrip("\n")]
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for ins in circuit.instructions:
+        if ins.kind == "barrier":
+            args = ",".join(f"q[{q}]" for q in ins.qubits)
+            lines.append(f"barrier {args};")
+        elif ins.kind == "measure":
+            lines.append(f"measure q[{ins.qubits[0]}] -> c[{ins.clbits[0]}];")
+        else:
+            gate = ins.gate
+            args = ",".join(f"q[{q}]" for q in ins.qubits)
+            if gate.params:
+                params = ",".join(_format_angle(p) for p in gate.params)
+                lines.append(f"{gate.name}({params}) {args};")
+            else:
+                lines.append(f"{gate.name} {args};")
+    return "\n".join(lines) + "\n"
+
+
+def _format_angle(value: float) -> str:
+    """Render an angle, using pi fractions where exact for readability."""
+    for num in range(-8, 9):
+        if num == 0:
+            continue
+        for den in (1, 2, 3, 4, 6, 8):
+            if math.gcd(abs(num), den) != 1:
+                continue
+            if math.isclose(value, num * math.pi / den, rel_tol=0, abs_tol=1e-12):
+                sign = "-" if num < 0 else ""
+                mag = abs(num)
+                numerator = "pi" if mag == 1 else f"{mag}*pi"
+                return f"{sign}{numerator}/{den}" if den != 1 else f"{sign}{numerator}"
+    if math.isclose(value, 0.0, abs_tol=1e-15):
+        return "0"
+    return repr(float(value))
+
+
+def _parse_angle(text: str) -> float:
+    """Parse an angle expression such as ``pi/2``, ``-3*pi/4`` or ``0.5``."""
+    text = text.strip().replace(" ", "")
+    match = re.fullmatch(r"(-?)(?:(\d+)\*)?pi(?:/(\d+))?", text)
+    if match:
+        sign = -1.0 if match.group(1) == "-" else 1.0
+        num = float(match.group(2)) if match.group(2) else 1.0
+        den = float(match.group(3)) if match.group(3) else 1.0
+        return sign * num * math.pi / den
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise CircuitError(f"cannot parse angle: {text!r}") from exc
+
+
+def _split_args(arglist: str) -> List[str]:
+    return [a for a in (part.strip() for part in arglist.split(",")) if a]
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 string produced by :func:`to_qasm`."""
+    num_qubits = 0
+    num_clbits = 0
+    body: List[Tuple[str, str]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line or line.startswith(("OPENQASM", "include")):
+            continue
+        if not line.endswith(";"):
+            raise CircuitError(f"missing semicolon: {raw_line!r}")
+        line = line[:-1].strip()
+        if line.startswith("qreg"):
+            num_qubits = int(re.search(r"\[(\d+)\]", line).group(1))
+        elif line.startswith("creg"):
+            num_clbits = int(re.search(r"\[(\d+)\]", line).group(1))
+        else:
+            body.append((raw_line, line))
+    if num_qubits == 0:
+        raise CircuitError("QASM text declares no qreg")
+
+    circuit = QuantumCircuit(num_qubits, num_clbits or num_qubits)
+    for raw_line, line in body:
+        if line.startswith("measure"):
+            qmatch = _QARG.search(line)
+            cmatch = _CARG.search(line)
+            if not qmatch or not cmatch:
+                raise CircuitError(f"bad measure statement: {raw_line!r}")
+            circuit.measure(int(qmatch.group(1)), int(cmatch.group(1)))
+            continue
+        if line.startswith("barrier"):
+            qubits = [int(m) for m in _QARG.findall(line)]
+            circuit.barrier(*qubits)
+            continue
+        match = re.fullmatch(r"(\w+)(?:\(([^)]*)\))?\s+(.*)", line)
+        if not match:
+            raise CircuitError(f"cannot parse statement: {raw_line!r}")
+        name, params_text, args_text = match.groups()
+        params = tuple(
+            _parse_angle(p) for p in _split_args(params_text or "")
+        )
+        qubits = [int(m) for m in _QARG.findall(args_text)]
+        from repro.circuits.gates import Gate  # local import avoids cycle
+
+        circuit.apply_gate(Gate(name, params), *qubits)
+    return circuit

@@ -1,0 +1,205 @@
+"""Command-line interface: run JigSaw and the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro run --workload GHZ-10 --device toronto --trials 65536
+    python -m repro compare --workload QAOA-10\\ p2 --device paris
+    python -m repro devices
+    python -m repro scalability
+
+``run`` executes the JigSaw pipeline on one workload and reports PST/IST/
+fidelity before and after reconstruction; ``compare`` additionally runs
+EDM and JigSaw-M; ``devices`` prints the device library's calibration
+statistics; ``scalability`` prints the Table 7 cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import table7_rows
+from repro.devices import (
+    Device,
+    google_sycamore,
+    ibmq_manhattan,
+    ibmq_paris,
+    ibmq_toronto,
+)
+from repro.exceptions import ReproError
+from repro.experiments import SchemeRunner, format_table
+from repro.workloads import workload_by_name
+
+__all__ = ["main", "build_parser"]
+
+_DEVICES = {
+    "toronto": ibmq_toronto,
+    "paris": ibmq_paris,
+    "manhattan": ibmq_manhattan,
+    "sycamore": google_sycamore,
+}
+
+
+def _device(name: str) -> Device:
+    try:
+        return _DEVICES[name]()
+    except KeyError:
+        raise ReproError(
+            f"unknown device {name!r}; options: {sorted(_DEVICES)}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for the ``repro`` command line."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JigSaw (MICRO 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run JigSaw on one workload")
+    run.add_argument("--workload", required=True, help="e.g. GHZ-10, 'QAOA-10 p2'")
+    run.add_argument("--device", default="toronto", choices=sorted(_DEVICES))
+    run.add_argument("--trials", type=int, default=32_768)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--sampled", action="store_true",
+        help="sample trials instead of the exact noisy distribution",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="compare baseline/EDM/JigSaw/JigSaw-M"
+    )
+    compare.add_argument("--workload", required=True)
+    compare.add_argument("--device", default="toronto", choices=sorted(_DEVICES))
+    compare.add_argument("--trials", type=int, default=32_768)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--sampled", action="store_true")
+
+    sub.add_parser("devices", help="print device calibration statistics")
+    sub.add_parser("scalability", help="print the Table 7 cost model")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    device = _device(args.device)
+    workload = workload_by_name(args.workload)
+    runner = SchemeRunner(
+        device, seed=args.seed, total_trials=args.trials,
+        exact=not args.sampled,
+    )
+    result = runner.run_jigsaw(workload)
+    before = runner.evaluate(workload, result.global_pmf)
+    after = runner.evaluate(workload, result.output_pmf)
+    rows = [
+        ["global (baseline)", before.pst, before.ist, before.fidelity],
+        ["JigSaw output", after.pst, after.ist, after.fidelity],
+    ]
+    header = format_table(
+        ["Distribution", "PST", "IST", "Fidelity"],
+        rows,
+        title=f"JigSaw on {workload.name} / {device.name}",
+    )
+    footer = (
+        f"\nCPMs: {len(result.cpm_executables)} of size "
+        f"{len(result.subsets[0])}; trials: {result.global_trials} global "
+        f"+ {result.trials_per_cpm}/CPM"
+    )
+    return header + footer
+
+
+def _cmd_compare(args: argparse.Namespace) -> str:
+    device = _device(args.device)
+    workload = workload_by_name(args.workload)
+    runner = SchemeRunner(
+        device, seed=args.seed, total_trials=args.trials,
+        exact=not args.sampled,
+    )
+    rows: List[List[object]] = []
+    base = None
+    for scheme in ("baseline", "edm", "jigsaw", "jigsaw_m"):
+        metrics = runner.evaluate(workload, runner.run_scheme(scheme, workload))
+        if base is None:
+            base = metrics
+        rows.append(
+            [
+                scheme,
+                metrics.pst,
+                metrics.pst / base.pst if base.pst else float("inf"),
+                metrics.ist,
+                metrics.fidelity,
+                metrics.arg,
+            ]
+        )
+    return format_table(
+        ["Scheme", "PST", "Rel PST", "IST", "Fidelity", "ARG (%)"],
+        rows,
+        title=f"Scheme comparison on {workload.name} / {device.name}",
+    )
+
+
+def _cmd_devices() -> str:
+    rows = []
+    for name in sorted(_DEVICES):
+        device = _DEVICES[name]()
+        stats = device.readout_stats().as_percent()
+        rows.append(
+            [
+                name,
+                device.num_qubits,
+                stats.mean,
+                stats.median,
+                stats.minimum,
+                stats.maximum,
+            ]
+        )
+    return format_table(
+        ["Device", "Qubits", "Mean %", "Median %", "Min %", "Max %"],
+        rows,
+        title="Device library (isolated readout error)",
+        float_format="{:.2f}",
+    )
+
+
+def _cmd_scalability() -> str:
+    rows = [
+        [
+            row["qubits"], row["epsilon"], row["trials"],
+            row["jigsaw_memory_gb"], row["jigsaw_ops_millions"],
+            row["jigsawm_memory_gb"], row["jigsawm_ops_millions"],
+        ]
+        for row in table7_rows()
+    ]
+    return format_table(
+        [
+            "Qubits", "eps", "Trials", "JigSaw GB", "JigSaw Mops",
+            "JigSaw-M GB", "JigSaw-M Mops",
+        ],
+        rows,
+        title="Table 7: reconstruction cost model",
+        float_format="{:.2f}",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            print(_cmd_run(args))
+        elif args.command == "compare":
+            print(_cmd_compare(args))
+        elif args.command == "devices":
+            print(_cmd_devices())
+        elif args.command == "scalability":
+            print(_cmd_scalability())
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Compiler substrate: placement, SABRE routing, EPS, EDM, CPM recompilation."""
+
+from repro.compiler.cpm_compile import compile_cpm
+from repro.compiler.decompose import NATIVE_BASIS, decompose_to_native, zyz_angles
+from repro.compiler.edm import ensemble_of_diverse_mappings
+from repro.compiler.eps import (
+    expected_probability_of_success,
+    gate_eps,
+    readout_eps,
+)
+from repro.compiler.layout import Layout
+from repro.compiler.placement import candidate_layouts, embed_in_region, grow_region
+from repro.compiler.sabre import RoutedCircuit, route
+from repro.compiler.transpile import ExecutableCircuit, transpile
+
+__all__ = [
+    "Layout",
+    "decompose_to_native",
+    "zyz_angles",
+    "NATIVE_BASIS",
+    "route",
+    "RoutedCircuit",
+    "transpile",
+    "ExecutableCircuit",
+    "expected_probability_of_success",
+    "gate_eps",
+    "readout_eps",
+    "candidate_layouts",
+    "grow_region",
+    "embed_in_region",
+    "ensemble_of_diverse_mappings",
+    "compile_cpm",
+]

@@ -1,0 +1,89 @@
+"""Recompilation of Circuits with Partial Measurements (CPMs).
+
+Paper §4.2.2: each CPM is recompiled so that its (few) measurements land on
+the physical qubits with the lowest readout error — avoiding *vulnerable*
+qubits — while **never paying extra SWAPs** relative to the global
+compilation, because extra SWAPs would trade measurement error for gate
+error.  When no mapping avoids both, the compiler falls back to the mapping
+with the best EPS, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.eps import expected_probability_of_success
+from repro.compiler.transpile import ExecutableCircuit, transpile
+from repro.devices.device import Device
+from repro.exceptions import CompilationError
+from repro.utils.random import SeedLike, as_generator, spawn
+
+__all__ = ["compile_cpm"]
+
+#: Readout-emphasis exponent used for the CPM objective: measurement
+#: fidelity dominates the choice, since a CPM only reads 2-5 qubits.
+_CPM_READOUT_EMPHASIS = 4.0
+
+
+def compile_cpm(
+    cpm_circuit: QuantumCircuit,
+    device: Device,
+    global_executable: ExecutableCircuit,
+    recompile: bool = True,
+    attempts: int = 4,
+    vulnerable_percentile: float = 75.0,
+    seed: SeedLike = None,
+) -> ExecutableCircuit:
+    """Compile one CPM, optionally recompiling for readout fidelity.
+
+    Args:
+        cpm_circuit: the program body with a measured subset (built via
+            :meth:`QuantumCircuit.with_measured_subset`).
+        device: target device.
+        global_executable: the global-mode compilation; its initial layout
+            is the no-recompilation fallback and its SWAP count is the
+            budget no candidate may exceed.
+        recompile: when ``False`` the CPM simply reuses the global layout
+            (the paper's "JigSaw w/o recompilation" ablation, Fig. 11).
+        attempts: candidate layouts to evaluate when recompiling.
+        vulnerable_percentile: readout-error percentile above which a
+            physical qubit is considered vulnerable and avoided.
+        seed: RNG seed.
+    """
+    rng = as_generator(seed)
+
+    # The no-recompilation compilation: identical mapping to the global run.
+    baseline = transpile(
+        cpm_circuit,
+        device,
+        seed=spawn(rng, 1)[0],
+        attempts=1,
+        initial_layouts=[global_executable.initial_layout],
+    )
+    if not recompile:
+        return baseline
+
+    vulnerable = device.vulnerable_qubits(vulnerable_percentile)
+    candidate = transpile(
+        cpm_circuit,
+        device,
+        seed=rng,
+        attempts=attempts,
+        readout_emphasis=_CPM_READOUT_EMPHASIS,
+        avoid_qubits=vulnerable,
+    )
+
+    # Enforce the no-extra-SWAPs rule against the global compilation.
+    candidates = [baseline]
+    if candidate.num_swaps <= global_executable.num_swaps:
+        candidates.append(candidate)
+        chosen = max(
+            candidates,
+            key=lambda e: expected_probability_of_success(
+                e.physical, device, _CPM_READOUT_EMPHASIS
+            ),
+        )
+        return chosen
+    # No SWAP-neutral alternative: pick whichever maximises plain EPS.
+    return max([baseline, candidate], key=lambda e: e.eps)

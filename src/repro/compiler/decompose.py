@@ -1,0 +1,156 @@
+"""Decomposition of non-native gates into the device basis.
+
+IBM's Falcon/Hummingbird devices execute {rz, sx, x, cx}; everything
+else is synthesised.  The router accepts any 1-/2-qubit gate, but for
+EPS accounting and hardware realism the experiments can first lower a
+circuit to the native basis:
+
+* ``swap``  -> 3 CNOTs,
+* ``rzz(t)``-> CX · RZ(t) · CX,
+* ``cz``    -> H · CX · H (on the target),
+* ``cp(t)`` -> RZ/CX ladder,
+* ``ccx``   -> the standard 6-CNOT Toffoli network,
+* 1-qubit gates -> ``u3`` Euler form (optionally further to rz/sx).
+
+The pass preserves semantics exactly (tests check unitaries/
+distributions) and is idempotent on already-native circuits.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import CompilationError
+
+__all__ = ["decompose_to_native", "zyz_angles", "NATIVE_BASIS"]
+
+#: The gate names the lowered circuit may contain.
+NATIVE_BASIS = frozenset({"u3", "cx", "id"})
+
+
+def zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float]:
+    """Euler angles (theta, phi, lam) with ``U3(theta, phi, lam) ~ matrix``.
+
+    Any 2x2 unitary equals ``e^{i a} U3(theta, phi, lam)``; the global
+    phase is discarded (it is unobservable).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise CompilationError("zyz_angles expects a single-qubit unitary")
+    # Strip global phase so that det == 1.
+    det = np.linalg.det(matrix)
+    matrix = matrix / np.sqrt(det)
+    # matrix = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #           [sin(t/2) e^{+i(phi-lam)/2},  cos(t/2) e^{+i(phi+lam)/2}]]
+    cos_half = abs(matrix[0, 0])
+    cos_half = min(1.0, max(0.0, cos_half))
+    theta = 2.0 * math.acos(cos_half)
+    if abs(matrix[0, 0]) > 1e-12 and abs(matrix[1, 0]) > 1e-12:
+        phi_plus_lam = 2.0 * cmath.phase(matrix[1, 1])
+        phi_minus_lam = 2.0 * cmath.phase(matrix[1, 0])
+        phi = (phi_plus_lam + phi_minus_lam) / 2.0
+        lam = (phi_plus_lam - phi_minus_lam) / 2.0
+    elif abs(matrix[0, 0]) > 1e-12:
+        # theta ~ 0: only phi + lam matters.
+        phi = 2.0 * cmath.phase(matrix[1, 1])
+        lam = 0.0
+    else:
+        # theta ~ pi: only phi - lam matters.
+        phi = 2.0 * cmath.phase(matrix[1, 0])
+        lam = 0.0
+    return theta, phi, lam
+
+
+def _lower_1q(gate: Gate, qubit: int) -> List[Instruction]:
+    if gate.name in ("u3", "id"):
+        return [Instruction("gate", gate, (qubit,))]
+    theta, phi, lam = zyz_angles(gate.matrix())
+    return [Instruction("gate", Gate("u3", (theta, phi, lam)), (qubit,))]
+
+
+def _h(qubit: int) -> Instruction:
+    return Instruction(
+        "gate", Gate("u3", (math.pi / 2.0, 0.0, math.pi)), (qubit,)
+    )
+
+
+def _rz(theta: float, qubit: int) -> Instruction:
+    return Instruction("gate", Gate("u3", (0.0, 0.0, theta)), (qubit,))
+
+
+def _cx(control: int, target: int) -> Instruction:
+    return Instruction("gate", Gate("cx"), (control, target))
+
+
+def _lower_2q(gate: Gate, qubits: Tuple[int, ...]) -> List[Instruction]:
+    a, b = qubits
+    if gate.name == "cx":
+        return [_cx(a, b)]
+    if gate.name == "swap":
+        return [_cx(a, b), _cx(b, a), _cx(a, b)]
+    if gate.name == "cz":
+        return [_h(b), _cx(a, b), _h(b)]
+    if gate.name == "rzz":
+        theta = gate.params[0]
+        return [_cx(a, b), _rz(theta, b), _cx(a, b)]
+    if gate.name == "cp":
+        theta = gate.params[0]
+        return [
+            _rz(theta / 2.0, a),
+            _cx(a, b),
+            _rz(-theta / 2.0, b),
+            _cx(a, b),
+            _rz(theta / 2.0, b),
+        ]
+    raise CompilationError(f"no decomposition rule for {gate.name!r}")
+
+
+def _lower_ccx(qubits: Tuple[int, ...]) -> List[Instruction]:
+    """Standard 6-CNOT Toffoli decomposition (controls a, b; target c)."""
+    a, b, c = qubits
+
+    def t(q):
+        return _rz(math.pi / 4.0, q)
+
+    def tdg(q):
+        return _rz(-math.pi / 4.0, q)
+
+    return [
+        _h(c),
+        _cx(b, c), tdg(c),
+        _cx(a, c), t(c),
+        _cx(b, c), tdg(c),
+        _cx(a, c), t(b), t(c),
+        _h(c),
+        _cx(a, b), t(a), tdg(b),
+        _cx(a, b),
+    ]
+
+
+def decompose_to_native(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Lower ``circuit`` to the {u3, cx} basis, preserving semantics."""
+    out = QuantumCircuit(
+        circuit.num_qubits, circuit.num_clbits, f"{circuit.name}_native"
+    )
+    for ins in circuit.instructions:
+        if not ins.is_gate:
+            out.append(ins)
+            continue
+        gate = ins.gate
+        if len(ins.qubits) == 1:
+            lowered = _lower_1q(gate, ins.qubits[0])
+        elif len(ins.qubits) == 2:
+            lowered = _lower_2q(gate, ins.qubits)
+        elif gate.name == "ccx":
+            lowered = _lower_ccx(ins.qubits)
+        else:  # pragma: no cover - no other arity exists in the gate set
+            raise CompilationError(f"cannot lower {gate.name!r}")
+        for instruction in lowered:
+            out.append(instruction)
+    return out

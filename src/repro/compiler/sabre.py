@@ -1,0 +1,218 @@
+"""SABRE-style SWAP routing.
+
+Implements the SWAP-based heuristic router of Li, Ding and Xie (ASPLOS
+2019), the algorithm behind the paper's baseline compiler.  Given an
+initial layout, the router walks the circuit DAG: gates whose operands are
+adjacent on the device execute immediately; otherwise the router scores
+every SWAP on an edge touching a blocked gate's qubits and applies the one
+that most reduces the distance of the front layer, with a look-ahead term
+over upcoming gates and a decay factor that discourages ping-ponging the
+same qubits.
+
+Measurements are emitted at the very end on each logical qubit's *final*
+physical position — the quantity that determines readout fidelity and the
+thing JigSaw's CPM recompilation optimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDAG, DAGNode
+from repro.compiler.layout import Layout
+from repro.devices.device import Device
+from repro.exceptions import CompilationError
+from repro.utils.random import SeedLike, as_generator
+
+__all__ = ["route", "RoutedCircuit"]
+
+_DECAY_INCREMENT = 0.001
+_DECAY_RESET_INTERVAL = 5
+_LOOKAHEAD_SIZE = 20
+_LOOKAHEAD_WEIGHT = 0.5
+_MAX_STALL_ROUNDS = 10_000
+
+
+@dataclass
+class RoutedCircuit:
+    """Output of the router."""
+
+    physical: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    num_swaps: int
+
+
+def _emit_gate(
+    physical: QuantumCircuit, node: DAGNode, layout: Layout
+) -> None:
+    instruction = node.instruction
+    if instruction.kind == "barrier":
+        return
+    if instruction.is_measure:
+        # Measurements are deferred; handled by the caller at the end.
+        return
+    physical_qubits = [layout.physical(q) for q in instruction.qubits]
+    physical.apply_gate(instruction.gate, *physical_qubits)
+
+
+def _is_executable(node: DAGNode, layout: Layout, device: Device) -> bool:
+    instruction = node.instruction
+    if not instruction.is_gate:
+        return True
+    if len(instruction.qubits) == 1:
+        return True
+    if len(instruction.qubits) != 2:
+        raise CompilationError(
+            "route() expects circuits decomposed to 1- and 2-qubit gates"
+        )
+    p0 = layout.physical(instruction.qubits[0])
+    p1 = layout.physical(instruction.qubits[1])
+    return device.are_coupled(p0, p1)
+
+
+def _front_distance(
+    gates: Sequence[DAGNode], layout: Layout, distances: np.ndarray
+) -> float:
+    total = 0.0
+    for node in gates:
+        q0, q1 = node.instruction.qubits
+        total += float(distances[layout.physical(q0), layout.physical(q1)])
+    return total
+
+
+def _collect_lookahead(front: Sequence[DAGNode], limit: int) -> List[DAGNode]:
+    """Breadth-first set of upcoming two-qubit gates behind the front."""
+    seen: Set[int] = {n.index for n in front}
+    queue: List[DAGNode] = list(front)
+    lookahead: List[DAGNode] = []
+    while queue and len(lookahead) < limit:
+        node = queue.pop(0)
+        for successor in node.successors:
+            if successor.index in seen:
+                continue
+            seen.add(successor.index)
+            queue.append(successor)
+            if successor.instruction.is_two_qubit_gate:
+                lookahead.append(successor)
+    return lookahead
+
+
+def route(
+    circuit: QuantumCircuit,
+    device: Device,
+    initial_layout: Layout,
+    seed: SeedLike = None,
+) -> RoutedCircuit:
+    """Route ``circuit`` onto ``device`` starting from ``initial_layout``.
+
+    Returns the physical circuit (SWAPs inserted, measurements re-targeted
+    to final positions), plus the initial/final layouts and SWAP count.
+    """
+    rng = as_generator(seed)
+    if set(initial_layout.logical_qubits) != set(range(circuit.num_qubits)):
+        raise CompilationError("initial layout must cover every program qubit")
+    for physical in initial_layout.physical_qubits:
+        if physical >= device.num_qubits:
+            raise CompilationError(f"layout uses nonexistent qubit {physical}")
+
+    dag = CircuitDAG(circuit)
+    layout = initial_layout.copy()
+    physical = QuantumCircuit(
+        device.num_qubits, circuit.num_clbits, f"{circuit.name}@{device.name}"
+    )
+    distances = device.distances
+    decay = np.ones(device.num_qubits)
+    num_swaps = 0
+    rounds_without_progress = 0
+    swaps_since_reset = 0
+
+    front: List[DAGNode] = dag.initial_front()
+
+    def advance(node: DAGNode) -> None:
+        front.remove(node)
+        for successor in node.successors:
+            successor.num_predecessors -= 1
+            if successor.num_predecessors == 0:
+                front.append(successor)
+
+    while front:
+        executable = [n for n in front if _is_executable(n, layout, device)]
+        if executable:
+            for node in executable:
+                _emit_gate(physical, node, layout)
+                advance(node)
+            decay[:] = 1.0
+            swaps_since_reset = 0
+            rounds_without_progress = 0
+            continue
+
+        rounds_without_progress += 1
+        if rounds_without_progress > _MAX_STALL_ROUNDS:  # pragma: no cover
+            raise CompilationError("router stalled; device may be disconnected")
+
+        blocked = [n for n in front if n.instruction.is_two_qubit_gate]
+        lookahead = _collect_lookahead(front, _LOOKAHEAD_SIZE)
+
+        candidate_swaps: Set[Tuple[int, int]] = set()
+        for node in blocked:
+            for logical in node.instruction.qubits:
+                p = layout.physical(logical)
+                for neighbour in device.graph.neighbors(p):
+                    candidate_swaps.add((min(p, neighbour), max(p, neighbour)))
+
+        best_swap: Optional[Tuple[int, int]] = None
+        best_score = None
+        base_front = _front_distance(blocked, layout, distances)
+        for swap in sorted(candidate_swaps):
+            trial = layout.copy()
+            trial.apply_swap(*swap)
+            front_term = _front_distance(blocked, trial, distances) / max(
+                len(blocked), 1
+            )
+            if lookahead:
+                look_term = _front_distance(lookahead, trial, distances) / len(
+                    lookahead
+                )
+            else:
+                look_term = 0.0
+            score = (
+                max(decay[swap[0]], decay[swap[1]])
+                * (front_term + _LOOKAHEAD_WEIGHT * look_term)
+            )
+            # Small random jitter breaks ties differently per seed, giving
+            # the transpiler's restarts genuine diversity.
+            score += 1e-9 * rng.random()
+            if best_score is None or score < best_score:
+                best_score = score
+                best_swap = swap
+
+        if best_swap is None:  # pragma: no cover - defensive
+            raise CompilationError("no candidate SWAPs for a blocked front layer")
+
+        physical.swap(*best_swap)
+        layout.apply_swap(*best_swap)
+        decay[best_swap[0]] += _DECAY_INCREMENT
+        decay[best_swap[1]] += _DECAY_INCREMENT
+        num_swaps += 1
+        swaps_since_reset += 1
+        if swaps_since_reset >= _DECAY_RESET_INTERVAL:
+            decay[:] = 1.0
+            swaps_since_reset = 0
+        # Guard against pathological progress: distance must eventually drop.
+        del base_front
+
+    # Emit measurements on final physical positions, preserving clbits.
+    for ins in circuit.measurements:
+        physical.measure(layout.physical(ins.qubits[0]), ins.clbits[0])
+
+    return RoutedCircuit(
+        physical=physical,
+        initial_layout=initial_layout.copy(),
+        final_layout=layout,
+        num_swaps=num_swaps,
+    )

@@ -1,0 +1,146 @@
+"""High-level transpilation: placement + routing + EPS-based selection.
+
+``transpile()`` mirrors the paper's baseline flow (Noise-Aware SABRE):
+generate several noise-aware initial layouts, route each with SABRE, score
+every routed schedule by Expected Probability of Success, and keep the
+best.  The ``readout_emphasis`` knob turns the same machinery into the CPM
+recompiler (§4.2.2): a high emphasis steers the measured subset onto the
+strongest readout qubits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.eps import expected_probability_of_success
+from repro.compiler.layout import Layout
+from repro.compiler.placement import candidate_layouts
+from repro.compiler.sabre import RoutedCircuit, route
+from repro.devices.device import Device
+from repro.exceptions import CompilationError
+from repro.sim.statevector import StatevectorSimulator
+from repro.utils.random import SeedLike, as_generator, spawn
+
+__all__ = ["ExecutableCircuit", "transpile"]
+
+
+@dataclass
+class ExecutableCircuit:
+    """A program compiled for a device, ready for noisy execution.
+
+    Attributes:
+        logical: the program as written (defines the ideal distribution).
+        physical: the routed schedule on device qubits (defines gate noise
+            and, through its measurement targets, readout noise).
+        initial_layout / final_layout: logical->physical maps before and
+            after routing.
+        num_swaps: SWAPs inserted by the router.
+        eps: expected probability of success of the physical schedule.
+    """
+
+    logical: QuantumCircuit
+    physical: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    device: Device
+    num_swaps: int
+    eps: float
+    _ideal_probabilities: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def measured_physical_qubits(self) -> List[int]:
+        """Physical qubit read for each measurement, in clbit order."""
+        by_clbit = {
+            ins.clbits[0]: ins.qubits[0] for ins in self.physical.measurements
+        }
+        return [by_clbit[c] for c in sorted(by_clbit)]
+
+    def ideal_probabilities(self) -> np.ndarray:
+        """Exact probabilities of the logical circuit over all basis states.
+
+        Cached: JigSaw reuses one statevector across the global circuit and
+        every CPM because their unitary bodies are identical.
+        """
+        if self._ideal_probabilities is None:
+            self._ideal_probabilities = StatevectorSimulator().probabilities(
+                self.logical
+            )
+        return self._ideal_probabilities
+
+    def share_ideal_probabilities(self, probabilities: np.ndarray) -> None:
+        """Inject a precomputed probability vector (same unitary body)."""
+        expected = 1 << self.logical.num_qubits
+        if probabilities.shape != (expected,):
+            raise CompilationError("shared probability vector has wrong size")
+        self._ideal_probabilities = probabilities
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    device: Device,
+    seed: SeedLike = None,
+    attempts: int = 4,
+    readout_emphasis: float = 1.0,
+    avoid_qubits: Sequence[int] = (),
+    initial_layouts: Optional[Sequence[Layout]] = None,
+) -> ExecutableCircuit:
+    """Compile ``circuit`` for ``device`` maximising (emphasised) EPS.
+
+    Args:
+        circuit: logical program; must end in measurements for execution.
+        device: target device.
+        seed: RNG seed controlling placement exploration and router
+            tie-breaking.
+        attempts: number of placement+routing candidates to evaluate.
+        readout_emphasis: exponent on the readout term of EPS; > 1 gives
+            the CPM-recompilation objective.
+        avoid_qubits: physical qubits to penalise during placement (EDM
+            diversity, vulnerable-qubit avoidance).
+        initial_layouts: optional explicit layouts to route (bypasses
+            placement; still selects by EPS).
+    """
+    if attempts < 1:
+        raise CompilationError("attempts must be >= 1")
+    rng = as_generator(seed)
+    if initial_layouts is None:
+        layouts = candidate_layouts(
+            circuit,
+            device,
+            num_candidates=attempts,
+            readout_weight=readout_emphasis,
+            avoid_qubits=avoid_qubits,
+            seed=rng,
+        )
+    else:
+        layouts = list(initial_layouts)
+        if not layouts:
+            raise CompilationError("initial_layouts must not be empty")
+
+    router_rngs = spawn(rng, len(layouts))
+    best: Optional[RoutedCircuit] = None
+    best_eps = -1.0
+    for layout, router_rng in zip(layouts, router_rngs):
+        routed = route(circuit, device, layout, seed=router_rng)
+        eps = expected_probability_of_success(
+            routed.physical, device, readout_emphasis
+        )
+        if eps > best_eps:
+            best_eps = eps
+            best = routed
+
+    plain_eps = expected_probability_of_success(best.physical, device, 1.0)
+    return ExecutableCircuit(
+        logical=circuit,
+        physical=best.physical,
+        initial_layout=best.initial_layout,
+        final_layout=best.final_layout,
+        device=device,
+        num_swaps=best.num_swaps,
+        eps=plain_eps,
+    )

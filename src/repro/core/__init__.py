@@ -1,0 +1,66 @@
+"""JigSaw core: PMFs, subsets, Bayesian reconstruction, runners, models."""
+
+from repro.core.jigsaw import (
+    JigSaw,
+    JigSawConfig,
+    JigSawResult,
+    measured_positions_map,
+)
+from repro.core.multilayer import (
+    JigSawM,
+    JigSawMConfig,
+    JigSawMResult,
+    ordered_reconstruction,
+)
+from repro.core.pmf import PMF, Marginal
+from repro.core.reconstruction import (
+    bayesian_reconstruction,
+    bayesian_reconstruction_round,
+    bayesian_update,
+    hellinger_distance,
+)
+from repro.core.scalability import (
+    TABLE7_OPERATING_POINTS,
+    ScalabilityModel,
+    table7_rows,
+)
+from repro.core.subsets import (
+    all_pair_subsets,
+    random_subsets,
+    sliding_window_subsets,
+    validate_subsets,
+)
+from repro.core.trials import (
+    cpm_trial_estimate,
+    plan_trial_budget,
+    trials_for_outcome,
+    trials_to_observe_all,
+)
+
+__all__ = [
+    "PMF",
+    "Marginal",
+    "bayesian_update",
+    "bayesian_reconstruction",
+    "bayesian_reconstruction_round",
+    "hellinger_distance",
+    "JigSaw",
+    "JigSawConfig",
+    "JigSawResult",
+    "JigSawM",
+    "JigSawMConfig",
+    "JigSawMResult",
+    "ordered_reconstruction",
+    "measured_positions_map",
+    "sliding_window_subsets",
+    "random_subsets",
+    "all_pair_subsets",
+    "validate_subsets",
+    "trials_for_outcome",
+    "trials_to_observe_all",
+    "cpm_trial_estimate",
+    "plan_trial_budget",
+    "ScalabilityModel",
+    "table7_rows",
+    "TABLE7_OPERATING_POINTS",
+]

@@ -1,0 +1,280 @@
+"""The JigSaw framework (paper §4).
+
+:class:`JigSaw` orchestrates the full pipeline:
+
+1. **Global mode** — compile the program with the noise-aware baseline
+   compiler and spend half the trial budget measuring *all* qubits,
+   producing the global PMF (full correlation, low fidelity).
+2. **Subset mode** — build one Circuit with Partial Measurements per
+   sliding-window subset (size 2 by default), recompile each so its
+   measurements land on the best readout qubits without extra SWAPs, and
+   spend the other half of the budget evenly across them, producing
+   high-fidelity local PMFs.
+3. **Reconstruction** — Bayesian-update the global PMF with every local
+   PMF until convergence.
+
+The runner supports an ``exact`` mode that replaces sampling with the
+closed-form noisy distributions (the infinite-trials limit); the paper
+notes fidelity saturates in trials (Fig. 7), so exact mode is the
+deterministic, fast stand-in used by most benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.cpm_compile import compile_cpm
+from repro.compiler.transpile import ExecutableCircuit, transpile
+from repro.core.pmf import PMF, Marginal
+from repro.core.reconstruction import (
+    DEFAULT_MAX_ROUNDS,
+    DEFAULT_TOLERANCE,
+    bayesian_reconstruction,
+)
+from repro.core.subsets import (
+    random_subsets,
+    sliding_window_subsets,
+    validate_subsets,
+)
+from repro.devices.device import Device
+from repro.exceptions import ReconstructionError
+from repro.noise.model import NoiseModel
+from repro.noise.sampler import NoisySampler
+from repro.sim.statevector import StatevectorSimulator
+from repro.utils.random import SeedLike, as_generator, spawn
+
+__all__ = ["JigSawConfig", "JigSawResult", "JigSaw", "measured_positions_map"]
+
+
+def measured_positions_map(circuit: QuantumCircuit) -> Dict[int, int]:
+    """Validated qubit -> clbit map for a JigSaw-eligible program.
+
+    JigSaw requires the measurement map to be monotone (ascending qubits
+    measure into ascending clbits) so that subset positions in the global
+    outcome string line up with CPM outcome bits.  Every benchmark in the
+    paper satisfies this; a violation raises.
+    """
+    meas_map = circuit.measurement_map
+    if len(meas_map) < 2:
+        raise ReconstructionError("JigSaw needs a program measuring >= 2 qubits")
+    ordered = sorted(meas_map.items())
+    clbits = [c for _, c in ordered]
+    if clbits != sorted(clbits):
+        raise ReconstructionError(
+            "JigSaw requires ascending qubits to measure into ascending clbits"
+        )
+    return meas_map
+
+
+@dataclass
+class JigSawConfig:
+    """Tunable knobs of the JigSaw pipeline (defaults follow the paper)."""
+
+    #: Number of qubits each CPM measures.  2 is the smallest subset that
+    #: still captures correlation (§4.2.1).
+    subset_size: int = 2
+    #: "sliding" (default) or "random" subset generation.
+    subset_method: str = "sliding"
+    #: Number of subsets for the random method (defaults to #measured bits).
+    num_subsets: Optional[int] = None
+    #: Recompile each CPM for readout fidelity (§4.2.2); disable to get the
+    #: "JigSaw w/o recompilation" ablation of Fig. 11.
+    recompile_cpms: bool = True
+    #: Fraction of trials spent in global mode (§5.4 uses an even split).
+    global_fraction: float = 0.5
+    #: Transpiler candidates for the global compilation.
+    compile_attempts: int = 4
+    #: Transpiler candidates per CPM recompilation.
+    cpm_attempts: int = 3
+    #: Readout-error percentile above which qubits count as vulnerable.
+    vulnerable_percentile: float = 75.0
+    #: Reconstruction convergence tolerance (Hellinger distance).
+    tolerance: float = DEFAULT_TOLERANCE
+    #: Reconstruction round cap.
+    max_rounds: int = DEFAULT_MAX_ROUNDS
+    #: Use closed-form noisy distributions instead of sampling trials.
+    exact: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.global_fraction < 1.0:
+            raise ReconstructionError("global_fraction must be in (0, 1)")
+        if self.subset_method not in {"sliding", "random"}:
+            raise ReconstructionError(
+                f"unknown subset method: {self.subset_method!r}"
+            )
+
+
+@dataclass
+class JigSawResult:
+    """Everything produced by one JigSaw execution."""
+
+    output_pmf: PMF
+    global_pmf: PMF
+    marginals: List[Marginal]
+    subsets: List[Tuple[int, ...]]
+    global_executable: ExecutableCircuit
+    cpm_executables: List[ExecutableCircuit]
+    global_trials: int
+    trials_per_cpm: int
+
+    @property
+    def total_trials(self) -> int:
+        return self.global_trials + self.trials_per_cpm * len(self.cpm_executables)
+
+
+class JigSaw:
+    """JigSaw runner bound to one device (paper §4, Fig. 4)."""
+
+    def __init__(
+        self,
+        device: Device,
+        config: Optional[JigSawConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.device = device
+        self.config = config or JigSawConfig()
+        self._rng = as_generator(seed)
+        self.noise_model = NoiseModel.from_device(device)
+        self.sampler = NoisySampler(self.noise_model, seed=spawn(self._rng, 1)[0])
+
+    # ------------------------------------------------------------------
+    # Planning helpers
+    # ------------------------------------------------------------------
+
+    def generate_subsets(
+        self, circuit: QuantumCircuit, subsets: Optional[Sequence[Sequence[int]]] = None
+    ) -> List[Tuple[int, ...]]:
+        """Subsets of *outcome-bit positions* to be measured by CPMs."""
+        num_bits = len(measured_positions_map(circuit))
+        if subsets is not None:
+            return validate_subsets(subsets, num_bits)
+        size = min(self.config.subset_size, num_bits)
+        if self.config.subset_method == "sliding":
+            return sliding_window_subsets(num_bits, size)
+        count = self.config.num_subsets or num_bits
+        return random_subsets(
+            num_bits, size, count, ensure_coverage=True, seed=self._rng
+        )
+
+    def split_trials(self, total_trials: int, num_cpms: int) -> Tuple[int, int]:
+        """(global trials, trials per CPM) under the configured split."""
+        if total_trials < 2 * (num_cpms + 1):
+            raise ReconstructionError(
+                f"{total_trials} trials are too few for {num_cpms} CPMs"
+            )
+        global_trials = int(round(total_trials * self.config.global_fraction))
+        per_cpm = (total_trials - global_trials) // num_cpms
+        return global_trials, per_cpm
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def compile_global(self, circuit: QuantumCircuit) -> ExecutableCircuit:
+        """Noise-aware baseline compilation of the full program (§4.1)."""
+        return transpile(
+            circuit,
+            self.device,
+            seed=spawn(self._rng, 1)[0],
+            attempts=self.config.compile_attempts,
+        )
+
+    def build_cpm_circuit(
+        self, circuit: QuantumCircuit, subset: Sequence[int]
+    ) -> QuantumCircuit:
+        """CPM measuring the program qubits behind outcome positions ``subset``."""
+        meas_map = measured_positions_map(circuit)
+        clbit_to_qubit = {c: q for q, c in meas_map.items()}
+        qubits = [clbit_to_qubit[c] for c in subset]
+        return circuit.with_measured_subset(qubits)
+
+    def compile_cpms(
+        self,
+        circuit: QuantumCircuit,
+        subsets: Sequence[Tuple[int, ...]],
+        global_executable: ExecutableCircuit,
+    ) -> List[ExecutableCircuit]:
+        """Compile every CPM (recompiled or reusing the global mapping)."""
+        seeds = spawn(self._rng, len(subsets))
+        executables = []
+        for subset, seed in zip(subsets, seeds):
+            cpm_circuit = self.build_cpm_circuit(circuit, subset)
+            executables.append(
+                compile_cpm(
+                    cpm_circuit,
+                    self.device,
+                    global_executable,
+                    recompile=self.config.recompile_cpms,
+                    attempts=self.config.cpm_attempts,
+                    vulnerable_percentile=self.config.vulnerable_percentile,
+                    seed=seed,
+                )
+            )
+        return executables
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _pmf_from_executable(
+        self, executable: ExecutableCircuit, trials: int
+    ) -> PMF:
+        if self.config.exact:
+            return PMF(self.sampler.exact_distribution(executable))
+        return PMF.from_counts(self.sampler.run(executable, trials))
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        total_trials: int = 32_768,
+        subsets: Optional[Sequence[Sequence[int]]] = None,
+        global_executable: Optional[ExecutableCircuit] = None,
+    ) -> JigSawResult:
+        """Execute the full JigSaw pipeline on ``circuit``.
+
+        ``global_executable`` lets experiments reuse one baseline
+        compilation across schemes so comparisons share a mapping.
+        """
+        chosen_subsets = self.generate_subsets(circuit, subsets)
+        if global_executable is None:
+            global_executable = self.compile_global(circuit)
+        cpm_executables = self.compile_cpms(
+            circuit, chosen_subsets, global_executable
+        )
+
+        # One statevector serves the global circuit and every CPM: their
+        # unitary bodies are identical (§4.2.1).
+        shared = StatevectorSimulator().probabilities(circuit)
+        global_executable.share_ideal_probabilities(shared)
+        for executable in cpm_executables:
+            executable.share_ideal_probabilities(shared)
+
+        global_trials, per_cpm = self.split_trials(
+            total_trials, len(cpm_executables)
+        )
+        global_pmf = self._pmf_from_executable(global_executable, global_trials)
+        marginals = [
+            Marginal(subset, self._pmf_from_executable(executable, per_cpm))
+            for subset, executable in zip(chosen_subsets, cpm_executables)
+        ]
+
+        output = bayesian_reconstruction(
+            global_pmf,
+            marginals,
+            tolerance=self.config.tolerance,
+            max_rounds=self.config.max_rounds,
+        )
+        return JigSawResult(
+            output_pmf=output,
+            global_pmf=global_pmf,
+            marginals=marginals,
+            subsets=list(chosen_subsets),
+            global_executable=global_executable,
+            cpm_executables=cpm_executables,
+            global_trials=global_trials,
+            trials_per_cpm=per_cpm,
+        )

@@ -1,0 +1,185 @@
+"""Multi-Layer JigSaw — JigSaw-M (paper §4.4).
+
+JigSaw's gains saturate once additional same-size CPMs stop adding unique
+information (§6.5).  JigSaw-M manufactures *more unique* CPMs by varying
+the subset size (2..5 by default), exploiting the fidelity/correlation
+trade-off: small CPMs read more reliably, large CPMs capture more
+correlation.
+
+Reconstruction is **ordered, largest size first** (§4.4.2): the global PMF
+is first updated with the most-correlated marginals (limiting the loss of
+global correlation), and the progressively smaller, higher-fidelity
+marginals then sharpen the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.transpile import ExecutableCircuit
+from repro.core.jigsaw import JigSaw, JigSawConfig, measured_positions_map
+from repro.core.pmf import PMF, Marginal
+from repro.core.reconstruction import bayesian_reconstruction
+from repro.core.subsets import sliding_window_subsets
+from repro.devices.device import Device
+from repro.exceptions import ReconstructionError
+from repro.sim.statevector import StatevectorSimulator
+from repro.utils.random import SeedLike
+
+__all__ = ["JigSawMConfig", "JigSawMResult", "JigSawM", "ordered_reconstruction"]
+
+
+@dataclass
+class JigSawMConfig(JigSawConfig):
+    """JigSaw-M configuration: a range of subset sizes (default 2..5)."""
+
+    min_subset_size: int = 2
+    max_subset_size: int = 5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.min_subset_size < 2:
+            raise ReconstructionError("min_subset_size must be >= 2")
+        if self.max_subset_size < self.min_subset_size:
+            raise ReconstructionError("max_subset_size < min_subset_size")
+
+    def sizes_for(self, num_outcome_bits: int) -> List[int]:
+        """Subset sizes applicable to a program with that many outcome bits.
+
+        Sizes are clipped to the program width; a size equal to the full
+        width is excluded (it would duplicate the global mode).
+        """
+        upper = min(self.max_subset_size, num_outcome_bits - 1)
+        sizes = [s for s in range(self.min_subset_size, upper + 1)]
+        if not sizes:
+            raise ReconstructionError(
+                f"no valid subset sizes for a {num_outcome_bits}-bit program"
+            )
+        return sizes
+
+
+@dataclass
+class JigSawMResult:
+    """Everything produced by one JigSaw-M execution."""
+
+    output_pmf: PMF
+    global_pmf: PMF
+    marginals_by_size: Dict[int, List[Marginal]]
+    global_executable: ExecutableCircuit
+    cpm_executables_by_size: Dict[int, List[ExecutableCircuit]]
+    global_trials: int
+    trials_per_cpm: int
+
+    @property
+    def num_cpms(self) -> int:
+        return sum(len(v) for v in self.cpm_executables_by_size.values())
+
+    @property
+    def all_marginals(self) -> List[Marginal]:
+        return [m for size in sorted(self.marginals_by_size) for m in self.marginals_by_size[size]]
+
+
+def ordered_reconstruction(
+    global_pmf: PMF,
+    marginals_by_size: Dict[int, List[Marginal]],
+    tolerance: float,
+    max_rounds: int,
+) -> PMF:
+    """Hierarchical reconstruction, largest subset size first (§4.4.2)."""
+    if not marginals_by_size:
+        raise ReconstructionError("no marginals to reconstruct from")
+    current = global_pmf
+    for size in sorted(marginals_by_size, reverse=True):
+        layer = marginals_by_size[size]
+        if not layer:
+            continue
+        current = bayesian_reconstruction(
+            current, layer, tolerance=tolerance, max_rounds=max_rounds
+        )
+    return current
+
+
+class JigSawM(JigSaw):
+    """JigSaw-M runner: multi-size CPMs with ordered reconstruction."""
+
+    def __init__(
+        self,
+        device: Device,
+        config: Optional[JigSawMConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(device, config or JigSawMConfig(), seed=seed)
+
+    # ------------------------------------------------------------------
+
+    def generate_subsets_by_size(
+        self, circuit: QuantumCircuit
+    ) -> Dict[int, List[Tuple[int, ...]]]:
+        """Sliding-window subsets for each configured size."""
+        num_bits = len(measured_positions_map(circuit))
+        config: JigSawMConfig = self.config  # type: ignore[assignment]
+        return {
+            size: sliding_window_subsets(num_bits, size)
+            for size in config.sizes_for(num_bits)
+        }
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        total_trials: int = 32_768,
+        subsets: Optional[Sequence[Sequence[int]]] = None,
+        global_executable: Optional[ExecutableCircuit] = None,
+    ) -> JigSawMResult:
+        if subsets is not None:
+            raise ReconstructionError(
+                "JigSawM generates its own multi-size subsets; "
+                "use JigSaw for explicit subsets"
+            )
+        subsets_by_size = self.generate_subsets_by_size(circuit)
+        if global_executable is None:
+            global_executable = self.compile_global(circuit)
+
+        executables_by_size: Dict[int, List[ExecutableCircuit]] = {}
+        for size, size_subsets in subsets_by_size.items():
+            executables_by_size[size] = self.compile_cpms(
+                circuit, size_subsets, global_executable
+            )
+
+        shared = StatevectorSimulator().probabilities(circuit)
+        global_executable.share_ideal_probabilities(shared)
+        for executables in executables_by_size.values():
+            for executable in executables:
+                executable.share_ideal_probabilities(shared)
+
+        num_cpms = sum(len(v) for v in executables_by_size.values())
+        global_trials, per_cpm = self.split_trials(total_trials, num_cpms)
+
+        global_pmf = self._pmf_from_executable(global_executable, global_trials)
+        marginals_by_size: Dict[int, List[Marginal]] = {}
+        for size, size_subsets in subsets_by_size.items():
+            layer = []
+            for subset, executable in zip(
+                size_subsets, executables_by_size[size]
+            ):
+                layer.append(
+                    Marginal(subset, self._pmf_from_executable(executable, per_cpm))
+                )
+            marginals_by_size[size] = layer
+
+        output = ordered_reconstruction(
+            global_pmf,
+            marginals_by_size,
+            tolerance=self.config.tolerance,
+            max_rounds=self.config.max_rounds,
+        )
+        return JigSawMResult(
+            output_pmf=output,
+            global_pmf=global_pmf,
+            marginals_by_size=marginals_by_size,
+            global_executable=global_executable,
+            cpm_executables_by_size=executables_by_size,
+            global_trials=global_trials,
+            trials_per_cpm=per_cpm,
+        )

@@ -1,0 +1,201 @@
+"""Sparse probability mass functions over measurement outcomes.
+
+A :class:`PMF` stores only *observed* (non-zero) outcomes — the key design
+decision behind JigSaw's scalability (paper §7.1): the number of entries is
+bounded by the number of trials, not by ``2**n``.
+
+A :class:`Marginal` pairs a local PMF with the global bit positions it
+covers — the paper's "marginal" object ``m = [{outcome: prob}, [i0..ik]]``
+(§4.3), produced by one Circuit with Partial Measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import PMFError
+from repro.utils.bits import extract_bits
+
+__all__ = ["PMF", "Marginal"]
+
+
+class PMF(Mapping[str, float]):
+    """An immutable sparse PMF over fixed-width bitstrings."""
+
+    __slots__ = ("_probs", "_num_bits")
+
+    def __init__(
+        self,
+        probabilities: Mapping[str, float],
+        num_bits: Optional[int] = None,
+        normalize: bool = True,
+    ) -> None:
+        if not probabilities:
+            raise PMFError("a PMF needs at least one outcome")
+        widths = {len(key) for key in probabilities}
+        if len(widths) != 1:
+            raise PMFError(f"inconsistent outcome widths: {sorted(widths)}")
+        width = widths.pop()
+        if num_bits is not None and num_bits != width:
+            raise PMFError(f"outcomes are {width}-bit but num_bits={num_bits}")
+        total = 0.0
+        cleaned: Dict[str, float] = {}
+        for key, value in probabilities.items():
+            if any(c not in "01" for c in key):
+                raise PMFError(f"not a bitstring outcome: {key!r}")
+            value = float(value)
+            if value < 0.0:
+                raise PMFError(f"negative probability for {key!r}: {value}")
+            if value > 0.0:
+                cleaned[key] = value
+                total += value
+        if not cleaned:
+            raise PMFError("all probabilities are zero")
+        if normalize:
+            cleaned = {k: v / total for k, v in cleaned.items()}
+        self._probs = cleaned
+        self._num_bits = width
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[str, int]) -> "PMF":
+        """Build a PMF from a counts histogram."""
+        return cls({k: float(v) for k, v in counts.items()})
+
+    @classmethod
+    def uniform(cls, outcomes: Iterable[str]) -> "PMF":
+        """Uniform PMF over the given outcomes."""
+        outcomes = list(outcomes)
+        return cls({key: 1.0 for key in outcomes})
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, key: str) -> float:
+        return self._probs[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._probs)
+
+    def __len__(self) -> int:
+        return len(self._probs)
+
+    def prob(self, key: str) -> float:
+        """Probability of ``key`` (0.0 when unobserved)."""
+        return self._probs.get(key, 0.0)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_bits(self) -> int:
+        return self._num_bits
+
+    @property
+    def support_size(self) -> int:
+        """Number of observed (non-zero) outcomes — the paper's εT."""
+        return len(self._probs)
+
+    def top(self, count: int = 1) -> List[Tuple[str, float]]:
+        """The ``count`` most probable outcomes, descending."""
+        ranked = sorted(self._probs.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:count]
+
+    def mode(self) -> str:
+        """The single most probable outcome."""
+        return self.top(1)[0][0]
+
+    def total(self) -> float:
+        return sum(self._probs.values())
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def normalized(self) -> "PMF":
+        return PMF(self._probs, normalize=True)
+
+    def marginal(self, positions: Sequence[int]) -> "PMF":
+        """Marginal PMF over ``positions`` (bit indices, IBM order).
+
+        This is what "deriving the marginals from the global-PMF" means in
+        the paper's §1 — the low-fidelity alternative to running a CPM.
+        """
+        positions = list(positions)
+        if not positions:
+            raise PMFError("marginal needs at least one position")
+        for pos in positions:
+            if not 0 <= pos < self._num_bits:
+                raise PMFError(f"bit position {pos} out of range")
+        if len(set(positions)) != len(positions):
+            raise PMFError("duplicate positions in marginal")
+        grouped: Dict[str, float] = {}
+        for key, value in self._probs.items():
+            sub = extract_bits(key, positions)
+            grouped[sub] = grouped.get(sub, 0.0) + value
+        return PMF(grouped, normalize=True)
+
+    def restrict(self, keys: Iterable[str]) -> "PMF":
+        """Renormalised PMF over the intersection with ``keys``."""
+        subset = {k: self._probs[k] for k in keys if k in self._probs}
+        if not subset:
+            raise PMFError("restriction has empty support")
+        return PMF(subset, normalize=True)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._probs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = ", ".join(f"{k}: {v:.4f}" for k, v in self.top(3))
+        return (
+            f"PMF(bits={self._num_bits}, support={self.support_size}, "
+            f"top=[{preview}])"
+        )
+
+
+@dataclass(frozen=True)
+class Marginal:
+    """A local PMF plus the global bit positions it describes.
+
+    ``qubits`` are positions in the global outcome string (for a fully
+    measured program the classical bit of qubit ``q`` is ``q``, so these
+    are simply the measured qubit indices).  ``pmf`` keys are IBM-order
+    bitstrings over those positions: bit ``j`` of a key is the value of the
+    ``j``-th smallest position.
+    """
+
+    qubits: Tuple[int, ...]
+    pmf: PMF
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(int(q) for q in self.qubits))
+        if len(set(ordered)) != len(ordered):
+            raise PMFError("marginal qubits must be distinct")
+        object.__setattr__(self, "qubits", ordered)
+        if self.pmf.num_bits != len(ordered):
+            raise PMFError(
+                f"marginal PMF is {self.pmf.num_bits}-bit but covers "
+                f"{len(ordered)} qubits"
+            )
+
+    @property
+    def subset_size(self) -> int:
+        return len(self.qubits)
+
+    def agrees_with(self, global_pmf: PMF) -> float:
+        """Total variation distance to the same marginal of ``global_pmf``.
+
+        Diagnostic used in tests: a perfect global PMF has TVD 0 against
+        every exact marginal.
+        """
+        derived = global_pmf.marginal(self.qubits)
+        keys = set(self.pmf) | set(derived)
+        return 0.5 * sum(
+            abs(self.pmf.prob(k) - derived.prob(k)) for k in keys
+        )

@@ -1,0 +1,147 @@
+"""Analytical scalability model of the reconstruction step (paper §7).
+
+JigSaw stores only observed PMF entries, so both memory and work are
+bounded by the number of trials, not by ``2**n``:
+
+* **Memory** (Eq. 5): ``{n + 8(2 + N)} * eps * T  +  sum_s L_s (s + 8) N``
+  bytes, where ``N`` is the number of CPMs per size, ``eps*T`` the
+  observed global-PMF entries, and ``L_s = min(2**s, delta*T)`` the
+  local-PMF entries at subset size ``s``.
+* **Operations** (§7.3): ``4 * eps * S * N * T`` — obtaining update
+  coefficients costs ``eps*T`` and the update ``3*eps*T`` per marginal.
+
+:func:`table7_rows` evaluates the model at the paper's Table 7 operating
+points (JigSaw: one size s=5; JigSaw-M: sizes 5, 10, 15, 20; N = n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ReproError
+
+__all__ = ["ScalabilityModel", "table7_rows", "TABLE7_OPERATING_POINTS"]
+
+_BYTES_PER_PROB = 8
+#: Table 7 reports decimal gigabytes (the n=100, eps=1, T=1024K JigSaw cell
+#: is exactly 916 * 1048576 bytes = 0.96e9).
+_GB = 1e9
+
+
+@dataclass(frozen=True)
+class ScalabilityModel:
+    """Inputs of the §7 analytical model.
+
+    Attributes:
+        num_qubits: program size ``n`` (bits per global outcome).
+        num_cpms: CPMs per subset size, ``N`` (default design: ``N = n``).
+        subset_sizes: the sizes used (JigSaw: one; JigSaw-M: several).
+        epsilon: observed fraction of trials that are distinct global
+            outcomes (Fig. 13 measures eps ~ 0.05 on real hardware).
+        delta: same fraction for local PMFs.
+        trials: trials ``T`` per mode.
+    """
+
+    num_qubits: int
+    num_cpms: int
+    subset_sizes: Tuple[int, ...]
+    epsilon: float
+    delta: float
+    trials: int
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 1 or self.num_cpms < 1 or self.trials < 1:
+            raise ReproError("model parameters must be positive")
+        if not 0.0 < self.epsilon <= 1.0 or not 0.0 < self.delta <= 1.0:
+            raise ReproError("epsilon and delta must lie in (0, 1]")
+        if not self.subset_sizes:
+            raise ReproError("at least one subset size is required")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_sizes(self) -> int:
+        """``S`` in the paper's notation."""
+        return len(self.subset_sizes)
+
+    def global_entries(self) -> int:
+        """Observed global-PMF entries, ``eps * T``."""
+        return int(self.epsilon * self.trials)
+
+    def local_entries(self, subset_size: int) -> int:
+        """Local-PMF entries at one size: ``min(2**s, delta * T)``."""
+        return int(min(float(1 << subset_size), self.delta * self.trials))
+
+    def memory_bytes(self) -> int:
+        """Equation 5: global + intermediate + output + local PMFs."""
+        n, big_n = self.num_qubits, self.num_cpms
+        global_term = (n + _BYTES_PER_PROB * (2 + big_n)) * self.global_entries()
+        local_term = sum(
+            self.local_entries(s) * (s + _BYTES_PER_PROB) * big_n
+            for s in self.subset_sizes
+        )
+        return int(global_term + local_term)
+
+    def memory_gb(self) -> float:
+        return self.memory_bytes() / _GB
+
+    def operations(self) -> int:
+        """§7.3: ``4 * eps * S * N * T`` update operations."""
+        return int(
+            4 * self.epsilon * self.num_sizes * self.num_cpms * self.trials
+        )
+
+    def operations_millions(self) -> float:
+        return self.operations() / 1e6
+
+
+#: The (n, eps=delta, T) grid of the paper's Table 7.
+TABLE7_OPERATING_POINTS: Tuple[Tuple[int, float, int], ...] = (
+    (100, 0.05, 32 * 1024),
+    (100, 0.05, 1024 * 1024),
+    (100, 1.0, 32 * 1024),
+    (100, 1.0, 1024 * 1024),
+    (500, 0.05, 32 * 1024),
+    (500, 0.05, 1024 * 1024),
+    (500, 1.0, 32 * 1024),
+    (500, 1.0, 1024 * 1024),
+)
+
+#: Table 7 assumes JigSaw uses CPMs of size 5 and JigSaw-M sizes 5..20.
+_JIGSAW_SIZES = (5,)
+_JIGSAWM_SIZES = (5, 10, 15, 20)
+
+
+def table7_rows() -> List[Dict[str, float]]:
+    """Evaluate the model at every Table 7 operating point."""
+    rows: List[Dict[str, float]] = []
+    for n, eps, trials in TABLE7_OPERATING_POINTS:
+        jig = ScalabilityModel(
+            num_qubits=n,
+            num_cpms=n,
+            subset_sizes=_JIGSAW_SIZES,
+            epsilon=eps,
+            delta=eps,
+            trials=trials,
+        )
+        jig_m = ScalabilityModel(
+            num_qubits=n,
+            num_cpms=n,
+            subset_sizes=_JIGSAWM_SIZES,
+            epsilon=eps,
+            delta=eps,
+            trials=trials,
+        )
+        rows.append(
+            {
+                "qubits": n,
+                "epsilon": eps,
+                "trials": trials,
+                "jigsaw_memory_gb": jig.memory_gb(),
+                "jigsaw_ops_millions": jig.operations_millions(),
+                "jigsawm_memory_gb": jig_m.memory_gb(),
+                "jigsawm_ops_millions": jig_m.operations_millions(),
+            }
+        )
+    return rows

@@ -1,0 +1,126 @@
+"""Qubit-subset generation for Circuits with Partial Measurements.
+
+The default policy is the paper's sliding window (§4.2.1): an N-qubit
+program yields N subsets of the chosen size, wrapping around, so every
+qubit is covered ``size`` times.  Random selection (with or without the
+coverage guarantee) reproduces the §6.5 sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Sequence, Set, Tuple
+
+from repro.exceptions import ReconstructionError
+from repro.utils.random import SeedLike, as_generator
+
+__all__ = [
+    "sliding_window_subsets",
+    "random_subsets",
+    "all_pair_subsets",
+    "validate_subsets",
+]
+
+
+def _check_size(num_qubits: int, size: int) -> None:
+    if num_qubits < 2:
+        raise ReconstructionError("subsetting needs at least two program qubits")
+    if size < 2:
+        raise ReconstructionError(
+            "subset size must be >= 2: measuring one qubit captures zero "
+            "correlation (paper §4.2.1)"
+        )
+    if size > num_qubits:
+        raise ReconstructionError(
+            f"subset size {size} exceeds program size {num_qubits}"
+        )
+
+
+def sliding_window_subsets(num_qubits: int, size: int = 2) -> List[Tuple[int, ...]]:
+    """The paper's default: N wrap-around windows of ``size`` qubits.
+
+    For a 4-qubit program at size 2 this yields (0,1), (1,2), (2,3), (0,3)
+    — exactly the example in §4.2.1.  Duplicate windows (which appear when
+    ``size == num_qubits``) are removed.
+    """
+    _check_size(num_qubits, size)
+    seen: Set[Tuple[int, ...]] = set()
+    subsets: List[Tuple[int, ...]] = []
+    for start in range(num_qubits):
+        window = tuple(sorted((start + offset) % num_qubits for offset in range(size)))
+        if window not in seen:
+            seen.add(window)
+            subsets.append(window)
+    return subsets
+
+
+def random_subsets(
+    num_qubits: int,
+    size: int,
+    count: int,
+    ensure_coverage: bool = True,
+    seed: SeedLike = None,
+) -> List[Tuple[int, ...]]:
+    """``count`` distinct random subsets of ``size`` qubits.
+
+    With ``ensure_coverage`` every program qubit appears in at least one
+    subset when ``count * size >= num_qubits`` — the constraint the paper
+    applies in the §6.5 selection-method study.
+    """
+    _check_size(num_qubits, size)
+    max_subsets = _num_combinations(num_qubits, size)
+    if count < 1:
+        raise ReconstructionError("count must be >= 1")
+    if count > max_subsets:
+        raise ReconstructionError(
+            f"only {max_subsets} distinct subsets of size {size} exist"
+        )
+    rng = as_generator(seed)
+
+    for _ in range(10_000):
+        chosen: Set[Tuple[int, ...]] = set()
+        while len(chosen) < count:
+            subset = tuple(sorted(rng.choice(num_qubits, size=size, replace=False)))
+            chosen.add(subset)
+        subsets = sorted(chosen)
+        covered = {q for subset in subsets for q in subset}
+        if not ensure_coverage or len(covered) == num_qubits:
+            return subsets
+        if count * size < num_qubits:
+            raise ReconstructionError(
+                f"{count} subsets of size {size} cannot cover {num_qubits} qubits"
+            )
+    raise ReconstructionError("failed to draw a covering subset family")
+
+
+def all_pair_subsets(num_qubits: int) -> List[Tuple[int, ...]]:
+    """All N-choose-2 qubit pairs (the §6.5 exhaustive pool)."""
+    _check_size(num_qubits, 2)
+    return [tuple(pair) for pair in combinations(range(num_qubits), 2)]
+
+
+def validate_subsets(
+    subsets: Sequence[Sequence[int]], num_qubits: int
+) -> List[Tuple[int, ...]]:
+    """Normalise and validate externally supplied subsets."""
+    result: List[Tuple[int, ...]] = []
+    for subset in subsets:
+        ordered = tuple(sorted(int(q) for q in subset))
+        if len(set(ordered)) != len(ordered):
+            raise ReconstructionError(f"duplicate qubits in subset {subset}")
+        if not ordered:
+            raise ReconstructionError("empty subset")
+        if ordered[0] < 0 or ordered[-1] >= num_qubits:
+            raise ReconstructionError(
+                f"subset {subset} out of range for {num_qubits} qubits"
+            )
+        result.append(ordered)
+    if not result:
+        raise ReconstructionError("no subsets supplied")
+    return result
+
+
+def _num_combinations(n: int, k: int) -> int:
+    from math import comb
+
+    return comb(n, k)

@@ -1,0 +1,103 @@
+"""Trial-budget planning (paper Appendix A.2).
+
+For a CPM measuring ``s`` qubits there are ``N = 2**s`` possible outcomes.
+Assuming the worst case — a uniform output distribution — the number of
+trials needed to observe *every* outcome at least once with confidence
+``P`` is ``t = -ln(1 - P) * N**2`` (coupon-collector style bound used by
+the paper).  The default JigSaw CPM (s=2) needs only ~150 trials at
+99.99 % confidence, which is why splitting the subset-mode budget across
+many CPMs is harmless.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ReconstructionError
+
+__all__ = [
+    "trials_for_outcome",
+    "trials_to_observe_all",
+    "cpm_trial_estimate",
+    "plan_trial_budget",
+]
+
+
+def _check_confidence(confidence: float) -> None:
+    if not 0.0 < confidence < 1.0:
+        raise ReconstructionError("confidence must lie strictly in (0, 1)")
+
+
+def trials_for_outcome(num_outcomes: int, confidence: float) -> int:
+    """Trials so one *specific* equally likely outcome appears once.
+
+    Inverts ``P = 1 - (1 - 1/N)**t`` via the exponential approximation
+    ``t = -ln(1 - P) * N`` (paper Eq. 8).
+    """
+    _check_confidence(confidence)
+    if num_outcomes < 1:
+        raise ReconstructionError("num_outcomes must be positive")
+    return max(1, math.ceil(-math.log(1.0 - confidence) * num_outcomes))
+
+
+def trials_to_observe_all(num_outcomes: int, confidence: float) -> int:
+    """Trials so *every* equally likely outcome appears at least once.
+
+    Paper Eq. 9: ``t = -ln(1 - P) * N**2`` (union-bound over outcomes).
+    """
+    _check_confidence(confidence)
+    if num_outcomes < 1:
+        raise ReconstructionError("num_outcomes must be positive")
+    return max(1, math.ceil(-math.log(1.0 - confidence) * num_outcomes ** 2))
+
+
+def cpm_trial_estimate(subset_size: int, confidence: float = 0.9999) -> int:
+    """Trials a CPM of ``subset_size`` measured qubits needs (Appendix A.2).
+
+    The default JigSaw design (s=2, 99.99 %) lands near 150 trials.
+    """
+    if subset_size < 1:
+        raise ReconstructionError("subset_size must be >= 1")
+    return trials_to_observe_all(1 << subset_size, confidence)
+
+
+def plan_trial_budget(
+    total_trials: int,
+    subset_sizes: Sequence[int],
+    num_cpms_per_size: Sequence[int],
+    global_fraction: float = 0.5,
+    confidence: float = 0.9999,
+) -> Dict[str, object]:
+    """Split a trial budget and check each CPM gets enough trials.
+
+    Returns a plan dict with the global/per-CPM allocation plus, per size,
+    the Appendix A.2 minimum and whether the allocation satisfies it.
+    """
+    if len(subset_sizes) != len(num_cpms_per_size):
+        raise ReconstructionError("sizes and counts must align")
+    if not 0.0 < global_fraction < 1.0:
+        raise ReconstructionError("global_fraction must be in (0, 1)")
+    total_cpms = sum(num_cpms_per_size)
+    if total_cpms < 1:
+        raise ReconstructionError("need at least one CPM")
+    global_trials = int(round(total_trials * global_fraction))
+    per_cpm = (total_trials - global_trials) // total_cpms
+    layers: List[Dict[str, object]] = []
+    for size, count in zip(subset_sizes, num_cpms_per_size):
+        needed = cpm_trial_estimate(size, confidence)
+        layers.append(
+            {
+                "subset_size": size,
+                "num_cpms": count,
+                "trials_per_cpm": per_cpm,
+                "min_trials_needed": needed,
+                "sufficient": per_cpm >= needed,
+            }
+        )
+    return {
+        "total_trials": total_trials,
+        "global_trials": global_trials,
+        "trials_per_cpm": per_cpm,
+        "layers": layers,
+    }

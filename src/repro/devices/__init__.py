@@ -1,0 +1,39 @@
+"""Device models: coupling topologies, calibrations, and the device library."""
+
+from repro.devices.calibration import Calibration, ReadoutStats, synthesize_calibration
+from repro.devices.device import Device
+from repro.devices.library import (
+    google_sycamore,
+    ibmq_manhattan,
+    ibmq_paris,
+    ibmq_toronto,
+)
+from repro.devices.topology import (
+    falcon27,
+    grid_topology,
+    heavy_hex_topology,
+    hummingbird65,
+    line_topology,
+    ring_topology,
+    sycamore_grid,
+    validate_topology,
+)
+
+__all__ = [
+    "Calibration",
+    "ReadoutStats",
+    "synthesize_calibration",
+    "Device",
+    "ibmq_toronto",
+    "ibmq_paris",
+    "ibmq_manhattan",
+    "google_sycamore",
+    "falcon27",
+    "hummingbird65",
+    "sycamore_grid",
+    "line_topology",
+    "ring_topology",
+    "grid_topology",
+    "heavy_hex_topology",
+    "validate_topology",
+]

@@ -1,0 +1,115 @@
+"""Factory functions for the devices the paper evaluates on.
+
+Each factory builds a :class:`~repro.devices.device.Device` whose coupling
+map matches the real machine and whose synthetic calibration reproduces the
+readout-error statistics the paper reports:
+
+* **IBMQ-Toronto** (27q): mean 4.70 %, median 2.76 %, min 0.85 %, max 22.2 %
+  (paper Fig. 3).
+* **IBMQ-Paris** (27q): Falcon-generation device of the same family; the
+  paper quotes IBMQ median rates of ~2.7 % and worst cases >20 %.
+* **IBMQ-Manhattan** (65q): asymmetric misassignment — average P(0->1) 2.3 %,
+  P(1->0) 3.6 % (paper §8).
+* **Google-Sycamore** (53q): isolated readout min 2.60 %, avg 6.14 %,
+  median 5.70 %, max 11.7 % (paper Table 1); crosstalk coefficients chosen
+  so *simultaneous* readout of the full chip lands near the Table 1
+  simultaneous row (avg 7.73 %, max 20.9 %).
+
+Default seeds are fixed so the library is reproducible out of the box;
+passing a different ``seed`` yields a fresh calibration draw with the same
+summary statistics (used in robustness tests).
+"""
+
+from __future__ import annotations
+
+from repro.devices.calibration import synthesize_calibration
+from repro.devices.device import Device
+from repro.devices.topology import falcon27, hummingbird65, sycamore_grid
+from repro.utils.random import SeedLike
+
+__all__ = ["ibmq_toronto", "ibmq_paris", "ibmq_manhattan", "google_sycamore"]
+
+
+def ibmq_toronto(seed: SeedLike = 27001) -> Device:
+    """27-qubit Falcon device with Toronto's readout-error statistics."""
+    graph = falcon27()
+    calibration = synthesize_calibration(
+        graph,
+        readout_median=0.0276,
+        readout_mean=0.0470,
+        readout_min=0.0085,
+        readout_max=0.222,
+        asymmetry=1.45,
+        crosstalk_median=0.0038,
+        crosstalk_max=0.0100,
+        gate_error_2q_median=0.011,
+        gate_error_2q_max=0.05,
+        seed=seed,
+    )
+    return Device("ibmq_toronto", graph, calibration)
+
+
+def ibmq_paris(seed: SeedLike = 27002) -> Device:
+    """27-qubit Falcon device with Paris-like readout-error statistics."""
+    graph = falcon27()
+    calibration = synthesize_calibration(
+        graph,
+        readout_median=0.0252,
+        readout_mean=0.0415,
+        readout_min=0.0092,
+        readout_max=0.185,
+        asymmetry=1.35,
+        crosstalk_median=0.0042,
+        crosstalk_max=0.0110,
+        gate_error_2q_median=0.010,
+        gate_error_2q_max=0.05,
+        seed=seed,
+    )
+    return Device("ibmq_paris", graph, calibration)
+
+
+def ibmq_manhattan(seed: SeedLike = 65001) -> Device:
+    """65-qubit Hummingbird device with Manhattan-like statistics.
+
+    Manhattan's average asymmetric rates are P(0 read as 1)=2.3 % and
+    P(1 read as 0)=3.6 % (paper §8), i.e. a mean symmetric error near 2.95 %
+    with asymmetry ratio ~1.57.
+    """
+    graph = hummingbird65()
+    calibration = synthesize_calibration(
+        graph,
+        readout_median=0.0215,
+        readout_mean=0.0295,
+        readout_min=0.0075,
+        readout_max=0.145,
+        asymmetry=1.57,
+        crosstalk_median=0.0030,
+        crosstalk_max=0.0085,
+        gate_error_2q_median=0.013,
+        gate_error_2q_max=0.06,
+        seed=seed,
+    )
+    return Device("ibmq_manhattan", graph, calibration)
+
+
+def google_sycamore(seed: SeedLike = 53001) -> Device:
+    """53-qubit Sycamore-like device reproducing Table 1 readout statistics.
+
+    Crosstalk coefficients are scaled so that measuring all 53 qubits at
+    once raises the average error by ~1.6 percentage points and the maximum
+    into the ~21 % regime, matching the Table 1 "Simultaneous" row.
+    """
+    graph = sycamore_grid()
+    calibration = synthesize_calibration(
+        graph,
+        readout_median=0.0570,
+        readout_mean=0.0614,
+        readout_min=0.0260,
+        readout_max=0.117,
+        asymmetry=1.30,
+        crosstalk_median=0.00024,
+        crosstalk_max=0.0019,
+        crosstalk_rank_correlation=0.95,
+        seed=seed,
+    )
+    return Device("google_sycamore", graph, calibration)

@@ -1,0 +1,248 @@
+"""Main results sweep: Figure 8, Table 3, Table 4 (and Fig. 11's columns).
+
+One sweep runs Baseline / EDM / JigSaw / JigSaw (no recompilation) /
+JigSaw-M on every (device, workload) pair and records all four figures of
+merit, from which the paper's Figure 8 (relative PST), Table 3 (relative
+IST) and Table 4 (relative fidelity) are projected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.devices.device import Device
+from repro.devices.library import ibmq_manhattan, ibmq_paris, ibmq_toronto
+from repro.experiments.render import format_table
+from repro.experiments.runner import Metrics, SchemeRunner, geometric_mean
+from repro.metrics.success import relative
+from repro.utils.random import SeedLike
+from repro.workloads.suite import paper_suite
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "MainResultRow",
+    "run_main_results",
+    "figure8_rows",
+    "figure8_text",
+    "relative_stats_table",
+    "table3_text",
+    "table4_text",
+    "figure11_rows",
+    "figure11_text",
+    "default_devices",
+]
+
+
+def default_devices(seed_offset: int = 0) -> List[Device]:
+    """The paper's three machines."""
+    return [
+        ibmq_toronto(27001 + seed_offset),
+        ibmq_paris(27002 + seed_offset),
+        ibmq_manhattan(65001 + seed_offset),
+    ]
+
+
+@dataclass
+class MainResultRow:
+    """All scheme metrics for one (device, workload) pair."""
+
+    device: str
+    workload: str
+    baseline: Metrics
+    edm: Metrics
+    jigsaw: Metrics
+    jigsaw_nr: Metrics
+    jigsaw_m: Metrics
+
+    def scheme_metrics(self, scheme: str) -> Metrics:
+        return getattr(self, scheme)
+
+    def relative_pst(self, scheme: str) -> float:
+        return relative(self.scheme_metrics(scheme).pst, self.baseline.pst)
+
+    def relative_ist(self, scheme: str) -> float:
+        return relative(self.scheme_metrics(scheme).ist, self.baseline.ist)
+
+    def relative_fidelity(self, scheme: str) -> float:
+        return relative(
+            self.scheme_metrics(scheme).fidelity, self.baseline.fidelity
+        )
+
+
+def run_main_results(
+    devices: Optional[Sequence[Device]] = None,
+    workloads: Optional[Sequence[Workload]] = None,
+    seed: SeedLike = 0,
+    total_trials: int = 32_768,
+    exact: bool = True,
+    include_no_recompile: bool = True,
+) -> List[MainResultRow]:
+    """Run the main comparison on every (device, workload) pair."""
+    devices = list(devices) if devices is not None else default_devices()
+    workloads = list(workloads) if workloads is not None else paper_suite()
+    rows: List[MainResultRow] = []
+    for device in devices:
+        runner = SchemeRunner(
+            device, seed=seed, total_trials=total_trials, exact=exact
+        )
+        for workload in workloads:
+            baseline_pmf = runner.run_baseline(workload)
+            edm_pmf = runner.run_edm(workload)
+            jigsaw_pmf = runner.run_jigsaw(workload).output_pmf
+            if include_no_recompile:
+                jigsaw_nr_pmf = runner.run_jigsaw(
+                    workload, recompile=False
+                ).output_pmf
+            else:
+                jigsaw_nr_pmf = jigsaw_pmf
+            jigsaw_m_pmf = runner.run_jigsaw_m(workload).output_pmf
+            rows.append(
+                MainResultRow(
+                    device=device.name,
+                    workload=workload.name,
+                    baseline=runner.evaluate(workload, baseline_pmf),
+                    edm=runner.evaluate(workload, edm_pmf),
+                    jigsaw=runner.evaluate(workload, jigsaw_pmf),
+                    jigsaw_nr=runner.evaluate(workload, jigsaw_nr_pmf),
+                    jigsaw_m=runner.evaluate(workload, jigsaw_m_pmf),
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: relative PST
+# ---------------------------------------------------------------------------
+
+
+def figure8_rows(rows: Sequence[MainResultRow]) -> List[List[object]]:
+    """Figure 8 data: absolute baseline PST + relative PST per scheme."""
+    table: List[List[object]] = []
+    for row in rows:
+        table.append(
+            [
+                row.device,
+                row.workload,
+                row.baseline.pst,
+                row.relative_pst("edm"),
+                row.relative_pst("jigsaw"),
+                row.relative_pst("jigsaw_m"),
+            ]
+        )
+    # Per-device geometric means (the paper's GMean bars).
+    for device in sorted({r.device for r in rows}):
+        device_rows = [r for r in rows if r.device == device]
+        table.append(
+            [
+                device,
+                "GMean",
+                geometric_mean([r.baseline.pst for r in device_rows]),
+                geometric_mean([r.relative_pst("edm") for r in device_rows]),
+                geometric_mean([r.relative_pst("jigsaw") for r in device_rows]),
+                geometric_mean(
+                    [r.relative_pst("jigsaw_m") for r in device_rows]
+                ),
+            ]
+        )
+    return table
+
+
+def figure8_text(rows: Sequence[MainResultRow]) -> str:
+    """Render the Figure 8 relative-PST grid as a text table."""
+    return format_table(
+        ["Device", "Workload", "Base PST", "EDM", "JigSaw", "JigSaw-M"],
+        figure8_rows(rows),
+        title="Figure 8: Relative Probability of Successful Trial",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 3 & 4: relative IST / fidelity summary statistics
+# ---------------------------------------------------------------------------
+
+
+def relative_stats_table(
+    rows: Sequence[MainResultRow],
+    metric: Callable[[MainResultRow, str], float],
+    schemes: Sequence[str] = ("edm", "jigsaw", "jigsaw_m"),
+) -> List[List[object]]:
+    """Min/Max/GMean of a relative metric per device per scheme."""
+    table: List[List[object]] = []
+    for device in sorted({r.device for r in rows}):
+        device_rows = [r for r in rows if r.device == device]
+        cells: List[object] = [device]
+        for scheme in schemes:
+            values = [metric(r, scheme) for r in device_rows]
+            finite = [v for v in values if math.isfinite(v)]
+            cells.extend(
+                [min(finite), max(finite), geometric_mean(finite)]
+            )
+        table.append(cells)
+    return table
+
+
+def table3_text(rows: Sequence[MainResultRow]) -> str:
+    """Render Table 3 (relative IST statistics) as a text table."""
+    headers = ["Device"]
+    for scheme in ("EDM", "JigSaw", "JigSaw-M"):
+        headers += [f"{scheme} Min", f"{scheme} Max", f"{scheme} Avg"]
+    return format_table(
+        headers,
+        relative_stats_table(rows, MainResultRow.relative_ist),
+        title="Table 3: Inference Strength relative to Baseline",
+    )
+
+
+def table4_text(rows: Sequence[MainResultRow]) -> str:
+    """Render Table 4 (relative fidelity statistics) as a text table."""
+    headers = ["Device"]
+    for scheme in ("EDM", "JigSaw", "JigSaw-M"):
+        headers += [f"{scheme} Min", f"{scheme} Max", f"{scheme} Avg"]
+    return format_table(
+        headers,
+        relative_stats_table(rows, MainResultRow.relative_fidelity),
+        title="Table 4: Fidelity relative to Baseline",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: recompilation ablation summary
+# ---------------------------------------------------------------------------
+
+
+def figure11_rows(rows: Sequence[MainResultRow]) -> List[List[object]]:
+    """Mean relative PST per device: EDM / JigSaw-NR / JigSaw / JigSaw-M."""
+    table: List[List[object]] = []
+    for device in sorted({r.device for r in rows}):
+        device_rows = [r for r in rows if r.device == device]
+        table.append(
+            [
+                device,
+                geometric_mean([r.relative_pst("edm") for r in device_rows]),
+                geometric_mean(
+                    [r.relative_pst("jigsaw_nr") for r in device_rows]
+                ),
+                geometric_mean([r.relative_pst("jigsaw") for r in device_rows]),
+                geometric_mean(
+                    [r.relative_pst("jigsaw_m") for r in device_rows]
+                ),
+            ]
+        )
+    return table
+
+
+def figure11_text(rows: Sequence[MainResultRow]) -> str:
+    """Render the Fig. 11 recompilation-ablation summary table."""
+    return format_table(
+        [
+            "Device",
+            "EDM",
+            "JigSaw w/o Recomp",
+            "JigSaw w/ Recomp",
+            "JigSaw-M w/ Recomp",
+        ],
+        figure11_rows(rows),
+        title="Figure 11: Mean Relative PST (recompilation ablation)",
+    )

@@ -1,0 +1,87 @@
+"""Table 5: Approximation Ratio Gap for the QAOA benchmarks.
+
+ARG (%) of Baseline / EDM / JigSaw / JigSaw-M on each QAOA benchmark and
+machine; lower is better, and the paper finds JigSaw & JigSaw-M
+consistently below both baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.devices.device import Device
+from repro.experiments.render import format_table
+from repro.experiments.runner import SchemeRunner
+from repro.utils.random import SeedLike
+from repro.workloads.suite import workload_by_name
+from repro.workloads.workload import Workload
+
+__all__ = ["ArgRow", "run_table5", "table5_text", "TABLE5_WORKLOADS"]
+
+#: The QAOA benchmarks of Table 5.
+TABLE5_WORKLOADS = (
+    "QAOA-8 p1",
+    "QAOA-10 p2",
+    "QAOA-10 p4",
+    "QAOA-12 p4",
+    "QAOA-14 p2",
+)
+
+
+@dataclass
+class ArgRow:
+    """ARG (%) of every scheme for one (device, workload) pair."""
+
+    device: str
+    workload: str
+    baseline: float
+    edm: float
+    jigsaw: float
+    jigsaw_m: float
+
+
+def run_table5(
+    devices: Sequence[Device],
+    workload_names: Sequence[str] = TABLE5_WORKLOADS,
+    seed: SeedLike = 0,
+    total_trials: int = 32_768,
+    exact: bool = True,
+) -> List[ArgRow]:
+    """Compute Table 5 rows for the given devices."""
+    rows: List[ArgRow] = []
+    for device in devices:
+        runner = SchemeRunner(
+            device, seed=seed, total_trials=total_trials, exact=exact
+        )
+        for name in workload_names:
+            workload = workload_by_name(name)
+            metrics = {
+                scheme: runner.evaluate(
+                    workload, runner.run_scheme(scheme, workload)
+                )
+                for scheme in ("baseline", "edm", "jigsaw", "jigsaw_m")
+            }
+            rows.append(
+                ArgRow(
+                    device=device.name,
+                    workload=name,
+                    baseline=metrics["baseline"].arg,
+                    edm=metrics["edm"].arg,
+                    jigsaw=metrics["jigsaw"].arg,
+                    jigsaw_m=metrics["jigsaw_m"].arg,
+                )
+            )
+    return rows
+
+
+def table5_text(rows: Sequence[ArgRow]) -> str:
+    return format_table(
+        ["Device", "Workload", "Baseline", "EDM", "JigSaw", "JigSaw-M"],
+        [
+            [r.device, r.workload, r.baseline, r.edm, r.jigsaw, r.jigsaw_m]
+            for r in rows
+        ],
+        title="Table 5: Approximation Ratio Gap (%) — lower is better",
+        float_format="{:.2f}",
+    )

@@ -1,0 +1,145 @@
+"""Scalability measurements: Table 6 and Figure 13 (paper §7.1).
+
+* **Table 6** — a Graycode-18 run has 2**18 = 256K possible outcomes but
+  only ~17-18K are ever observed in 512K trials: the observed fraction
+  (6-7 %) is what bounds JigSaw's post-processing cost.
+* **Figure 13** — the number of observed global-PMF entries and the
+  fraction ``epsilon = entries / trials`` as trials grow: entries grow
+  sub-linearly and epsilon falls, so storage stays far below both ``2**n``
+  and ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.devices.device import Device
+from repro.devices.library import ibmq_manhattan, ibmq_paris, ibmq_toronto
+from repro.experiments.render import format_table
+from repro.experiments.runner import SchemeRunner
+from repro.noise.model import NoiseModel
+from repro.noise.sampler import NoisySampler
+from repro.utils.random import SeedLike, as_generator
+from repro.workloads.suite import workload_by_name
+
+__all__ = [
+    "ObservedOutcomes",
+    "table6_observed_outcomes",
+    "table6_text",
+    "EpsilonPoint",
+    "figure13_epsilon_sweep",
+    "figure13_text",
+]
+
+
+@dataclass(frozen=True)
+class ObservedOutcomes:
+    """One Table 6 row: outcomes observed vs possible on a device."""
+
+    device: str
+    observed: int
+    maximum: int
+
+    @property
+    def ratio_percent(self) -> float:
+        """Observed / maximum outcomes, in percent (the Table 6 ratio)."""
+        return 100.0 * self.observed / self.maximum
+
+
+def table6_observed_outcomes(
+    devices: Optional[Sequence[Device]] = None,
+    workload_name: str = "Graycode-18",
+    trials: int = 524_288,
+    seed: SeedLike = 12,
+) -> List[ObservedOutcomes]:
+    """Observed vs possible outcomes for Graycode-18 on each machine."""
+    devices = (
+        list(devices)
+        if devices is not None
+        else [ibmq_toronto(), ibmq_paris(), ibmq_manhattan()]
+    )
+    rng = as_generator(seed)
+    rows: List[ObservedOutcomes] = []
+    workload = workload_by_name(workload_name)
+    maximum = 1 << workload.num_outcome_bits
+    for device in devices:
+        runner = SchemeRunner(device, seed=rng, exact=True)
+        executable = runner.global_executable(workload)
+        sampler = NoisySampler(NoiseModel.from_device(device), seed=rng)
+        counts = sampler.run(executable, trials)
+        rows.append(ObservedOutcomes(device.name, len(counts), maximum))
+    return rows
+
+
+def table6_text(rows: Sequence[ObservedOutcomes]) -> str:
+    """Render Table 6 as a text table."""
+    return format_table(
+        ["Device", "Observed (Obs)", "Maximum (Max)", "Ratio (Obs/Max) %"],
+        [[r.device, r.observed, r.maximum, r.ratio_percent] for r in rows],
+        title="Table 6: Observed outcomes in the Global-PMF (Graycode-18)",
+        float_format="{:.1f}",
+    )
+
+
+@dataclass(frozen=True)
+class EpsilonPoint:
+    """One Fig. 13 measurement: observed entries at a trial count."""
+
+    workload: str
+    trials: int
+    observed_entries: int
+
+    @property
+    def epsilon(self) -> float:
+        """Observed entries / trials — the paper's epsilon (S7.1)."""
+        return self.observed_entries / self.trials
+
+
+FIGURE13_WORKLOADS = ("GHZ-14", "GHZ-16", "QAOA-10 p1", "QAOA-10 p2")
+FIGURE13_TRIALS = (8_192, 65_536, 524_288, 2_097_152)
+
+
+def figure13_epsilon_sweep(
+    device: Optional[Device] = None,
+    workload_names: Sequence[str] = FIGURE13_WORKLOADS,
+    trial_ladder: Sequence[int] = FIGURE13_TRIALS,
+    seed: SeedLike = 13,
+) -> List[EpsilonPoint]:
+    """Observed global-PMF entries and epsilon at growing trial counts."""
+    device = device or ibmq_paris()
+    rng = as_generator(seed)
+    runner = SchemeRunner(device, seed=rng, exact=True)
+    sampler = NoisySampler(NoiseModel.from_device(device), seed=rng)
+    points: List[EpsilonPoint] = []
+    for name in workload_names:
+        workload = workload_by_name(name)
+        executable = runner.global_executable(workload)
+        for trials in trial_ladder:
+            counts = sampler.run(executable, trials)
+            points.append(EpsilonPoint(name, trials, len(counts)))
+    return points
+
+
+def figure13_text(points: Sequence[EpsilonPoint]) -> str:
+    """Render the Fig. 13 entries/epsilon series as a text table."""
+    trials_axis = sorted({p.trials for p in points})
+    rows = []
+    for name in sorted({p.workload for p in points}):
+        entries_row: List[object] = [name, "entries"]
+        eps_row: List[object] = [name, "epsilon"]
+        for trials in trials_axis:
+            match = [
+                p for p in points if p.workload == name and p.trials == trials
+            ]
+            entries_row.append(match[0].observed_entries if match else None)
+            eps_row.append(match[0].epsilon if match else None)
+        rows.append(entries_row)
+        rows.append(eps_row)
+    headers = ["Workload", "Series"] + [f"T={t}" for t in trials_axis]
+    return format_table(
+        headers,
+        rows,
+        title="Figure 13: Global-PMF entries and epsilon vs trials",
+        float_format="{:.4f}",
+    )

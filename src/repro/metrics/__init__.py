@@ -1,0 +1,35 @@
+"""Figures of merit: PST, IST, fidelity/TVD, Hellinger, KL, QAOA ARG."""
+
+from repro.metrics.distances import (
+    fidelity,
+    hellinger,
+    kl_divergence,
+    total_variation_distance,
+)
+from repro.metrics.qaoa_metrics import (
+    approximation_ratio,
+    approximation_ratio_gap,
+    cut_size,
+    expected_cut,
+    workload_arg,
+)
+from repro.metrics.success import (
+    inference_strength,
+    probability_of_successful_trial,
+    relative,
+)
+
+__all__ = [
+    "total_variation_distance",
+    "fidelity",
+    "hellinger",
+    "kl_divergence",
+    "probability_of_successful_trial",
+    "inference_strength",
+    "relative",
+    "cut_size",
+    "expected_cut",
+    "approximation_ratio",
+    "approximation_ratio_gap",
+    "workload_arg",
+]

@@ -1,0 +1,63 @@
+"""Distribution distances: TVD, fidelity, Hellinger, KL (paper §5.5).
+
+The paper's Equation 3 defines program fidelity as ``1 - TVD`` between the
+noise-free distribution and the measured one, with fidelity in [0, 1]; we
+use the standard normalised total variation distance
+``TVD = (1/2) * sum |P_i - Q_i|`` so that bound holds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "total_variation_distance",
+    "fidelity",
+    "hellinger",
+    "kl_divergence",
+]
+
+
+def _keys(p: Mapping[str, float], q: Mapping[str, float]):
+    return set(p) | set(q)
+
+
+def total_variation_distance(
+    p: Mapping[str, float], q: Mapping[str, float]
+) -> float:
+    """Normalised TVD in [0, 1]."""
+    return 0.5 * sum(
+        abs(p.get(key, 0.0) - q.get(key, 0.0)) for key in _keys(p, q)
+    )
+
+
+def fidelity(p: Mapping[str, float], q: Mapping[str, float]) -> float:
+    """Paper Eq. 3: ``1 - TVD``; 1 for identical distributions."""
+    return 1.0 - total_variation_distance(p, q)
+
+
+def hellinger(p: Mapping[str, float], q: Mapping[str, float]) -> float:
+    """Hellinger distance in [0, 1]."""
+    total = 0.0
+    for key in _keys(p, q):
+        diff = math.sqrt(p.get(key, 0.0)) - math.sqrt(q.get(key, 0.0))
+        total += diff * diff
+    return math.sqrt(total / 2.0)
+
+
+def kl_divergence(
+    p: Mapping[str, float], q: Mapping[str, float], epsilon: float = 1e-12
+) -> float:
+    """KL divergence D(P || Q) with epsilon-smoothing of Q's zeros."""
+    if epsilon <= 0.0:
+        raise ReproError("epsilon must be positive")
+    total = 0.0
+    for key, p_val in p.items():
+        if p_val <= 0.0:
+            continue
+        q_val = max(q.get(key, 0.0), epsilon)
+        total += p_val * math.log(p_val / q_val)
+    return total

@@ -1,0 +1,79 @@
+"""QAOA-specific figure of merit: Approximation Ratio Gap (paper §5.5).
+
+``AR = E[cut] / max_cut`` over the samples of a distribution; the
+Approximation Ratio Gap is the percentage shortfall of the measured AR
+against the noise-free AR (Eq. 4) — lower is better.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+from repro.exceptions import ReproError
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "cut_size",
+    "expected_cut",
+    "approximation_ratio",
+    "approximation_ratio_gap",
+    "workload_arg",
+]
+
+
+def cut_size(bitstring: str, edges: Sequence[Tuple[int, int]]) -> int:
+    """Cut value of a partition given as an IBM-order bitstring."""
+    n = len(bitstring)
+    total = 0
+    for a, b in edges:
+        if not (0 <= a < n and 0 <= b < n):
+            raise ReproError(f"edge ({a}, {b}) out of range for {n} bits")
+        if bitstring[n - 1 - a] != bitstring[n - 1 - b]:
+            total += 1
+    return total
+
+
+def expected_cut(
+    distribution: Mapping[str, float], edges: Sequence[Tuple[int, int]]
+) -> float:
+    """Expectation of the cut size over a distribution of bitstrings."""
+    total_mass = sum(distribution.values())
+    if total_mass <= 0.0:
+        raise ReproError("distribution has no mass")
+    return (
+        sum(
+            mass * cut_size(key, edges) for key, mass in distribution.items()
+        )
+        / total_mass
+    )
+
+
+def approximation_ratio(
+    distribution: Mapping[str, float],
+    edges: Sequence[Tuple[int, int]],
+    max_cut: float,
+) -> float:
+    """AR = mean cut over samples / optimal cut."""
+    if max_cut <= 0.0:
+        raise ReproError("max_cut must be positive")
+    return expected_cut(distribution, edges) / max_cut
+
+
+def approximation_ratio_gap(ar_ideal: float, ar_real: float) -> float:
+    """Eq. 4: ``100 * (AR_ideal - AR_real) / AR_ideal`` (percent)."""
+    if ar_ideal <= 0.0:
+        raise ReproError("ideal approximation ratio must be positive")
+    return 100.0 * (ar_ideal - ar_real) / ar_ideal
+
+
+def workload_arg(
+    workload: Workload, measured_distribution: Mapping[str, float]
+) -> float:
+    """ARG of a QAOA workload against its own ideal distribution."""
+    edges = workload.metadata.get("edges")
+    max_cut = workload.metadata.get("max_cut")
+    if edges is None or max_cut is None:
+        raise ReproError(f"{workload.name} is not a QAOA workload")
+    ar_ideal = approximation_ratio(workload.ideal_distribution(), edges, max_cut)
+    ar_real = approximation_ratio(measured_distribution, edges, max_cut)
+    return approximation_ratio_gap(ar_ideal, ar_real)

@@ -1,0 +1,56 @@
+"""Success metrics: PST and IST (paper §5.5, Eq. 1-2)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["probability_of_successful_trial", "inference_strength", "relative"]
+
+
+def probability_of_successful_trial(
+    distribution: Mapping[str, float], correct_outcomes: Sequence[str]
+) -> float:
+    """PST: probability mass on the correct outcome(s) (Eq. 1).
+
+    With a counts histogram this is exactly "trials with the correct
+    output / total trials"; pass a normalised PMF or raw counts.
+    """
+    if not correct_outcomes:
+        raise ReproError("PST needs at least one correct outcome")
+    total = sum(distribution.values())
+    if total <= 0.0:
+        raise ReproError("distribution has no mass")
+    return sum(distribution.get(key, 0.0) for key in correct_outcomes) / total
+
+
+def inference_strength(
+    distribution: Mapping[str, float], correct_outcomes: Sequence[str]
+) -> float:
+    """IST: P(correct outcome) / P(most frequent incorrect outcome) (Eq. 2).
+
+    With several correct outcomes (e.g. GHZ) the strongest correct outcome
+    is used.  Returns ``inf`` when no incorrect outcome was ever observed.
+    """
+    if not correct_outcomes:
+        raise ReproError("IST needs at least one correct outcome")
+    correct = set(correct_outcomes)
+    best_correct = max(
+        (distribution.get(key, 0.0) for key in correct), default=0.0
+    )
+    best_incorrect = max(
+        (value for key, value in distribution.items() if key not in correct),
+        default=0.0,
+    )
+    if best_incorrect <= 0.0:
+        return math.inf
+    return best_correct / best_incorrect
+
+
+def relative(value: float, baseline: float) -> float:
+    """Safe ratio ``value / baseline`` used for the paper's relative plots."""
+    if baseline <= 0.0:
+        return math.inf if value > 0.0 else 1.0
+    return value / baseline

@@ -1,0 +1,85 @@
+"""Composing JigSaw with matrix-based mitigation (paper Fig. 14).
+
+The paper shows JigSaw and IBM's MBM are complementary: MBM removes the
+average readout bias from the global PMF, JigSaw's reconstruction then
+sharpens it with the high-fidelity subset marginals.  We apply MBM to the
+global PMF *and* to each (tiny) local PMF before reconstruction, using the
+confusion matrices of the physical qubits each executable actually
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.transpile import ExecutableCircuit
+from repro.core.jigsaw import JigSawResult
+from repro.core.multilayer import JigSawMResult, ordered_reconstruction
+from repro.core.pmf import PMF, Marginal
+from repro.core.reconstruction import (
+    DEFAULT_MAX_ROUNDS,
+    DEFAULT_TOLERANCE,
+    bayesian_reconstruction,
+)
+from repro.mitigation.mbm import MAX_MBM_QUBITS, mitigate_pmf
+from repro.noise.model import NoiseModel
+
+__all__ = ["mitigate_executable_pmf", "jigsaw_with_mbm", "jigsawm_with_mbm"]
+
+
+def mitigate_executable_pmf(
+    pmf: PMF, executable: ExecutableCircuit, noise_model: NoiseModel
+) -> PMF:
+    """MBM-correct a PMF using the executable's measured physical qubits."""
+    physical = executable.measured_physical_qubits
+    confusions = noise_model.confusion_matrices(physical, len(physical))
+    return mitigate_pmf(pmf, confusions)
+
+
+def jigsaw_with_mbm(
+    result: JigSawResult,
+    noise_model: NoiseModel,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> PMF:
+    """Re-run reconstruction on MBM-corrected global and local PMFs."""
+    if result.global_pmf.num_bits > MAX_MBM_QUBITS:
+        raise ValueError(
+            f"MBM is limited to {MAX_MBM_QUBITS}-bit outputs; "
+            f"got {result.global_pmf.num_bits}"
+        )
+    global_pmf = mitigate_executable_pmf(
+        result.global_pmf, result.global_executable, noise_model
+    )
+    marginals: List[Marginal] = []
+    for marginal, executable in zip(result.marginals, result.cpm_executables):
+        corrected = mitigate_executable_pmf(marginal.pmf, executable, noise_model)
+        marginals.append(Marginal(marginal.qubits, corrected))
+    return bayesian_reconstruction(
+        global_pmf, marginals, tolerance=tolerance, max_rounds=max_rounds
+    )
+
+
+def jigsawm_with_mbm(
+    result: JigSawMResult,
+    noise_model: NoiseModel,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> PMF:
+    """JigSaw-M + MBM: MBM-corrected PMFs with ordered reconstruction."""
+    global_pmf = mitigate_executable_pmf(
+        result.global_pmf, result.global_executable, noise_model
+    )
+    corrected_by_size = {}
+    for size, marginals in result.marginals_by_size.items():
+        executables = result.cpm_executables_by_size[size]
+        layer = []
+        for marginal, executable in zip(marginals, executables):
+            corrected = mitigate_executable_pmf(
+                marginal.pmf, executable, noise_model
+            )
+            layer.append(Marginal(marginal.qubits, corrected))
+        corrected_by_size[size] = layer
+    return ordered_reconstruction(
+        global_pmf, corrected_by_size, tolerance=tolerance, max_rounds=max_rounds
+    )

@@ -1,0 +1,182 @@
+"""Fast noisy execution of compiled circuits.
+
+:class:`NoisySampler` is the stand-in for running trials on real IBMQ
+hardware.  It exploits the factorised noise model (gate depolarizing +
+independent per-qubit readout flips with crosstalk; see
+:mod:`repro.noise.model`) to sample hundreds of thousands of trials in
+milliseconds:
+
+1. the ideal outcome distribution comes from one statevector simulation of
+   the *logical* circuit (shared across the global circuit and every CPM,
+   whose unitary bodies are identical);
+2. each trial survives all gates with probability ``EPS_gates``; failed
+   trials draw a uniformly random outcome (depolarized);
+3. each measured bit is then flipped with its physical qubit's effective
+   asymmetric readout rates at the circuit's simultaneous-measurement
+   width.
+
+``exact_distribution`` evaluates the same channel in closed form (the
+"infinite shots" limit), which the experiments use for deterministic
+sweeps and the tests use to validate the sampler against the density-
+matrix oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.compiler.transpile import ExecutableCircuit
+from repro.exceptions import SimulationError
+from repro.noise.model import NoiseModel
+from repro.sim.statevector import marginal_probabilities
+from repro.utils.bits import bit_array_to_strings, indices_to_bit_array
+from repro.utils.random import SeedLike, as_generator
+
+__all__ = ["NoisySampler", "clbit_probability_vector", "apply_confusions"]
+
+
+def clbit_probability_vector(
+    probabilities: np.ndarray, meas_map: Dict[int, int], num_qubits: int
+) -> np.ndarray:
+    """Marginalise a full ``2**n`` vector onto the measured classical bits.
+
+    ``meas_map`` maps measured qubit -> clbit; clbits must form the range
+    ``0..k-1``.  The result is a ``2**k`` vector indexed by clbit encoding.
+    """
+    if not meas_map:
+        raise SimulationError("circuit has no measurements")
+    clbits = sorted(meas_map.values())
+    k = len(clbits)
+    if clbits != list(range(k)):
+        raise SimulationError("measurement clbits must form a contiguous range")
+    keep_sorted = sorted(meas_map.keys())
+    marg = marginal_probabilities(probabilities, keep_sorted, num_qubits)
+    # marg bit j corresponds to qubit keep_sorted[j]; permute onto clbits.
+    qubit_to_margbit = {q: j for j, q in enumerate(keep_sorted)}
+    perm = [0] * k
+    for qubit, clbit in meas_map.items():
+        perm[k - 1 - clbit] = k - 1 - qubit_to_margbit[qubit]
+    tensor = marg.reshape((2,) * k)
+    return np.transpose(tensor, perm).reshape(-1)
+
+
+def apply_confusions(
+    outcome_probs: np.ndarray, confusions: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Apply per-clbit 2x2 confusion matrices to a ``2**k`` distribution.
+
+    ``confusions[c]`` acts on clbit ``c``; matrices are column-stochastic
+    with ``A[observed, actual]``.
+    """
+    k = len(confusions)
+    if outcome_probs.shape != (1 << k,):
+        raise SimulationError("distribution size does not match confusion count")
+    probs = outcome_probs.reshape((2,) * k)
+    for clbit, matrix in enumerate(confusions):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (2, 2):
+            raise SimulationError("confusion matrices must be 2x2")
+        axis = k - 1 - clbit
+        probs = np.moveaxis(probs, axis, 0)
+        flat = matrix @ probs.reshape(2, -1)
+        probs = np.moveaxis(flat.reshape((2,) * k), 0, axis)
+    return probs.reshape(-1)
+
+
+class NoisySampler:
+    """Samples trials from compiled circuits under the device noise model."""
+
+    def __init__(
+        self,
+        noise_model: NoiseModel,
+        seed: SeedLike = None,
+    ) -> None:
+        self.noise_model = noise_model
+        self._rng = as_generator(seed)
+
+    # ------------------------------------------------------------------
+
+    def _measured_setup(self, executable: ExecutableCircuit):
+        meas_map = executable.logical.measurement_map
+        if not meas_map:
+            raise SimulationError("executable has no measurements")
+        k = len(meas_map)
+        ideal = clbit_probability_vector(
+            executable.ideal_probabilities(), meas_map, executable.logical.num_qubits
+        )
+        physical_by_clbit = executable.measured_physical_qubits
+        if len(physical_by_clbit) != k:
+            raise SimulationError("physical circuit measurement count mismatch")
+        return ideal, physical_by_clbit, k
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        executable: ExecutableCircuit,
+        shots: int,
+        rng: SeedLike = None,
+    ) -> Dict[str, int]:
+        """Sample ``shots`` noisy trials; returns a counts histogram."""
+        if shots <= 0:
+            raise SimulationError("shots must be positive")
+        rng = as_generator(rng) if rng is not None else self._rng
+        ideal, physical_by_clbit, k = self._measured_setup(executable)
+
+        p_fail = self.noise_model.circuit_failure_probability(executable.physical)
+        failures = rng.random(shots) < p_fail
+        outcomes = rng.choice(len(ideal), size=shots, p=ideal / ideal.sum())
+        bits = indices_to_bit_array(outcomes, k)
+        # Gate failures corrupt the outcome locally: each measured bit of a
+        # failing trial flips with the model's flip rate (see NoiseModel).
+        num_fail = int(failures.sum())
+        if num_fail:
+            flip_rate = self.noise_model.gate_failure_flip_rate
+            masks = (
+                rng.random((num_fail, k)) < flip_rate
+            ).astype(np.uint8)
+            bits[failures] ^= masks
+        p01, p10 = self.noise_model.readout_rates(physical_by_clbit, k)
+        draws = rng.random(bits.shape)
+        flip = np.where(bits == 0, draws < p01[None, :], draws < p10[None, :])
+        bits = bits ^ flip.astype(np.uint8)
+
+        counts: Dict[str, int] = {}
+        for key in bit_array_to_strings(bits):
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+
+    def exact_distribution(
+        self, executable: ExecutableCircuit, threshold: float = 0.0
+    ) -> Dict[str, float]:
+        """Closed-form noisy outcome distribution (infinite-shot limit)."""
+        ideal, physical_by_clbit, k = self._measured_setup(executable)
+        ideal = ideal / ideal.sum()
+        p_fail = self.noise_model.circuit_failure_probability(executable.physical)
+        flip_rate = self.noise_model.gate_failure_flip_rate
+        flip = np.array(
+            [[1.0 - flip_rate, flip_rate], [flip_rate, 1.0 - flip_rate]]
+        )
+        corrupted = apply_confusions(ideal, [flip] * k)
+        mixed = (1.0 - p_fail) * ideal + p_fail * corrupted
+        confusions = self.noise_model.confusion_matrices(physical_by_clbit, k)
+        noisy = apply_confusions(mixed, confusions)
+        noisy = noisy / noisy.sum()
+        out: Dict[str, float] = {}
+        for idx in np.flatnonzero(noisy > threshold):
+            key = format(int(idx), f"0{k}b")
+            out[key] = float(noisy[idx])
+        return out
+
+    def expected_counts(
+        self, executable: ExecutableCircuit, shots: int
+    ) -> Dict[str, float]:
+        """Exact distribution scaled to ``shots`` (fractional counts)."""
+        return {
+            key: probability * shots
+            for key, probability in self.exact_distribution(executable).items()
+        }

@@ -1,0 +1,23 @@
+"""Simulation engines: ideal statevector and Kraus density matrix."""
+
+from repro.sim.density_matrix import (
+    DensityMatrixSimulator,
+    depolarizing_kraus,
+    expand_operator,
+)
+from repro.sim.trajectory import PauliTrajectorySimulator
+from repro.sim.statevector import (
+    StatevectorSimulator,
+    apply_gate_to_statevector,
+    marginal_probabilities,
+)
+
+__all__ = [
+    "StatevectorSimulator",
+    "PauliTrajectorySimulator",
+    "DensityMatrixSimulator",
+    "apply_gate_to_statevector",
+    "marginal_probabilities",
+    "expand_operator",
+    "depolarizing_kraus",
+]

@@ -1,0 +1,170 @@
+"""Ideal (noise-free) statevector simulation.
+
+The statevector engine computes exact amplitudes for circuits of up to
+roughly 24 qubits, which comfortably covers the paper's largest benchmark
+(Graycode-18).  It provides:
+
+* :meth:`StatevectorSimulator.statevector` — the final state of the unitary
+  part of a circuit;
+* :meth:`StatevectorSimulator.ideal_distribution` — the exact outcome PMF
+  over the circuit's *classical* bits, i.e. the noise-free reference
+  distribution the paper uses for TVD/fidelity and to define correct
+  answers.
+
+State indexing convention: basis index ``i`` encodes qubit ``q`` as bit
+``(i >> q) & 1`` — consistent with :mod:`repro.utils.bits`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.utils.bits import index_to_bitstring
+
+__all__ = ["StatevectorSimulator", "apply_gate_to_statevector", "marginal_probabilities"]
+
+_MAX_QUBITS = 24
+
+
+def apply_gate_to_statevector(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply ``matrix`` on ``qubits`` of ``state`` and return the new state.
+
+    ``matrix`` uses the convention that the *first* qubit in ``qubits`` is
+    the most significant bit of the gate's local index (so a CX matrix with
+    control first composes as expected).
+    """
+    k = len(qubits)
+    if matrix.shape != (1 << k, 1 << k):
+        raise SimulationError(
+            f"matrix of shape {matrix.shape} does not act on {k} qubit(s)"
+        )
+    tensor = state.reshape((2,) * num_qubits)
+    # Axis for qubit q is (num_qubits - 1 - q) because axis 0 is the most
+    # significant bit of the flattened index.
+    axes = [num_qubits - 1 - q for q in qubits]
+    tensor = np.moveaxis(tensor, axes, range(k))
+    shaped = tensor.reshape(1 << k, -1)
+    shaped = matrix @ shaped
+    tensor = shaped.reshape((2,) * num_qubits)
+    tensor = np.moveaxis(tensor, range(k), axes)
+    return tensor.reshape(-1)
+
+
+def marginal_probabilities(
+    probabilities: np.ndarray, keep_qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Marginalise a ``2**n`` probability vector onto ``keep_qubits``.
+
+    The output vector indexes the kept qubits in ascending order: kept qubit
+    ``keep_qubits_sorted[j]`` becomes bit ``j`` of the marginal index.
+    """
+    keep_sorted = sorted(keep_qubits)
+    tensor = probabilities.reshape((2,) * num_qubits)
+    drop_axes = tuple(
+        num_qubits - 1 - q for q in range(num_qubits) if q not in set(keep_sorted)
+    )
+    marg = tensor.sum(axis=drop_axes) if drop_axes else tensor
+    # Remaining axes are ordered most-significant-first by original qubit
+    # index descending, which is exactly "bit j = j-th smallest kept qubit".
+    return marg.reshape(-1)
+
+
+class StatevectorSimulator:
+    """Exact statevector execution of the unitary part of a circuit."""
+
+    def __init__(self, max_qubits: int = _MAX_QUBITS) -> None:
+        self.max_qubits = max_qubits
+
+    # ------------------------------------------------------------------
+
+    def statevector(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Return the final statevector, ignoring measurements and barriers."""
+        n = circuit.num_qubits
+        if n > self.max_qubits:
+            raise SimulationError(
+                f"{n}-qubit statevector exceeds the {self.max_qubits}-qubit limit"
+            )
+        state = np.zeros(1 << n, dtype=complex)
+        state[0] = 1.0
+        for ins in circuit.instructions:
+            if not ins.is_gate:
+                continue
+            state = apply_gate_to_statevector(state, ins.gate.matrix(), ins.qubits, n)
+        return state
+
+    def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Exact probabilities over all ``2**n`` computational basis states."""
+        amplitudes = self.statevector(circuit)
+        probs = np.abs(amplitudes) ** 2
+        total = probs.sum()
+        if not np.isclose(total, 1.0, atol=1e-8):
+            raise SimulationError(f"state norm drifted to {total}")
+        return probs / total
+
+    def ideal_distribution(
+        self, circuit: QuantumCircuit, threshold: float = 1e-12
+    ) -> Dict[str, float]:
+        """Exact outcome PMF over the circuit's classical bits.
+
+        The circuit must contain measurements; the result maps IBM-order
+        bitstrings of length ``len(measured qubits)`` to probabilities.
+        Entries below ``threshold`` are dropped (they are numerical noise for
+        the structured states the benchmarks prepare).
+        """
+        meas_map = circuit.measurement_map
+        if not meas_map:
+            raise SimulationError("circuit has no measurements")
+        qubits = list(meas_map.keys())
+        clbits = [meas_map[q] for q in qubits]
+        if sorted(clbits) != list(range(len(clbits))):
+            raise SimulationError(
+                "measurement clbits must form a contiguous range 0..k-1"
+            )
+        probs = self.probabilities(circuit)
+        keep_sorted = sorted(qubits)
+        marg = marginal_probabilities(probs, keep_sorted, circuit.num_qubits)
+        # Remap marginal bit j (qubit keep_sorted[j]) onto its clbit.
+        k = len(keep_sorted)
+        qubit_to_margbit = {q: j for j, q in enumerate(keep_sorted)}
+        out: Dict[str, float] = {}
+        for idx in np.flatnonzero(marg > threshold):
+            clbit_index = 0
+            for q, c in meas_map.items():
+                bit = (int(idx) >> qubit_to_margbit[q]) & 1
+                clbit_index |= bit << c
+            key = index_to_bitstring(clbit_index, k)
+            out[key] = out.get(key, 0.0) + float(marg[idx])
+        norm = sum(out.values())
+        return {key: value / norm for key, value in out.items()}
+
+    def expectation_diagonal(
+        self, circuit: QuantumCircuit, diagonal: np.ndarray
+    ) -> float:
+        """Expectation of a diagonal observable over the final state."""
+        probs = self.probabilities(circuit)
+        diagonal = np.asarray(diagonal, dtype=float)
+        if diagonal.shape != probs.shape:
+            raise SimulationError("diagonal observable has wrong dimension")
+        return float(probs @ diagonal)
+
+    def sample(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Dict[str, int]:
+        """Sample ``shots`` noise-free outcomes from the ideal distribution."""
+        from repro.utils.random import as_generator
+
+        rng = as_generator(rng)
+        dist = self.ideal_distribution(circuit)
+        keys = list(dist.keys())
+        probs = np.array([dist[k] for k in keys])
+        draws = rng.multinomial(shots, probs / probs.sum())
+        return {k: int(c) for k, c in zip(keys, draws) if c > 0}

@@ -1,0 +1,108 @@
+"""Bitstring helpers shared across the library.
+
+Convention (matches :mod:`repro.circuits.circuit` and the paper's Figure 6):
+bitstrings are written in **IBM order** — classical bit ``c`` sits at string
+position ``n - 1 - c``, so bit 0 is the rightmost character.  An integer
+``i`` encodes bit ``c`` as ``(i >> c) & 1``; ``format(i, "0{n}b")`` therefore
+prints the string directly in IBM order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "index_to_bitstring",
+    "bitstring_to_index",
+    "extract_bits",
+    "project_bitstring",
+    "bit_positions",
+    "all_bitstrings",
+    "hamming_distance",
+    "indices_to_bit_array",
+    "bit_array_to_indices",
+    "bit_array_to_strings",
+]
+
+
+def index_to_bitstring(index: int, num_bits: int) -> str:
+    """Render integer ``index`` as an ``num_bits``-character bitstring."""
+    if index < 0 or index >= (1 << num_bits):
+        raise ValueError(f"index {index} out of range for {num_bits} bits")
+    return format(index, f"0{num_bits}b")
+
+
+def bitstring_to_index(bits: str) -> int:
+    """Parse a bitstring back to its integer encoding."""
+    if not bits or any(c not in "01" for c in bits):
+        raise ValueError(f"not a bitstring: {bits!r}")
+    return int(bits, 2)
+
+
+def bit_positions(bits: str) -> Tuple[int, ...]:
+    """Return the bit indices (IBM order) that are set in ``bits``."""
+    n = len(bits)
+    return tuple(n - 1 - i for i, c in enumerate(bits) if c == "1")
+
+
+def extract_bits(bits: str, positions: Sequence[int]) -> str:
+    """Project ``bits`` onto ``positions`` (bit indices, IBM order).
+
+    The output string lists the requested bits from the highest position to
+    the lowest, i.e. it is itself in IBM order over the sub-register.  For
+    example with ``bits="110"`` (Q2=1, Q1=1, Q0=0) and ``positions=(1, 0)``,
+    the result is ``"10"`` — exactly the marginal projection used in the
+    paper's reconstruction step (Fig. 6, step 1).
+    """
+    n = len(bits)
+    ordered = sorted(positions, reverse=True)
+    chars: List[str] = []
+    for pos in ordered:
+        if pos < 0 or pos >= n:
+            raise ValueError(f"bit position {pos} out of range for {n} bits")
+        chars.append(bits[n - 1 - pos])
+    return "".join(chars)
+
+
+def project_bitstring(bits: str, positions: Sequence[int]) -> str:
+    """Alias of :func:`extract_bits` with the paper's terminology."""
+    return extract_bits(bits, positions)
+
+
+def all_bitstrings(num_bits: int) -> List[str]:
+    """All ``2**num_bits`` bitstrings in ascending integer order."""
+    return [index_to_bitstring(i, num_bits) for i in range(1 << num_bits)]
+
+
+def hamming_distance(a: str, b: str) -> int:
+    """Number of differing positions between equal-length bitstrings."""
+    if len(a) != len(b):
+        raise ValueError("bitstrings must have equal length")
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+def indices_to_bit_array(indices: np.ndarray, num_bits: int) -> np.ndarray:
+    """Vectorised integer -> bit-matrix conversion.
+
+    Returns an array of shape ``(len(indices), num_bits)`` whose column ``c``
+    holds bit ``c`` (so column 0 is the *least* significant bit).
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    shifts = np.arange(num_bits, dtype=np.int64)
+    return ((indices[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
+
+
+def bit_array_to_indices(bits: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`indices_to_bit_array`."""
+    bits = np.asarray(bits)
+    num_bits = bits.shape[1]
+    weights = (1 << np.arange(num_bits, dtype=np.int64))
+    return bits.astype(np.int64) @ weights
+
+
+def bit_array_to_strings(bits: np.ndarray) -> List[str]:
+    """Convert a bit matrix (column ``c`` = bit ``c``) to IBM-order strings."""
+    flipped = np.asarray(bits)[:, ::-1]
+    return ["".join("1" if b else "0" for b in row) for row in flipped]

@@ -1,0 +1,71 @@
+"""Measurement-crosstalk characterisation circuits (paper Fig. 2a).
+
+An N-qubit probe circuit prepares an arbitrary product state with U3 gates
+and measures all N qubits.  The *probe qubit* (Q1 in the paper's figure)
+is mapped to the physical qubit under study; the remaining N-1 qubits are
+mapped randomly.  Sweeping N from 1 to 10 and comparing the probe qubit's
+marginal fidelity against the noise-free value reveals how simultaneous
+measurement degrades readout (Fig. 2b).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import WorkloadError
+from repro.workloads.workload import Workload
+
+__all__ = ["probe_circuit", "PROBE_STATES"]
+
+#: The four probe states of Fig. 2b as U3 Euler angles (theta, phi, lam).
+PROBE_STATES: Dict[str, Tuple[float, float, float]] = {
+    "zero": (0.0, 0.0, 0.0),                      # |0>
+    "one": (math.pi, 0.0, 0.0),                   # |1>
+    "plus": (math.pi / 2.0, 0.0, 0.0),            # (|0>+|1>)/sqrt(2)
+    "tilted": (math.pi / 3.0, math.pi / 5.0, 0.0),  # generic superposition
+}
+
+
+def probe_circuit(
+    num_measured: int,
+    probe_state: str = "one",
+    spectator_angles: Sequence[Tuple[float, float, float]] = (),
+) -> Workload:
+    """Build the Fig. 2a characterisation circuit.
+
+    Qubit 0 is the probe; qubits 1..N-1 are spectators prepared with the
+    given U3 angles (defaults to |1>, the most error-prone readout state).
+    The workload's correct outcomes are defined over the probe bit alone
+    via metadata — fidelity analysis uses the probe marginal.
+    """
+    if num_measured < 1:
+        raise WorkloadError("need at least the probe qubit")
+    if probe_state not in PROBE_STATES:
+        raise WorkloadError(
+            f"unknown probe state {probe_state!r}; options: {sorted(PROBE_STATES)}"
+        )
+    theta, phi, lam = PROBE_STATES[probe_state]
+    qc = QuantumCircuit(num_measured, name=f"probe-{probe_state}-N{num_measured}")
+    qc.u3(theta, phi, lam, 0)
+    for q in range(1, num_measured):
+        if q - 1 < len(spectator_angles):
+            s_theta, s_phi, s_lam = spectator_angles[q - 1]
+        else:
+            s_theta, s_phi, s_lam = PROBE_STATES["one"]
+        qc.u3(s_theta, s_phi, s_lam, q)
+    qc.measure_all()
+
+    # The probe's ideal marginal: P(1) = sin^2(theta/2).
+    p_one = math.sin(theta / 2.0) ** 2
+    return Workload(
+        name=qc.name,
+        circuit=qc,
+        correct_outcomes=tuple(),
+        metadata={
+            "probe_qubit": 0,
+            "probe_state": probe_state,
+            "probe_ideal_p1": p_one,
+        },
+    )

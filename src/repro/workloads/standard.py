@@ -1,0 +1,156 @@
+"""Standard NISQ benchmarks: BV, GHZ, Graycode, Ising (paper Table 2).
+
+Gate counts follow the paper's Table 2 structure:
+
+* **BV-n** — Bernstein-Vazirani over an n-bit secret (n+1 qubits with the
+  phase-kickback ancilla, n oracle CNOTs for the default all-ones secret);
+  one deterministic correct outcome: the secret itself.
+* **GHZ-n** — Greenberger-Horne-Zeilinger state; 1 Hadamard, n-1 CNOTs;
+  two correct outcomes (all zeros / all ones, 50 % each).
+* **Graycode-n** — Gray-code decoder: n/2 X gates prepare an alternating
+  Gray pattern, an (n-1)-CNOT cascade decodes it to binary; one
+  deterministic correct outcome.
+* **Ising-n** — Trotterised fully connected transverse-field Ising model:
+  two Trotter steps of all-pairs RZZ plus per-qubit rotations, giving
+  n(n-1) two-qubit gates as in Table 2; correct outcomes are the dominant
+  ideal outcomes (the two ferromagnetic states for the chosen couplings).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import WorkloadError
+from repro.sim.statevector import StatevectorSimulator
+from repro.workloads.workload import Workload
+
+__all__ = ["bv", "ghz", "graycode", "ising"]
+
+
+def bv(num_secret_bits: int, secret: Optional[str] = None) -> Workload:
+    """Bernstein-Vazirani benchmark over ``num_secret_bits`` bits.
+
+    ``secret`` is an IBM-order bitstring (rightmost char = qubit 0);
+    defaults to all ones, which matches Table 2's count of n oracle CNOTs.
+    """
+    if num_secret_bits < 1:
+        raise WorkloadError("BV needs at least one secret bit")
+    if secret is None:
+        secret = "1" * num_secret_bits
+    if len(secret) != num_secret_bits or any(c not in "01" for c in secret):
+        raise WorkloadError(f"invalid secret {secret!r}")
+
+    n = num_secret_bits
+    ancilla = n
+    qc = QuantumCircuit(n + 1, n, name=f"BV-{n}")
+    qc.x(ancilla)
+    qc.h(ancilla)
+    for q in range(n):
+        qc.h(q)
+    for q in range(n):
+        if secret[n - 1 - q] == "1":
+            qc.cx(q, ancilla)
+    for q in range(n):
+        qc.h(q)
+    for q in range(n):
+        qc.measure(q, q)
+    return Workload(
+        name=f"BV-{n}",
+        circuit=qc,
+        correct_outcomes=(secret,),
+        metadata={"secret": secret},
+    )
+
+
+def ghz(num_qubits: int) -> Workload:
+    """GHZ state benchmark: equal superposition of all-zeros and all-ones."""
+    if num_qubits < 2:
+        raise WorkloadError("GHZ needs at least two qubits")
+    qc = QuantumCircuit(num_qubits, name=f"GHZ-{num_qubits}")
+    qc.h(0)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    qc.measure_all()
+    return Workload(
+        name=f"GHZ-{num_qubits}",
+        circuit=qc,
+        correct_outcomes=("0" * num_qubits, "1" * num_qubits),
+    )
+
+
+def _gray_to_binary(gray: str) -> str:
+    """Classical Gray-code decode of an IBM-order bitstring."""
+    bits = [int(c) for c in gray]  # bits[0] is the most significant
+    binary = [bits[0]]
+    for bit in bits[1:]:
+        binary.append(binary[-1] ^ bit)
+    return "".join(str(b) for b in binary)
+
+
+def graycode(num_qubits: int) -> Workload:
+    """Gray-code decoder benchmark with a deterministic output.
+
+    Prepares the alternating Gray pattern (X on every other qubit — n/2
+    single-qubit gates) and decodes it with an (n-1)-CNOT cascade, leaving
+    the binary value on the register.
+    """
+    if num_qubits < 2:
+        raise WorkloadError("Graycode needs at least two qubits")
+    qc = QuantumCircuit(num_qubits, name=f"Graycode-{num_qubits}")
+    pattern = ["0"] * num_qubits  # IBM order: index 0 = qubit n-1
+    for q in range(1, num_qubits, 2):
+        qc.x(q)
+        pattern[num_qubits - 1 - q] = "1"
+    gray_input = "".join(pattern)
+    # Decode in place: b_i = g_i xor b_{i+1}, walking from the top bit down.
+    for q in range(num_qubits - 2, -1, -1):
+        qc.cx(q + 1, q)
+    qc.measure_all()
+    return Workload(
+        name=f"Graycode-{num_qubits}",
+        circuit=qc,
+        correct_outcomes=(_gray_to_binary(gray_input),),
+        metadata={"gray_input": gray_input},
+    )
+
+
+def ising(
+    num_qubits: int,
+    steps: int = 2,
+    coupling: float = math.pi / 4,
+    field: float = math.pi / 8,
+) -> Workload:
+    """Trotterised fully connected transverse-field Ising evolution.
+
+    Each of ``steps`` Trotter slices applies RZZ(coupling) to every qubit
+    pair and RX(field)/RZ(field) to every qubit, giving
+    ``steps * n(n-1)/2`` two-qubit gates — n(n-1) for the default two
+    steps, matching Table 2.  Correct outcomes are the ideal outcomes with
+    at least half the peak probability (the near-degenerate ground
+    states).
+    """
+    if num_qubits < 2:
+        raise WorkloadError("Ising needs at least two qubits")
+    qc = QuantumCircuit(num_qubits, name=f"Ising-{num_qubits}")
+    for _ in range(steps):
+        for a in range(num_qubits):
+            for b in range(a + 1, num_qubits):
+                qc.rzz(coupling, a, b)
+        for q in range(num_qubits):
+            qc.rx(field, q)
+            qc.rz(field, q)
+    qc.measure_all()
+
+    ideal = StatevectorSimulator().ideal_distribution(qc)
+    peak = max(ideal.values())
+    correct = tuple(
+        sorted(key for key, prob in ideal.items() if prob >= 0.5 * peak)
+    )
+    return Workload(
+        name=f"Ising-{num_qubits}",
+        circuit=qc,
+        correct_outcomes=correct,
+        metadata={"steps": steps, "coupling": coupling, "field": field},
+    )

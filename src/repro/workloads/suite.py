@@ -1,0 +1,72 @@
+"""The paper's benchmark suite (Table 2 / Figure 8 x-axis)."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.exceptions import WorkloadError
+from repro.workloads.qaoa import qaoa_maxcut
+from repro.workloads.standard import bv, ghz, graycode, ising
+from repro.workloads.workload import Workload
+
+__all__ = ["paper_suite", "small_suite", "workload_by_name", "PAPER_SUITE_NAMES"]
+
+#: The nine benchmarks of Figure 8, in the paper's order.
+PAPER_SUITE_NAMES = (
+    "BV-6",
+    "QAOA-8 p1",
+    "QAOA-10 p2",
+    "QAOA-10 p4",
+    "QAOA-12 p4",
+    "QAOA-14 p2",
+    "Ising-10",
+    "GHZ-14",
+    "Graycode-18",
+)
+
+_NAME_PATTERN = re.compile(
+    r"^(?P<family>BV|GHZ|Graycode|Ising|QAOA)-(?P<size>\d+)"
+    r"(?:\s+p(?P<depth>\d+))?$"
+)
+
+
+def workload_by_name(name: str) -> Workload:
+    """Instantiate a benchmark by its paper name.
+
+    Names follow the paper's convention: ``"BV-6"``, ``"GHZ-14"``,
+    ``"Graycode-18"``, ``"Ising-10"``, and ``"QAOA-12 p4"`` (depth
+    defaults to 1 when the ``pK`` suffix is omitted).
+    """
+    match = _NAME_PATTERN.match(name.strip())
+    if not match:
+        raise WorkloadError(
+            f"unknown workload {name!r}; expected e.g. 'GHZ-14' or 'QAOA-10 p2'"
+        )
+    family = match.group("family")
+    size = int(match.group("size"))
+    depth = int(match.group("depth") or 1)
+    if family == "BV":
+        return bv(size)
+    if family == "GHZ":
+        return ghz(size)
+    if family == "Graycode":
+        return graycode(size)
+    if family == "Ising":
+        return ising(size)
+    return qaoa_maxcut(size, depth=depth)
+
+
+def paper_suite() -> List[Workload]:
+    """The full nine-benchmark suite of Figure 8."""
+    return [workload_by_name(name) for name in PAPER_SUITE_NAMES]
+
+
+def small_suite() -> List[Workload]:
+    """A fast subset used by unit tests and the quickstart example."""
+    return [
+        bv(4),
+        ghz(6),
+        qaoa_maxcut(6, depth=1),
+        graycode(8),
+    ]

@@ -1,0 +1,67 @@
+"""The :class:`Workload` abstraction: a benchmark circuit plus its answers.
+
+A workload bundles the program with everything the figure-of-merit metrics
+need: the set of correct outcomes (for PST/IST), and optional extras such
+as the MaxCut graph for QAOA's application-specific metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import WorkloadError
+from repro.sim.statevector import StatevectorSimulator
+
+__all__ = ["Workload"]
+
+
+@dataclass
+class Workload:
+    """A named benchmark with its correct outcomes.
+
+    Attributes:
+        name: display name, e.g. ``"GHZ-14"``.
+        circuit: the program, ending in measurements.
+        correct_outcomes: outcome bitstrings counted as success for PST.
+        metadata: workload-specific extras (QAOA graph, BV secret, ...).
+    """
+
+    name: str
+    circuit: QuantumCircuit
+    correct_outcomes: Tuple[str, ...]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    _ideal: Optional[Dict[str, float]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.circuit.num_measurements:
+            raise WorkloadError(f"workload {self.name} has no measurements")
+        width = self.circuit.num_measurements
+        for outcome in self.correct_outcomes:
+            if len(outcome) != width:
+                raise WorkloadError(
+                    f"correct outcome {outcome!r} does not match the "
+                    f"{width}-bit output of {self.name}"
+                )
+
+    @property
+    def num_qubits(self) -> int:
+        """Total qubits in the program (including ancillas)."""
+        return self.circuit.num_qubits
+
+    @property
+    def num_outcome_bits(self) -> int:
+        """Width of the outcome bitstrings (number of measured qubits)."""
+        return self.circuit.num_measurements
+
+    def ideal_distribution(self) -> Dict[str, float]:
+        """Noise-free outcome distribution (cached)."""
+        if self._ideal is None:
+            self._ideal = StatevectorSimulator().ideal_distribution(self.circuit)
+        return self._ideal
+
+    def ideal_success_probability(self) -> float:
+        """Probability mass the ideal distribution puts on correct outcomes."""
+        ideal = self.ideal_distribution()
+        return sum(ideal.get(outcome, 0.0) for outcome in self.correct_outcomes)

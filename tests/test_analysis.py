@@ -1,0 +1,172 @@
+"""Tests for the analysis package: diagnostics and adaptive budgeting."""
+
+import pytest
+
+from repro.analysis import (
+    marginal_quality_report,
+    reconstruction_trace,
+    support_statistics,
+    tune_trial_split,
+)
+from repro.core import JigSaw, JigSawConfig, PMF, Marginal
+from repro.exceptions import ReconstructionError, ReproError
+from repro.workloads import ghz
+from tests.conftest import make_varied_line_device
+
+
+@pytest.fixture(scope="module")
+def jigsaw_result():
+    device = make_varied_line_device(num_qubits=8)
+    workload = ghz(6)
+    runner = JigSaw(device, JigSawConfig(exact=True), seed=30)
+    return workload, runner.run(workload.circuit, total_trials=32_768)
+
+
+class TestMarginalQuality:
+    def test_report_covers_every_cpm(self, jigsaw_result):
+        workload, result = jigsaw_result
+        report = marginal_quality_report(result, workload.ideal_distribution())
+        assert len(report) == len(result.marginals)
+
+    def test_cpm_marginals_beat_global_derived(self, jigsaw_result):
+        """The paper's §4.2 premise, quantified."""
+        workload, result = jigsaw_result
+        report = marginal_quality_report(result, workload.ideal_distribution())
+        wins = sum(1 for entry in report if entry.cpm_wins)
+        assert wins >= len(report) - 1  # allow one tie/loss from routing luck
+
+    def test_distances_in_range(self, jigsaw_result):
+        workload, result = jigsaw_result
+        for entry in marginal_quality_report(
+            result, workload.ideal_distribution()
+        ):
+            assert 0.0 <= entry.tvd_cpm_vs_ideal <= 1.0
+            assert 0.0 <= entry.tvd_global_vs_ideal <= 1.0
+
+
+class TestReconstructionTrace:
+    def test_distances_shrink(self, jigsaw_result):
+        _, result = jigsaw_result
+        trace = reconstruction_trace(
+            result.global_pmf, result.marginals, max_rounds=8
+        )
+        assert len(trace) >= 2
+        assert trace[-1] < trace[0]
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ReproError):
+            reconstruction_trace(PMF({"0": 1.0}), [], max_rounds=0)
+
+    def test_stable_prior_converges_immediately(self):
+        prior = PMF({"00": 0.25, "01": 0.25, "10": 0.25, "11": 0.25})
+        marginal = Marginal((0,), PMF({"0": 0.5, "1": 0.5}))
+        trace = reconstruction_trace(prior, [marginal], max_rounds=4)
+        assert trace[0] < 1e-9
+
+
+class TestSupportStatistics:
+    def test_basic_fields(self):
+        stats = support_statistics({"00": 0.5, "11": 0.5})
+        assert stats["support"] == 2
+        assert stats["max_outcomes"] == 4
+        assert stats["occupancy"] == pytest.approx(0.5)
+
+    def test_epsilon_with_trials(self):
+        stats = support_statistics({"0": 0.7, "1": 0.3}, trials=100)
+        assert stats["epsilon"] == pytest.approx(0.02)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            support_statistics({})
+        with pytest.raises(ReproError):
+            support_statistics({"0": 1.0}, trials=0)
+
+
+class TestAdaptiveSplit:
+    def test_saturated_budget_keeps_even_split(self):
+        split = tune_trial_split(1_000_000, [2], [10])
+        assert split.saturated
+        assert split.global_fraction == pytest.approx(0.5)
+
+    def test_constrained_budget_shrinks_subset_mode(self):
+        # 10 size-2 CPMs need ~150*4 trials each = ~6000 total; with a
+        # budget of 20000 the even split (1000/CPM) is enough, so push
+        # lower: 8000 total -> even split gives 400/CPM < 600 needed.
+        split = tune_trial_split(8_000, [2], [10])
+        assert not split.saturated
+        assert split.trials_per_cpm >= 590
+        assert split.global_trials + split.trials_per_cpm * 10 == 8_000
+
+    def test_global_floor_respected(self):
+        split = tune_trial_split(
+            4_000, [5], [10], min_global_fraction=0.25
+        )
+        assert split.global_fraction >= 0.25
+
+    def test_validation(self):
+        with pytest.raises(ReconstructionError):
+            tune_trial_split(100, [2, 3], [1])
+        with pytest.raises(ReconstructionError):
+            tune_trial_split(100, [2], [0])
+        with pytest.raises(ReconstructionError):
+            tune_trial_split(10, [2], [10])
+        with pytest.raises(ReconstructionError):
+            tune_trial_split(10_000, [2], [4], min_global_fraction=1.5)
+
+
+class TestDrawAndCli:
+    def test_draw_renders_all_rows(self, ghz4):
+        from repro.circuits import draw
+
+        art = draw(ghz4)
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("q0:")
+        assert "[h]" in art
+        assert "M3" in art
+
+    def test_draw_swap_and_barrier(self):
+        from repro.circuits import QuantumCircuit, draw
+
+        qc = QuantumCircuit(2).swap(0, 1).barrier().rx(0.5, 0)
+        art = draw(qc)
+        assert "x" in art
+        assert "|" in art
+
+    def test_cli_devices(self, capsys):
+        from repro.cli import main
+
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "toronto" in out
+
+    def test_cli_scalability(self, capsys):
+        from repro.cli import main
+
+        assert main(["scalability"]) == 0
+        assert "Table 7" in capsys.readouterr().out
+
+    def test_cli_run(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["run", "--workload", "GHZ-6", "--device", "toronto",
+             "--trials", "8192"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "JigSaw output" in out
+
+    def test_cli_compare(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["compare", "--workload", "BV-4", "--device", "paris",
+             "--trials", "8192"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "jigsaw_m" in out
+
+    def test_cli_unknown_workload(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--workload", "Nope-3"]) == 1

@@ -1,0 +1,111 @@
+"""Unit and property tests for bitstring utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    all_bitstrings,
+    bit_array_to_indices,
+    bit_array_to_strings,
+    bit_positions,
+    bitstring_to_index,
+    extract_bits,
+    hamming_distance,
+    index_to_bitstring,
+    indices_to_bit_array,
+)
+
+
+class TestConversions:
+    def test_index_to_bitstring_ibm_order(self):
+        # bit 0 is the rightmost character
+        assert index_to_bitstring(1, 3) == "001"
+        assert index_to_bitstring(4, 3) == "100"
+
+    def test_round_trip(self):
+        for i in range(16):
+            assert bitstring_to_index(index_to_bitstring(i, 4)) == i
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            index_to_bitstring(8, 3)
+        with pytest.raises(ValueError):
+            index_to_bitstring(-1, 3)
+
+    def test_invalid_bitstring(self):
+        with pytest.raises(ValueError):
+            bitstring_to_index("01x")
+        with pytest.raises(ValueError):
+            bitstring_to_index("")
+
+    def test_all_bitstrings(self):
+        assert all_bitstrings(2) == ["00", "01", "10", "11"]
+
+    def test_bit_positions(self):
+        assert bit_positions("101") == (2, 0)
+        assert bit_positions("000") == ()
+
+
+class TestExtractBits:
+    def test_paper_projection_example(self):
+        """Fig. 6 step 1: projecting Q2Q1Q0 onto (Q1, Q0)."""
+        assert extract_bits("000", (1, 0)) == "00"
+        assert extract_bits("100", (1, 0)) == "00"
+        assert extract_bits("011", (1, 0)) == "11"
+        assert extract_bits("110", (2, 1)) == "11"
+
+    def test_single_position(self):
+        assert extract_bits("100", (2,)) == "1"
+        assert extract_bits("100", (0,)) == "0"
+
+    def test_order_is_descending_positions(self):
+        # positions listed in any order yield the same IBM-order result
+        assert extract_bits("110", (0, 2)) == extract_bits("110", (2, 0))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            extract_bits("01", (5,))
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_extract_matches_integer_bits(self, value):
+        bits = index_to_bitstring(value, 8)
+        for pos in range(8):
+            assert extract_bits(bits, (pos,)) == str((value >> pos) & 1)
+
+
+class TestHamming:
+    def test_distance(self):
+        assert hamming_distance("0000", "1111") == 4
+        assert hamming_distance("0101", "0101") == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance("01", "011")
+
+
+class TestVectorised:
+    def test_indices_to_bit_array_columns(self):
+        bits = indices_to_bit_array(np.array([0, 1, 2, 5]), 3)
+        # column c holds bit c (LSB first)
+        assert bits[1].tolist() == [1, 0, 0]
+        assert bits[2].tolist() == [0, 1, 0]
+        assert bits[3].tolist() == [1, 0, 1]
+
+    def test_round_trip_vectorised(self):
+        indices = np.arange(32)
+        assert np.array_equal(
+            bit_array_to_indices(indices_to_bit_array(indices, 5)), indices
+        )
+
+    def test_bit_array_to_strings_matches_scalar(self):
+        indices = np.array([0, 3, 6])
+        strings = bit_array_to_strings(indices_to_bit_array(indices, 3))
+        assert strings == [index_to_bitstring(int(i), 3) for i in indices]
+
+    @given(st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=50))
+    def test_vectorised_consistency(self, values):
+        indices = np.array(values)
+        strings = bit_array_to_strings(indices_to_bit_array(indices, 10))
+        assert strings == [index_to_bitstring(v, 10) for v in values]

@@ -1,0 +1,122 @@
+"""Tests for the native-basis decomposition pass."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.compiler import NATIVE_BASIS, decompose_to_native, zyz_angles
+from repro.circuits.gates import Gate, gate_matrix, u3_matrix
+from repro.exceptions import CompilationError
+from repro.sim import StatevectorSimulator
+
+
+def distributions_match(a: QuantumCircuit, b: QuantumCircuit) -> bool:
+    sim = StatevectorSimulator()
+    da = sim.ideal_distribution(a)
+    db = sim.ideal_distribution(b)
+    return all(
+        np.isclose(da.get(k, 0.0), db.get(k, 0.0), atol=1e-9)
+        for k in set(da) | set(db)
+    )
+
+
+def states_match(a: QuantumCircuit, b: QuantumCircuit) -> bool:
+    """Statevectors equal up to a global phase."""
+    sim = StatevectorSimulator()
+    sa = sim.statevector(a)
+    sb = sim.statevector(b)
+    overlap = np.vdot(sa, sb)
+    return np.isclose(abs(overlap), 1.0, atol=1e-9)
+
+
+class TestZyzAngles:
+    @pytest.mark.parametrize(
+        "name", ["h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx"]
+    )
+    def test_named_gates_recovered(self, name):
+        matrix = gate_matrix(name)
+        theta, phi, lam = zyz_angles(matrix)
+        rebuilt = u3_matrix(theta, phi, lam)
+        overlap = abs(np.trace(rebuilt.conj().T @ matrix)) / 2.0
+        assert overlap == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=-6, max_value=6),
+        st.floats(min_value=-6, max_value=6),
+        st.floats(min_value=-6, max_value=6),
+    )
+    def test_u3_round_trip(self, theta, phi, lam):
+        matrix = u3_matrix(theta, phi, lam)
+        rebuilt = u3_matrix(*zyz_angles(matrix))
+        overlap = abs(np.trace(rebuilt.conj().T @ matrix)) / 2.0
+        assert overlap == pytest.approx(1.0, abs=1e-8)
+
+    def test_rejects_two_qubit_matrix(self):
+        with pytest.raises(CompilationError):
+            zyz_angles(np.eye(4))
+
+
+class TestDecomposition:
+    def test_output_is_native(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).s(1).swap(0, 2).rzz(0.7, 1, 2).cz(0, 1).cp(0.3, 1, 2)
+        qc.ccx(0, 1, 2)
+        native = decompose_to_native(qc)
+        for ins in native.gates():
+            assert ins.gate.name in NATIVE_BASIS
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda qc: qc.swap(0, 1),
+            lambda qc: qc.cz(0, 1),
+            lambda qc: qc.rzz(0.9, 0, 1),
+            lambda qc: qc.cp(1.3, 0, 1),
+        ],
+    )
+    def test_two_qubit_rules_preserve_state(self, builder):
+        qc = QuantumCircuit(2).h(0).rx(0.4, 1)
+        builder(qc)
+        assert states_match(qc, decompose_to_native(qc))
+
+    def test_toffoli_preserves_distribution(self):
+        qc = QuantumCircuit(3).x(0).x(1).ccx(0, 1, 2).measure_all()
+        native = decompose_to_native(qc)
+        assert distributions_match(qc, native)
+        assert native.count_ops().get("ccx", 0) == 0
+
+    def test_full_circuit_distribution(self, ghz4):
+        qc = ghz4.copy()
+        native = decompose_to_native(qc)
+        assert distributions_match(qc, native)
+
+    def test_measurements_and_barriers_kept(self):
+        qc = QuantumCircuit(2).h(0).barrier().cx(0, 1).measure_all()
+        native = decompose_to_native(qc)
+        assert native.count_ops()["measure"] == 2
+        assert native.count_ops()["barrier"] == 1
+
+    def test_idempotent_on_native(self):
+        qc = QuantumCircuit(2).u3(0.1, 0.2, 0.3, 0).cx(0, 1)
+        once = decompose_to_native(qc)
+        twice = decompose_to_native(once)
+        assert [i.gate.name for i in once.gates()] == [
+            i.gate.name for i in twice.gates()
+        ]
+
+    def test_swap_is_three_cnots(self):
+        qc = QuantumCircuit(2).swap(0, 1)
+        native = decompose_to_native(qc)
+        assert native.count_ops() == {"cx": 3}
+
+    def test_qaoa_workload_decomposes(self):
+        from repro.workloads import qaoa_maxcut
+
+        workload = qaoa_maxcut(5, depth=1)
+        native = decompose_to_native(workload.circuit)
+        assert distributions_match(workload.circuit, native)

@@ -1,0 +1,151 @@
+"""Smoke tests for the per-figure experiment sweeps (small parameters)."""
+
+import pytest
+
+from repro.experiments.cpm_sensitivity import (
+    build_cpm_pool,
+    figure9a_sweep,
+    figure9a_text,
+    figure9b_distribution,
+    figure9b_text,
+)
+from repro.experiments.mbm_comparison import figure14_text, run_figure14
+from repro.experiments.qaoa_arg import run_table5, table5_text
+from repro.experiments.recompilation import figure10_per_qubit, figure10_text
+from repro.experiments.scalability_exp import (
+    figure13_epsilon_sweep,
+    figure13_text,
+    table6_observed_outcomes,
+    table6_text,
+)
+from repro.experiments.trials_sweep import figure7_text, run_trials_sweep
+from repro.workloads import bv, qaoa_maxcut
+from tests.conftest import make_varied_line_device
+
+
+@pytest.fixture(scope="module")
+def device():
+    return make_varied_line_device(num_qubits=8)
+
+
+class TestFigure7:
+    def test_sweep_and_render(self, device):
+        points = run_trials_sweep(
+            device=device,
+            workload_names=("GHZ-6",),
+            trial_ladder=(1_024, 8_192),
+            seed=1,
+        )
+        assert len(points) == 2
+        text = figure7_text(points)
+        assert "T=1024" in text
+
+    def test_pst_saturates(self, device):
+        """More trials do not systematically improve PST (Fig. 7)."""
+        points = run_trials_sweep(
+            device=device,
+            workload_names=("GHZ-6",),
+            trial_ladder=(16_384, 131_072),
+            seed=2,
+        )
+        small, large = points[0].pst, points[1].pst
+        assert large == pytest.approx(small, abs=0.05)
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def pool(self, device):
+        return build_cpm_pool(
+            device=device,
+            workload=qaoa_maxcut(6, depth=1),
+            seed=3,
+            exact=True,
+        )
+
+    def test_pool_has_all_pairs(self, pool):
+        assert len(pool.marginals) == 15  # 6C2
+
+    def test_sweep_saturates(self, pool):
+        points = figure9a_sweep(
+            pool, cpm_counts=(1, 4, 15), repeats=5, seed=4
+        )
+        assert len(points) == 3
+        # Gains at 15 CPMs should not be far above gains at 4 (saturation).
+        assert points[2].mean_relative_pst <= points[1].mean_relative_pst * 1.5
+
+    def test_selection_insensitive(self, pool):
+        stats = figure9b_distribution(pool, num_cpms=6, repeats=10, seed=5)
+        assert stats["repeats"] == 10
+        assert stats["std"] < 0.5 * max(stats["mean"], 1e-9)
+
+    def test_render(self, pool):
+        points = figure9a_sweep(pool, cpm_counts=(1, 4), repeats=2, seed=6)
+        assert "Figure 9a" in figure9a_text(points)
+        stats = figure9b_distribution(pool, num_cpms=6, repeats=5, seed=7)
+        assert "Figure 9b" in figure9b_text(stats)
+
+
+class TestFigure10:
+    def test_per_qubit_improvement(self, device):
+        rows = figure10_per_qubit(
+            device=device, workload=bv(5), seed=8, exact=True
+        )
+        assert len(rows) == 5
+        # Recompiled CPMs must not be worse on any measured qubit.
+        assert all(r.cpm >= r.baseline - 0.02 for r in rows)
+        # And strictly better somewhere (the paper's headline).
+        assert any(r.improvement > 1.01 for r in rows)
+
+    def test_render(self, device):
+        rows = figure10_per_qubit(device=device, workload=bv(5), seed=8)
+        assert "Figure 10" in figure10_text(rows)
+
+
+class TestTable6AndFigure13:
+    def test_observed_far_below_maximum(self, device):
+        rows = table6_observed_outcomes(
+            devices=[device], workload_name="Graycode-8", trials=32_768, seed=9
+        )
+        row = rows[0]
+        assert row.maximum == 256
+        assert row.observed <= row.maximum
+        text = table6_text(rows)
+        assert "Table 6" in text
+
+    def test_epsilon_decreases_with_trials(self, device):
+        points = figure13_epsilon_sweep(
+            device=device,
+            workload_names=("GHZ-6",),
+            trial_ladder=(8_192, 131_072),
+            seed=10,
+        )
+        assert points[0].epsilon >= points[1].epsilon
+        assert "Figure 13" in figure13_text(points)
+
+
+class TestTable5:
+    def test_arg_improves(self, device):
+        rows = run_table5(
+            devices=[device],
+            workload_names=("QAOA-8 p1",),
+            seed=11,
+            exact=True,
+        )
+        row = rows[0]
+        assert row.jigsaw < row.baseline
+        assert row.jigsaw_m < row.baseline
+        assert "Table 5" in table5_text(rows)
+
+
+class TestFigure14:
+    def test_composition_wins(self, device):
+        rows = run_figure14(
+            devices=[device],
+            workload_names=("QAOA-8 p1",),
+            seed=12,
+            exact=True,
+        )
+        row = rows[0]
+        assert row.jigsaw_mbm >= row.jigsaw * 0.98
+        assert row.jigsaw_mbm >= row.mbm * 0.98
+        assert "Figure 14" in figure14_text(rows)

@@ -1,0 +1,178 @@
+"""Unit tests for the gate library."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.gates import (
+    GATE_ARITY,
+    GATE_PARAM_COUNT,
+    Gate,
+    controlled,
+    gate_matrix,
+    is_unitary,
+    u3_matrix,
+)
+from repro.exceptions import GateError
+
+
+def _random_params(name, value=0.7):
+    return tuple([value] * GATE_PARAM_COUNT[name])
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize("name", sorted(GATE_ARITY))
+    def test_every_gate_is_unitary(self, name):
+        matrix = gate_matrix(name, _random_params(name))
+        assert is_unitary(matrix)
+
+    @pytest.mark.parametrize("name", sorted(GATE_ARITY))
+    def test_matrix_dimension_matches_arity(self, name):
+        matrix = gate_matrix(name, _random_params(name))
+        dim = 1 << GATE_ARITY[name]
+        assert matrix.shape == (dim, dim)
+
+    def test_x_flips_basis(self):
+        x = gate_matrix("x")
+        assert np.allclose(x @ np.array([1, 0]), np.array([0, 1]))
+
+    def test_h_creates_superposition(self):
+        h = gate_matrix("h")
+        state = h @ np.array([1.0, 0.0])
+        assert np.allclose(np.abs(state) ** 2, [0.5, 0.5])
+
+    def test_cx_control_is_first_qubit(self):
+        cx = gate_matrix("cx")
+        # |10> (control=1, target=0) -> |11>
+        state = np.zeros(4)
+        state[2] = 1.0
+        out = cx @ state
+        assert np.isclose(abs(out[3]), 1.0)
+
+    def test_cz_phase_only_on_11(self):
+        cz = gate_matrix("cz")
+        assert np.allclose(np.diag(cz), [1, 1, 1, -1])
+
+    def test_swap_exchanges(self):
+        swap = gate_matrix("swap")
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        out = swap @ state
+        assert np.isclose(abs(out[2]), 1.0)  # |10>
+
+    def test_rz_is_diagonal(self):
+        rz = gate_matrix("rz", (0.3,))
+        assert np.allclose(rz, np.diag(np.diag(rz)))
+
+    def test_u3_special_cases(self):
+        assert np.allclose(u3_matrix(0, 0, 0), np.eye(2))
+        x_like = u3_matrix(math.pi, 0, math.pi)
+        assert np.isclose(abs(x_like[1, 0]), 1.0)
+
+    def test_s_squared_is_z(self):
+        s = gate_matrix("s")
+        assert np.allclose(s @ s, gate_matrix("z"))
+
+    def test_t_fourth_power_is_z(self):
+        t = gate_matrix("t")
+        assert np.allclose(np.linalg.matrix_power(t, 4), gate_matrix("z"))
+
+    def test_sx_squared_is_x(self):
+        sx = gate_matrix("sx")
+        assert np.allclose(sx @ sx, gate_matrix("x"))
+
+    def test_rzz_diagonal_phases(self):
+        rzz = gate_matrix("rzz", (0.8,))
+        diag = np.diag(rzz)
+        assert np.isclose(diag[0], diag[3])
+        assert np.isclose(diag[1], diag[2])
+        assert np.isclose(diag[0], np.conj(diag[1]))
+
+    def test_ccx_flips_target_only_when_both_controls_set(self):
+        ccx = gate_matrix("ccx")
+        state = np.zeros(8)
+        state[6] = 1.0  # |110>: controls (bits 2,1) set, target (bit 0) clear
+        assert np.isclose(abs((ccx @ state)[7]), 1.0)
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(GateError):
+            gate_matrix("nope")
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(GateError):
+            gate_matrix("rx", ())
+        with pytest.raises(GateError):
+            gate_matrix("h", (0.1,))
+
+
+class TestGateObjects:
+    def test_num_qubits(self):
+        assert Gate("cx").num_qubits == 2
+        assert Gate("h").num_qubits == 1
+
+    def test_params_normalised_to_float(self):
+        gate = Gate("rx", (1,))
+        assert isinstance(gate.params[0], float)
+
+    def test_equality_and_hash(self):
+        assert Gate("rx", (0.5,)) == Gate("rx", (0.5,))
+        assert hash(Gate("h")) == hash(Gate("h"))
+        assert Gate("rx", (0.5,)) != Gate("rx", (0.6,))
+
+    @pytest.mark.parametrize(
+        "name", ["h", "x", "y", "z", "cx", "cz", "swap", "id"]
+    )
+    def test_self_inverse_gates(self, name):
+        assert Gate(name).inverse() == Gate(name)
+
+    @pytest.mark.parametrize("name", sorted(GATE_ARITY))
+    def test_inverse_matrix_is_conjugate_transpose(self, name):
+        gate = Gate(name, _random_params(name, 0.9))
+        inv = gate.inverse()
+        product = inv.matrix() @ gate.matrix()
+        dim = product.shape[0]
+        # Allow a global phase: product should be phase * identity.
+        phase = product[0, 0]
+        assert np.isclose(abs(phase), 1.0)
+        assert np.allclose(product, phase * np.eye(dim))
+
+    def test_invalid_gate_name_raises(self):
+        with pytest.raises(GateError):
+            Gate("bad")
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(GateError):
+            Gate("u3", (0.1,))
+
+
+class TestControlled:
+    def test_controlled_x_is_cx(self):
+        assert np.allclose(controlled(gate_matrix("x")), gate_matrix("cx"))
+
+    def test_controlled_rejects_large_matrix(self):
+        with pytest.raises(GateError):
+            controlled(np.eye(4))
+
+
+class TestIsUnitary:
+    def test_rejects_non_square(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_rejects_non_unitary(self):
+        assert not is_unitary(np.array([[1, 1], [0, 1]], dtype=complex))
+
+    @given(st.floats(min_value=-10, max_value=10, allow_nan=False))
+    def test_rotations_always_unitary(self, theta):
+        for name in ("rx", "ry", "rz", "p"):
+            assert is_unitary(gate_matrix(name, (theta,)))
+
+    @given(
+        st.floats(min_value=-7, max_value=7),
+        st.floats(min_value=-7, max_value=7),
+        st.floats(min_value=-7, max_value=7),
+    )
+    def test_u3_always_unitary(self, theta, phi, lam):
+        assert is_unitary(u3_matrix(theta, phi, lam))

@@ -1,0 +1,195 @@
+"""End-to-end tests for the JigSaw and JigSaw-M runners."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import (
+    JigSaw,
+    JigSawConfig,
+    JigSawM,
+    JigSawMConfig,
+    measured_positions_map,
+)
+from repro.exceptions import ReconstructionError
+from repro.metrics import probability_of_successful_trial
+from tests.conftest import make_line_device, make_varied_line_device
+
+
+@pytest.fixture
+def device():
+    return make_varied_line_device(num_qubits=8)
+
+
+@pytest.fixture
+def ghz6():
+    qc = QuantumCircuit(6, name="ghz6")
+    qc.h(0)
+    for i in range(5):
+        qc.cx(i, i + 1)
+    return qc.measure_all()
+
+
+CORRECT6 = ("000000", "111111")
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        config = JigSawConfig()
+        assert config.subset_size == 2
+        assert config.global_fraction == 0.5
+        assert config.recompile_cpms is True
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ReconstructionError):
+            JigSawConfig(global_fraction=1.0)
+
+    def test_invalid_method(self):
+        with pytest.raises(ReconstructionError):
+            JigSawConfig(subset_method="fancy")
+
+    def test_jigsawm_size_validation(self):
+        with pytest.raises(ReconstructionError):
+            JigSawMConfig(min_subset_size=1)
+        with pytest.raises(ReconstructionError):
+            JigSawMConfig(min_subset_size=4, max_subset_size=3)
+
+    def test_jigsawm_sizes_clipped_to_program(self):
+        config = JigSawMConfig(min_subset_size=2, max_subset_size=5)
+        assert config.sizes_for(4) == [2, 3]
+        assert config.sizes_for(10) == [2, 3, 4, 5]
+
+
+class TestMeasuredPositions:
+    def test_monotone_map_accepted(self, ghz6):
+        assert measured_positions_map(ghz6) == {q: q for q in range(6)}
+
+    def test_non_monotone_rejected(self):
+        qc = QuantumCircuit(3, 3).h(0)
+        qc.measure(0, 2)
+        qc.measure(1, 1)
+        qc.measure(2, 0)
+        with pytest.raises(ReconstructionError):
+            measured_positions_map(qc)
+
+    def test_too_few_measurements_rejected(self):
+        qc = QuantumCircuit(2, 1).h(0).measure(0, 0)
+        with pytest.raises(ReconstructionError):
+            measured_positions_map(qc)
+
+
+class TestPlanning:
+    def test_sliding_subsets_default(self, device, ghz6):
+        jigsaw = JigSaw(device, seed=0)
+        subsets = jigsaw.generate_subsets(ghz6)
+        assert len(subsets) == 6
+        assert all(len(s) == 2 for s in subsets)
+
+    def test_explicit_subsets(self, device, ghz6):
+        jigsaw = JigSaw(device, seed=0)
+        subsets = jigsaw.generate_subsets(ghz6, subsets=[(0, 5), (2, 3)])
+        assert subsets == [(0, 5), (2, 3)]
+
+    def test_random_method(self, device, ghz6):
+        config = JigSawConfig(subset_method="random", num_subsets=6)
+        jigsaw = JigSaw(device, config, seed=0)
+        subsets = jigsaw.generate_subsets(ghz6)
+        assert len(subsets) == 6
+        covered = {q for s in subsets for q in s}
+        assert covered == set(range(6))
+
+    def test_split_trials_even(self, device):
+        jigsaw = JigSaw(device, seed=0)
+        global_trials, per_cpm = jigsaw.split_trials(32_768, 8)
+        assert global_trials == 16_384
+        assert per_cpm == 2_048
+
+    def test_split_trials_too_few(self, device):
+        jigsaw = JigSaw(device, seed=0)
+        with pytest.raises(ReconstructionError):
+            jigsaw.split_trials(4, 8)
+
+
+class TestJigSawEndToEnd:
+    def test_improves_pst_exact(self, device, ghz6):
+        jigsaw = JigSaw(device, JigSawConfig(exact=True), seed=5)
+        result = jigsaw.run(ghz6, total_trials=16_384)
+        base = probability_of_successful_trial(result.global_pmf, CORRECT6)
+        out = probability_of_successful_trial(result.output_pmf, CORRECT6)
+        assert out > base
+
+    def test_improves_pst_sampled(self, device, ghz6):
+        jigsaw = JigSaw(device, JigSawConfig(exact=False), seed=5)
+        result = jigsaw.run(ghz6, total_trials=32_768)
+        base = probability_of_successful_trial(result.global_pmf, CORRECT6)
+        out = probability_of_successful_trial(result.output_pmf, CORRECT6)
+        assert out > base
+
+    def test_result_bookkeeping(self, device, ghz6):
+        jigsaw = JigSaw(device, JigSawConfig(exact=True), seed=5)
+        result = jigsaw.run(ghz6, total_trials=16_384)
+        assert len(result.cpm_executables) == 6
+        assert len(result.marginals) == 6
+        assert result.global_trials == 8_192
+        assert result.total_trials <= 16_384
+        for marginal, subset in zip(result.marginals, result.subsets):
+            assert marginal.qubits == subset
+
+    def test_cpms_measure_declared_subsets(self, device, ghz6):
+        jigsaw = JigSaw(device, JigSawConfig(exact=True), seed=5)
+        result = jigsaw.run(ghz6, total_trials=16_384)
+        for subset, executable in zip(result.subsets, result.cpm_executables):
+            assert executable.logical.measured_qubits == subset
+
+    def test_reuses_provided_global_executable(self, device, ghz6):
+        jigsaw = JigSaw(device, JigSawConfig(exact=True), seed=5)
+        global_exec = jigsaw.compile_global(ghz6)
+        result = jigsaw.run(
+            ghz6, total_trials=16_384, global_executable=global_exec
+        )
+        assert result.global_executable is global_exec
+
+    def test_deterministic_with_seed(self, device, ghz6):
+        a = JigSaw(device, JigSawConfig(exact=True), seed=7).run(ghz6, 16_384)
+        b = JigSaw(device, JigSawConfig(exact=True), seed=7).run(ghz6, 16_384)
+        assert a.output_pmf.as_dict() == pytest.approx(b.output_pmf.as_dict())
+
+    def test_bv_single_answer(self, device):
+        from repro.workloads import bv
+
+        workload = bv(5)
+        jigsaw = JigSaw(device, JigSawConfig(exact=True), seed=3)
+        result = jigsaw.run(workload.circuit, total_trials=16_384)
+        assert result.output_pmf.mode() == workload.correct_outcomes[0]
+
+
+class TestJigSawM:
+    def test_improves_over_plain_jigsaw(self, device, ghz6):
+        plain = JigSaw(device, JigSawConfig(exact=True), seed=5)
+        multi = JigSawM(device, JigSawMConfig(exact=True), seed=5)
+        shared = plain.compile_global(ghz6)
+        plain_out = plain.run(ghz6, 32_768, global_executable=shared).output_pmf
+        multi_out = multi.run(ghz6, 32_768, global_executable=shared).output_pmf
+        plain_pst = probability_of_successful_trial(plain_out, CORRECT6)
+        multi_pst = probability_of_successful_trial(multi_out, CORRECT6)
+        assert multi_pst >= plain_pst * 0.98  # at least on par, usually above
+
+    def test_pmf_count_matches_paper(self, device, ghz6):
+        """§4.4.1: JigSaw-M with S sizes produces SN local PMFs."""
+        multi = JigSawM(device, JigSawMConfig(exact=True), seed=5)
+        result = multi.run(ghz6, 32_768)
+        sizes = sorted(result.marginals_by_size)
+        assert sizes == [2, 3, 4, 5]
+        for size in sizes:
+            assert len(result.marginals_by_size[size]) == 6
+        assert result.num_cpms == 24
+
+    def test_explicit_subsets_rejected(self, device, ghz6):
+        multi = JigSawM(device, JigSawMConfig(exact=True), seed=5)
+        with pytest.raises(ReconstructionError):
+            multi.run(ghz6, 16_384, subsets=[(0, 1)])
+
+    def test_marginal_sizes_match_layers(self, device, ghz6):
+        multi = JigSawM(device, JigSawMConfig(exact=True), seed=5)
+        result = multi.run(ghz6, 32_768)
+        for size, marginals in result.marginals_by_size.items():
+            assert all(m.subset_size == size for m in marginals)

@@ -1,0 +1,154 @@
+"""Tests for the sparse PMF and Marginal types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import PMF, Marginal
+from repro.exceptions import PMFError
+
+
+class TestConstruction:
+    def test_normalises_by_default(self):
+        pmf = PMF({"0": 1.0, "1": 3.0})
+        assert pmf["1"] == pytest.approx(0.75)
+
+    def test_no_normalise_keeps_values(self):
+        pmf = PMF({"0": 0.2, "1": 0.2}, normalize=False)
+        assert pmf.total() == pytest.approx(0.4)
+
+    def test_zero_entries_dropped(self):
+        pmf = PMF({"00": 0.5, "01": 0.0, "11": 0.5})
+        assert "01" not in pmf
+        assert pmf.support_size == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(PMFError):
+            PMF({})
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(PMFError):
+            PMF({"0": 0.0})
+
+    def test_negative_rejected(self):
+        with pytest.raises(PMFError):
+            PMF({"0": -0.1, "1": 1.1})
+
+    def test_inconsistent_widths_rejected(self):
+        with pytest.raises(PMFError):
+            PMF({"0": 0.5, "01": 0.5})
+
+    def test_non_bitstring_rejected(self):
+        with pytest.raises(PMFError):
+            PMF({"0x": 1.0})
+
+    def test_num_bits_check(self):
+        with pytest.raises(PMFError):
+            PMF({"01": 1.0}, num_bits=3)
+
+    def test_from_counts(self):
+        pmf = PMF.from_counts({"00": 750, "11": 250})
+        assert pmf["00"] == pytest.approx(0.75)
+
+    def test_uniform(self):
+        pmf = PMF.uniform(["00", "01", "10"])
+        assert pmf["01"] == pytest.approx(1 / 3)
+
+
+class TestQueries:
+    def test_prob_default_zero(self):
+        pmf = PMF({"0": 1.0})
+        assert pmf.prob("1") == 0.0
+
+    def test_getitem_raises_for_missing(self):
+        with pytest.raises(KeyError):
+            PMF({"0": 1.0})["1"]
+
+    def test_top_and_mode(self):
+        pmf = PMF({"00": 0.5, "01": 0.3, "10": 0.2})
+        assert pmf.mode() == "00"
+        assert [k for k, _ in pmf.top(2)] == ["00", "01"]
+
+    def test_top_ties_deterministic(self):
+        pmf = PMF({"00": 0.5, "11": 0.5})
+        assert pmf.top(1)[0][0] == "00"  # lexicographic tie-break
+
+    def test_len_and_iter(self):
+        pmf = PMF({"0": 0.4, "1": 0.6})
+        assert len(pmf) == 2
+        assert set(pmf) == {"0", "1"}
+
+
+class TestMarginalisation:
+    def test_paper_marginal(self):
+        """Marginalising the Fig. 6 global PMF onto (Q1, Q0)."""
+        pmf = PMF(
+            {
+                "000": 0.10, "001": 0.10, "010": 0.15, "011": 0.15,
+                "100": 0.10, "101": 0.05, "110": 0.15, "111": 0.20,
+            }
+        )
+        marg = pmf.marginal([1, 0])
+        assert marg["00"] == pytest.approx(0.20)
+        assert marg["01"] == pytest.approx(0.15)
+        assert marg["10"] == pytest.approx(0.30)
+        assert marg["11"] == pytest.approx(0.35)
+
+    def test_single_bit_marginal(self):
+        pmf = PMF({"10": 0.7, "01": 0.3})
+        assert pmf.marginal([0]).prob("0") == pytest.approx(0.7)
+
+    def test_invalid_positions(self):
+        pmf = PMF({"01": 1.0})
+        with pytest.raises(PMFError):
+            pmf.marginal([5])
+        with pytest.raises(PMFError):
+            pmf.marginal([])
+        with pytest.raises(PMFError):
+            pmf.marginal([0, 0])
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=15).map(lambda i: format(i, "04b")),
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_marginal_mass_conserved(self, raw):
+        pmf = PMF(raw)
+        marg = pmf.marginal([2, 0])
+        assert sum(marg.values()) == pytest.approx(1.0)
+
+    def test_restrict(self):
+        pmf = PMF({"00": 0.5, "01": 0.3, "10": 0.2})
+        sub = pmf.restrict(["00", "10"])
+        assert sub["00"] == pytest.approx(0.5 / 0.7)
+
+    def test_restrict_empty_rejected(self):
+        with pytest.raises(PMFError):
+            PMF({"0": 1.0}).restrict(["1"])
+
+
+class TestMarginalType:
+    def test_qubits_sorted(self):
+        marginal = Marginal((3, 1), PMF({"00": 0.5, "11": 0.5}))
+        assert marginal.qubits == (1, 3)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(PMFError):
+            Marginal((0, 1, 2), PMF({"00": 1.0}))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(PMFError):
+            Marginal((1, 1), PMF({"00": 1.0}))
+
+    def test_agrees_with_exact_marginal(self):
+        global_pmf = PMF({"000": 0.5, "111": 0.5})
+        marginal = Marginal((0, 1), PMF({"00": 0.5, "11": 0.5}))
+        assert marginal.agrees_with(global_pmf) == pytest.approx(0.0)
+
+    def test_disagreement_measured(self):
+        global_pmf = PMF({"000": 1.0})
+        marginal = Marginal((0, 1), PMF({"11": 1.0}))
+        assert marginal.agrees_with(global_pmf) == pytest.approx(1.0)

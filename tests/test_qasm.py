@@ -1,0 +1,81 @@
+"""Tests for OpenQASM 2.0 serialisation."""
+
+import math
+
+import pytest
+
+from repro.circuits import QuantumCircuit, from_qasm, to_qasm
+from repro.exceptions import CircuitError
+from repro.sim import StatevectorSimulator
+
+
+class TestExport:
+    def test_header_and_registers(self, bell):
+        text = to_qasm(bell)
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[2];" in text
+        assert "creg c[2];" in text
+
+    def test_gates_and_measures(self, bell):
+        text = to_qasm(bell)
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "measure q[0] -> c[0];" in text
+
+    def test_pi_fractions_pretty(self):
+        qc = QuantumCircuit(1).rx(math.pi / 2, 0).rz(-3 * math.pi / 4, 0)
+        text = to_qasm(qc)
+        assert "rx(pi/2)" in text
+        assert "rz(-3*pi/4)" in text
+
+    def test_barrier(self):
+        qc = QuantumCircuit(2).h(0).barrier()
+        assert "barrier q[0],q[1];" in to_qasm(qc)
+
+
+class TestImport:
+    def test_round_trip_structure(self, ghz4):
+        restored = from_qasm(to_qasm(ghz4))
+        assert restored == ghz4
+
+    def test_round_trip_semantics(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).rx(0.37, 1).cx(0, 2).rzz(1.1, 1, 2).u3(0.2, 0.4, 0.6, 0)
+        qc.measure_all()
+        restored = from_qasm(to_qasm(qc))
+        sim = StatevectorSimulator()
+        original = sim.ideal_distribution(qc)
+        parsed = sim.ideal_distribution(restored)
+        for key in set(original) | set(parsed):
+            assert original.get(key, 0.0) == pytest.approx(
+                parsed.get(key, 0.0), abs=1e-9
+            )
+
+    def test_parse_angle_forms(self):
+        text = (
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[1];\ncreg c[1];\n"
+            "rx(pi/2) q[0];\nrz(-pi) q[0];\nry(0.25) q[0];\n"
+        )
+        qc = from_qasm(text)
+        gates = qc.gates()
+        assert gates[0].gate.params[0] == pytest.approx(math.pi / 2)
+        assert gates[1].gate.params[0] == pytest.approx(-math.pi)
+        assert gates[2].gate.params[0] == pytest.approx(0.25)
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\ncreg c[2];\n")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nh q[0]\n")
+
+    def test_bad_angle_rejected(self):
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nrx(two) q[0];\n")
+
+    def test_comments_ignored(self):
+        text = "OPENQASM 2.0;\nqreg q[1]; // register\nx q[0]; // flip\n"
+        qc = from_qasm(text)
+        assert qc.count_ops()["x"] == 1

@@ -1,0 +1,99 @@
+"""Property-based tests: SABRE routing preserves circuit semantics.
+
+For random circuits on random initial layouts over a small device, the
+routed physical circuit must produce exactly the logical circuit's
+outcome distribution — the strongest single invariant of the compiler.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.compiler import Layout, route
+from repro.sim import StatevectorSimulator
+from tests.conftest import make_line_device
+
+_DEVICE = make_line_device(num_qubits=6)
+_SIM = StatevectorSimulator()
+
+_GATE_CHOICES = st.sampled_from(["h", "x", "t", "s", "rx", "cx", "cz", "rzz"])
+
+
+@st.composite
+def random_circuit(draw):
+    num_qubits = draw(st.integers(min_value=2, max_value=4))
+    qc = QuantumCircuit(num_qubits)
+    num_gates = draw(st.integers(min_value=1, max_value=10))
+    for _ in range(num_gates):
+        name = draw(_GATE_CHOICES)
+        if name in ("cx", "cz", "rzz"):
+            a = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            b = draw(
+                st.integers(min_value=0, max_value=num_qubits - 1).filter(
+                    lambda x: x != a
+                )
+            )
+            if name == "cx":
+                qc.cx(a, b)
+            elif name == "cz":
+                qc.cz(a, b)
+            else:
+                qc.rzz(draw(st.floats(min_value=-3, max_value=3)), a, b)
+        else:
+            q = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+            if name == "rx":
+                qc.rx(draw(st.floats(min_value=-3, max_value=3)), q)
+            else:
+                getattr(qc, name)(q)
+    qc.measure_all()
+    return qc
+
+
+@st.composite
+def circuit_with_layout(draw):
+    qc = draw(random_circuit())
+    physical = draw(
+        st.permutations(range(_DEVICE.num_qubits)).map(
+            lambda perm: perm[: qc.num_qubits]
+        )
+    )
+    return qc, Layout({l: p for l, p in enumerate(physical)})
+
+
+class TestRoutingSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(circuit_with_layout(), st.integers(min_value=0, max_value=2 ** 16))
+    def test_routed_distribution_matches_logical(self, pair, seed):
+        circuit, layout = pair
+        routed = route(circuit, _DEVICE, layout, seed=seed)
+        logical = _SIM.ideal_distribution(circuit)
+        physical = _SIM.ideal_distribution(routed.physical)
+        keys = set(logical) | set(physical)
+        for key in keys:
+            assert np.isclose(
+                logical.get(key, 0.0), physical.get(key, 0.0), atol=1e-9
+            ), (circuit.count_ops(), layout.as_dict(), key)
+
+    @settings(max_examples=40, deadline=None)
+    @given(circuit_with_layout(), st.integers(min_value=0, max_value=2 ** 16))
+    def test_routed_gates_respect_coupling(self, pair, seed):
+        circuit, layout = pair
+        routed = route(circuit, _DEVICE, layout, seed=seed)
+        for ins in routed.physical.gates():
+            if len(ins.qubits) == 2:
+                assert _DEVICE.are_coupled(*ins.qubits)
+
+    @settings(max_examples=30, deadline=None)
+    @given(circuit_with_layout())
+    def test_final_layout_tracks_swaps(self, pair):
+        circuit, layout = pair
+        routed = route(circuit, _DEVICE, layout, seed=0)
+        # Replaying the emitted SWAPs onto the initial layout must give
+        # the reported final layout.
+        replay = routed.initial_layout.copy()
+        for ins in routed.physical.gates():
+            if ins.gate.name == "swap":
+                replay.apply_swap(*ins.qubits)
+        assert replay == routed.final_layout

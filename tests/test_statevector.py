@@ -1,0 +1,182 @@
+"""Tests for the ideal statevector simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.sim import (
+    StatevectorSimulator,
+    apply_gate_to_statevector,
+    marginal_probabilities,
+)
+from repro.circuits.gates import gate_matrix
+
+
+@pytest.fixture
+def sim():
+    return StatevectorSimulator()
+
+
+class TestStatevector:
+    def test_initial_state(self, sim):
+        state = sim.statevector(QuantumCircuit(2))
+        assert np.allclose(state, [1, 0, 0, 0])
+
+    def test_x_gate(self, sim):
+        state = sim.statevector(QuantumCircuit(1).x(0))
+        assert np.allclose(np.abs(state) ** 2, [0, 1])
+
+    def test_bell_state(self, sim, bell):
+        state = sim.statevector(bell)
+        probs = np.abs(state) ** 2
+        assert np.allclose(probs, [0.5, 0, 0, 0.5])
+
+    def test_cx_direction(self, sim):
+        # control qubit 0 set -> target qubit 1 flips: |11> = index 3
+        qc = QuantumCircuit(2).x(0).cx(0, 1)
+        probs = sim.probabilities(qc)
+        assert np.isclose(probs[3], 1.0)
+
+    def test_cx_no_action_when_control_clear(self, sim):
+        qc = QuantumCircuit(2).cx(0, 1)
+        probs = sim.probabilities(qc)
+        assert np.isclose(probs[0], 1.0)
+
+    def test_swap_gate(self, sim):
+        qc = QuantumCircuit(2).x(0).swap(0, 1)
+        probs = sim.probabilities(qc)
+        assert np.isclose(probs[2], 1.0)  # |10>: qubit1 set
+
+    def test_three_qubit_ghz(self, sim):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+        probs = sim.probabilities(qc)
+        assert np.isclose(probs[0], 0.5)
+        assert np.isclose(probs[7], 0.5)
+
+    def test_max_qubits_guard(self):
+        small = StatevectorSimulator(max_qubits=3)
+        with pytest.raises(SimulationError):
+            small.statevector(QuantumCircuit(4))
+
+    def test_gate_matrix_vs_kron_reference(self, sim):
+        """Applying h on qubit 1 of 3 equals kron(I, H, I) on the state."""
+        qc = QuantumCircuit(3).x(0).h(1)
+        state = sim.statevector(qc)
+        h = gate_matrix("h")
+        x = gate_matrix("x")
+        eye = np.eye(2)
+        # kron order: qubit 2 ⊗ qubit 1 ⊗ qubit 0
+        reference = np.kron(eye, np.kron(h, x)) @ np.eye(8)[:, 0]
+        assert np.allclose(state, reference)
+
+
+class TestIdealDistribution:
+    def test_bell_distribution(self, sim, bell):
+        dist = sim.ideal_distribution(bell)
+        assert set(dist) == {"00", "11"}
+        assert np.isclose(dist["00"], 0.5)
+
+    def test_requires_measurements(self, sim):
+        with pytest.raises(SimulationError):
+            sim.ideal_distribution(QuantumCircuit(2).h(0))
+
+    def test_partial_measurement_marginalises(self, sim):
+        # GHZ-3 measuring only qubit 0: uniform single bit
+        qc = QuantumCircuit(3, 1).h(0).cx(0, 1).cx(1, 2).measure(0, 0)
+        dist = sim.ideal_distribution(qc)
+        assert np.isclose(dist["0"], 0.5)
+        assert np.isclose(dist["1"], 0.5)
+
+    def test_clbit_remapping(self, sim):
+        # qubit 0 (|1>) into clbit 1; qubit 1 (|0>) into clbit 0 -> "10"
+        qc = QuantumCircuit(2, 2).x(0)
+        qc.measure(0, 1)
+        qc.measure(1, 0)
+        dist = sim.ideal_distribution(qc)
+        assert dist == {"10": 1.0}
+
+    def test_noncontiguous_clbits_rejected(self, sim):
+        qc = QuantumCircuit(3, 3).h(0)
+        qc.measure(0, 0)
+        qc.measure(1, 2)
+        with pytest.raises(SimulationError):
+            sim.ideal_distribution(qc)
+
+    def test_distribution_sums_to_one(self, sim, ghz4):
+        dist = sim.ideal_distribution(ghz4)
+        assert np.isclose(sum(dist.values()), 1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.sampled_from(["h", "x", "s", "t"]), min_size=1, max_size=6))
+    def test_random_1q_circuits_normalised(self, names):
+        from repro.circuits import Gate
+
+        qc = QuantumCircuit(2)
+        for i, name in enumerate(names):
+            qc.apply_gate(Gate(name), i % 2)
+        qc.measure_all()
+        dist = StatevectorSimulator().ideal_distribution(qc)
+        assert np.isclose(sum(dist.values()), 1.0)
+
+
+class TestMarginalProbabilities:
+    def test_marginal_of_product_state(self, sim):
+        qc = QuantumCircuit(2).x(0)
+        probs = sim.probabilities(qc)
+        marg = marginal_probabilities(probs, [0], 2)
+        assert np.allclose(marg, [0, 1])
+
+    def test_marginal_keeps_sorted_qubit_order(self, sim):
+        # qubit 2 is |1>, qubits 0,1 are |0>
+        qc = QuantumCircuit(3).x(2)
+        probs = sim.probabilities(qc)
+        marg = marginal_probabilities(probs, [0, 2], 3)
+        # bit 0 = qubit 0 (=0), bit 1 = qubit 2 (=1) -> index 2
+        assert np.isclose(marg[2], 1.0)
+
+    def test_marginal_total_mass(self, sim, ghz4):
+        probs = sim.probabilities(ghz4)
+        marg = marginal_probabilities(probs, [1, 2], 4)
+        assert np.isclose(marg.sum(), 1.0)
+
+    def test_keep_all_is_identity(self, sim, bell):
+        probs = sim.probabilities(bell)
+        assert np.allclose(marginal_probabilities(probs, [0, 1], 2), probs)
+
+
+class TestSampling:
+    def test_sample_counts_total(self, sim, bell):
+        counts = sim.sample(bell, shots=1000, rng=np.random.default_rng(0))
+        assert sum(counts.values()) == 1000
+        assert set(counts) <= {"00", "11"}
+
+    def test_sample_reproducible(self, sim, bell):
+        a = sim.sample(bell, 500, rng=np.random.default_rng(42))
+        b = sim.sample(bell, 500, rng=np.random.default_rng(42))
+        assert a == b
+
+    def test_expectation_diagonal(self, sim):
+        qc = QuantumCircuit(1).x(0)
+        value = sim.expectation_diagonal(qc, np.array([0.0, 3.0]))
+        assert np.isclose(value, 3.0)
+
+    def test_expectation_dimension_check(self, sim):
+        with pytest.raises(SimulationError):
+            sim.expectation_diagonal(QuantumCircuit(1), np.zeros(4))
+
+
+class TestApplyGateFunction:
+    def test_two_qubit_gate_on_nonadjacent_qubits(self):
+        state = np.zeros(8, dtype=complex)
+        state[1] = 1.0  # qubit 0 set
+        out = apply_gate_to_statevector(state, gate_matrix("cx"), (0, 2), 3)
+        assert np.isclose(abs(out[5]), 1.0)  # qubits 0 and 2 set
+
+    def test_dimension_mismatch(self):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1.0
+        with pytest.raises(SimulationError):
+            apply_gate_to_statevector(state, gate_matrix("cx"), (0,), 2)

@@ -1,0 +1,112 @@
+"""Tests for CPM subset generation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    all_pair_subsets,
+    random_subsets,
+    sliding_window_subsets,
+    validate_subsets,
+)
+from repro.exceptions import ReconstructionError
+
+
+class TestSlidingWindow:
+    def test_paper_example(self):
+        """§4.2.1: 4 qubits, size 2 -> (0,1), (1,2), (2,3), (0,3)."""
+        subsets = sliding_window_subsets(4, 2)
+        assert subsets == [(0, 1), (1, 2), (2, 3), (0, 3)]
+
+    def test_count_equals_num_qubits(self):
+        assert len(sliding_window_subsets(12, 2)) == 12
+        assert len(sliding_window_subsets(10, 5)) == 10
+
+    def test_every_qubit_covered_size_times(self):
+        subsets = sliding_window_subsets(8, 3)
+        coverage = {q: 0 for q in range(8)}
+        for subset in subsets:
+            for q in subset:
+                coverage[q] += 1
+        assert all(count == 3 for count in coverage.values())
+
+    def test_full_size_collapses_to_one(self):
+        assert sliding_window_subsets(4, 4) == [(0, 1, 2, 3)]
+
+    def test_size_one_rejected(self):
+        """Measuring a single qubit captures zero correlation (§4.2.1)."""
+        with pytest.raises(ReconstructionError):
+            sliding_window_subsets(4, 1)
+
+    def test_size_exceeds_program(self):
+        with pytest.raises(ReconstructionError):
+            sliding_window_subsets(3, 5)
+
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=2, max_value=6),
+    )
+    def test_subsets_sorted_unique(self, n, size):
+        if size > n:
+            return
+        subsets = sliding_window_subsets(n, size)
+        assert len(set(subsets)) == len(subsets)
+        for subset in subsets:
+            assert list(subset) == sorted(set(subset))
+            assert len(subset) == size
+
+
+class TestRandomSubsets:
+    def test_count_and_size(self):
+        subsets = random_subsets(10, 2, 8, seed=0)
+        assert len(subsets) == 8
+        assert all(len(s) == 2 for s in subsets)
+
+    def test_distinct(self):
+        subsets = random_subsets(6, 2, 10, seed=1)
+        assert len(set(subsets)) == 10
+
+    def test_coverage_enforced(self):
+        subsets = random_subsets(12, 2, 12, ensure_coverage=True, seed=2)
+        covered = {q for subset in subsets for q in subset}
+        assert covered == set(range(12))
+
+    def test_coverage_impossible_rejected(self):
+        with pytest.raises(ReconstructionError):
+            random_subsets(12, 2, 3, ensure_coverage=True, seed=0)
+
+    def test_too_many_requested(self):
+        with pytest.raises(ReconstructionError):
+            random_subsets(4, 2, 7, seed=0)  # only 6 pairs exist
+
+    def test_reproducible(self):
+        a = random_subsets(10, 3, 5, seed=42)
+        b = random_subsets(10, 3, 5, seed=42)
+        assert a == b
+
+
+class TestAllPairs:
+    def test_count_is_n_choose_2(self):
+        assert len(all_pair_subsets(12)) == 66  # the paper's 12C2
+
+    def test_pairs_sorted(self):
+        for a, b in all_pair_subsets(5):
+            assert a < b
+
+
+class TestValidate:
+    def test_normalises_order(self):
+        assert validate_subsets([(3, 1)], 4) == [(1, 3)]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ReconstructionError):
+            validate_subsets([(0, 9)], 4)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ReconstructionError):
+            validate_subsets([(1, 1)], 4)
+
+    def test_rejects_empty_family(self):
+        with pytest.raises(ReconstructionError):
+            validate_subsets([], 4)

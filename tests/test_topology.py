@@ -1,0 +1,112 @@
+"""Tests for device coupling topologies."""
+
+import networkx as nx
+import pytest
+
+from repro.devices import (
+    falcon27,
+    grid_topology,
+    heavy_hex_topology,
+    hummingbird65,
+    line_topology,
+    ring_topology,
+    sycamore_grid,
+    validate_topology,
+)
+from repro.exceptions import DeviceError
+
+
+class TestGenerators:
+    def test_line(self):
+        graph = line_topology(5)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 4
+        assert max(dict(graph.degree).values()) == 2
+
+    def test_line_single_qubit(self):
+        assert line_topology(1).number_of_nodes() == 1
+
+    def test_line_invalid(self):
+        with pytest.raises(DeviceError):
+            line_topology(0)
+
+    def test_ring(self):
+        graph = ring_topology(6)
+        assert graph.number_of_edges() == 6
+        assert all(d == 2 for _, d in graph.degree)
+
+    def test_ring_too_small(self):
+        with pytest.raises(DeviceError):
+            ring_topology(2)
+
+    def test_grid(self):
+        graph = grid_topology(3, 4)
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == 3 * 3 + 2 * 4
+
+    def test_grid_invalid(self):
+        with pytest.raises(DeviceError):
+            grid_topology(0, 3)
+
+    def test_heavy_hex_connected_low_degree(self):
+        graph = heavy_hex_topology(3, 9)
+        assert nx.is_connected(graph)
+        assert max(dict(graph.degree).values()) <= 3
+
+    def test_heavy_hex_invalid(self):
+        with pytest.raises(DeviceError):
+            heavy_hex_topology(0, 5)
+
+
+class TestDeviceMaps:
+    def test_falcon27_shape(self):
+        graph = falcon27()
+        assert graph.number_of_nodes() == 27
+        assert graph.number_of_edges() == 28
+        assert nx.is_connected(graph)
+        # Heavy-hex family: degree at most 3.
+        assert max(dict(graph.degree).values()) <= 3
+
+    def test_hummingbird65_shape(self):
+        graph = hummingbird65()
+        assert graph.number_of_nodes() == 65
+        assert nx.is_connected(graph)
+        assert max(dict(graph.degree).values()) <= 3
+
+    def test_sycamore_shape(self):
+        graph = sycamore_grid()
+        assert graph.number_of_nodes() == 53
+        assert nx.is_connected(graph)
+
+    def test_all_device_maps_validate(self):
+        for factory in (falcon27, hummingbird65, sycamore_grid):
+            validate_topology(factory())
+
+
+class TestValidation:
+    def test_empty_graph(self):
+        with pytest.raises(DeviceError):
+            validate_topology(nx.Graph())
+
+    def test_non_contiguous_nodes(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 2])
+        graph.add_edge(0, 2)
+        with pytest.raises(DeviceError):
+            validate_topology(graph)
+
+    def test_disconnected(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        with pytest.raises(DeviceError):
+            validate_topology(graph)
+
+    def test_self_loop(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(2))
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 0)
+        with pytest.raises(DeviceError):
+            validate_topology(graph)

@@ -1,0 +1,98 @@
+"""Tests for the Pauli-trajectory simulator — and the validation of the
+fast noise model's locality abstraction against it."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.noise import NoiseModel
+from repro.sim import StatevectorSimulator
+from repro.sim.trajectory import PauliTrajectorySimulator
+
+
+@pytest.fixture
+def ghz6():
+    qc = QuantumCircuit(6)
+    qc.h(0)
+    for i in range(5):
+        qc.cx(i, i + 1)
+    return qc.measure_all()
+
+
+class TestBasics:
+    def test_zero_error_matches_ideal(self, bell):
+        sim = PauliTrajectorySimulator(error_1q=0.0, error_2q=0.0, seed=0)
+        counts = sim.sample(bell, shots=2000)
+        total = sum(counts.values())
+        ideal = StatevectorSimulator().ideal_distribution(bell)
+        for key, prob in ideal.items():
+            assert counts.get(key, 0) / total == pytest.approx(prob, abs=0.05)
+
+    def test_counts_sum_to_shots(self, ghz6):
+        sim = PauliTrajectorySimulator(error_2q=0.02, seed=1)
+        counts = sim.sample(ghz6, shots=500)
+        assert sum(counts.values()) == 500
+
+    def test_errors_reduce_pst(self, ghz6):
+        clean = PauliTrajectorySimulator(error_2q=0.0, seed=2)
+        noisy = PauliTrajectorySimulator(error_2q=0.08, seed=2)
+        clean_counts = clean.sample(ghz6, 1500)
+        noisy_counts = noisy.sample(ghz6, 1500)
+
+        def pst(counts):
+            total = sum(counts.values())
+            return (
+                counts.get("000000", 0) + counts.get("111111", 0)
+            ) / total
+
+        assert pst(noisy_counts) < pst(clean_counts)
+
+    def test_requires_measurements(self):
+        sim = PauliTrajectorySimulator(seed=0)
+        with pytest.raises(SimulationError):
+            sim.sample(QuantumCircuit(2).h(0), 10)
+
+    def test_invalid_rates(self):
+        with pytest.raises(SimulationError):
+            PauliTrajectorySimulator(error_1q=1.5)
+
+    def test_pattern_cache_cap(self, ghz6):
+        sim = PauliTrajectorySimulator(error_1q=0.5, error_2q=0.5, seed=3)
+        with pytest.raises(SimulationError):
+            sim.sample(ghz6, shots=5000, max_cached_patterns=4)
+
+
+class TestLocalityValidation:
+    """Grounds the fast model's gate_failure_flip_rate abstraction."""
+
+    def test_corruption_is_local_not_uniform(self, ghz6):
+        """Failing trajectories land near ideal outcomes, not uniformly.
+
+        A uniform scramble over 6 bits would give a mean Hamming distance
+        of ~3 to the nearest of the two GHZ outcomes; single-Pauli
+        trajectories stay well below that.
+        """
+        sim = PauliTrajectorySimulator(error_2q=0.05, seed=4)
+        stats = sim.failure_statistics(ghz6, shots=200)
+        assert stats["mean_hamming_distance"] < 2.6
+
+    def test_per_bit_flip_rate_near_fast_model_default(self, ghz6):
+        """The fast model's default flip rate sits in the trajectory range."""
+        sim = PauliTrajectorySimulator(error_2q=0.05, seed=5)
+        stats = sim.failure_statistics(ghz6, shots=300)
+        default = NoiseModel.__dataclass_fields__[
+            "gate_failure_flip_rate"
+        ].default
+        # The empirical per-bit corruption of single-gate failures is the
+        # same order as the abstraction (within a factor of ~2.5).
+        assert 0.4 * stats["per_bit_flip_rate"] < default < 2.5 * stats[
+            "per_bit_flip_rate"
+        ]
+
+    def test_failure_statistics_fields(self, ghz6):
+        sim = PauliTrajectorySimulator(error_2q=0.05, seed=6)
+        stats = sim.failure_statistics(ghz6, shots=50)
+        assert stats["num_failures"] == 50
+        assert 0 <= stats["per_bit_flip_rate"] <= 1
+        assert stats["max_hamming_distance"] <= 6

@@ -1,0 +1,140 @@
+"""Tests for trial-budget planning (Appendix A.2) and the §7 model."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ScalabilityModel,
+    cpm_trial_estimate,
+    plan_trial_budget,
+    table7_rows,
+    trials_for_outcome,
+    trials_to_observe_all,
+)
+from repro.exceptions import ReconstructionError, ReproError
+
+
+class TestTrialFormulas:
+    def test_single_outcome_formula(self):
+        """Eq. 8: t = -ln(1-P) * N."""
+        assert trials_for_outcome(4, 0.99) == math.ceil(-math.log(0.01) * 4)
+
+    def test_all_outcomes_formula(self):
+        """Eq. 9: t = -ln(1-P) * N^2."""
+        assert trials_to_observe_all(4, 0.99) == math.ceil(
+            -math.log(0.01) * 16
+        )
+
+    def test_paper_150_trials_claim(self):
+        """Appendix A.2: a size-2 CPM needs ~150 trials at 99.99 %."""
+        estimate = cpm_trial_estimate(2, confidence=0.9999)
+        assert 140 <= estimate <= 160
+
+    def test_jigsawm_still_thousands(self):
+        """Appendix A.2: JigSaw-M's larger CPMs need a few thousand trials."""
+        estimate = cpm_trial_estimate(5, confidence=0.9999)
+        assert 9_000 <= estimate <= 10_000
+
+    def test_confidence_bounds(self):
+        with pytest.raises(ReconstructionError):
+            trials_for_outcome(4, 1.0)
+        with pytest.raises(ReconstructionError):
+            trials_for_outcome(4, 0.0)
+
+    def test_invalid_outcomes(self):
+        with pytest.raises(ReconstructionError):
+            trials_to_observe_all(0, 0.9)
+
+    def test_invalid_subset_size(self):
+        with pytest.raises(ReconstructionError):
+            cpm_trial_estimate(0)
+
+
+class TestBudgetPlan:
+    def test_even_split(self):
+        plan = plan_trial_budget(32_768, [2], [16], global_fraction=0.5)
+        assert plan["global_trials"] == 16_384
+        assert plan["trials_per_cpm"] == 1_024
+        assert plan["layers"][0]["sufficient"] is True
+
+    def test_insufficient_flagged(self):
+        plan = plan_trial_budget(640, [5], [16])
+        assert plan["layers"][0]["sufficient"] is False
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ReconstructionError):
+            plan_trial_budget(1000, [2, 3], [4])
+
+    def test_zero_cpms_rejected(self):
+        with pytest.raises(ReconstructionError):
+            plan_trial_budget(1000, [2], [0])
+
+
+class TestScalabilityModel:
+    def test_table7_jigsaw_ops_100q(self):
+        """Table 7: JigSaw, n=100, eps=0.05, T=1024K -> 21.0 M ops."""
+        model = ScalabilityModel(100, 100, (5,), 0.05, 0.05, 1024 * 1024)
+        assert model.operations_millions() == pytest.approx(21.0, rel=0.01)
+
+    def test_table7_jigsawm_ops_100q(self):
+        """Table 7: JigSaw-M, n=100, eps=0.05, T=1024K -> 83.9 M ops."""
+        model = ScalabilityModel(
+            100, 100, (5, 10, 15, 20), 0.05, 0.05, 1024 * 1024
+        )
+        assert model.operations_millions() == pytest.approx(83.9, rel=0.01)
+
+    def test_table7_jigsaw_memory_upper_bound(self):
+        """Table 7: JigSaw, n=100, eps=1, T=1024K -> 0.96 GB."""
+        model = ScalabilityModel(100, 100, (5,), 1.0, 1.0, 1024 * 1024)
+        assert model.memory_gb() == pytest.approx(0.96, abs=0.02)
+
+    def test_table7_jigsawm_memory_upper_bound(self):
+        """Table 7: JigSaw-M, n=100, eps=1, T=1024K -> 3.97 GB."""
+        model = ScalabilityModel(
+            100, 100, (5, 10, 15, 20), 1.0, 1.0, 1024 * 1024
+        )
+        assert model.memory_gb() == pytest.approx(3.97, abs=0.1)
+
+    def test_table7_500q_ops(self):
+        """Table 7: JigSaw, n=500, eps=0.05, T=32K -> 3.28 M ops."""
+        model = ScalabilityModel(500, 500, (5,), 0.05, 0.05, 32 * 1024)
+        assert model.operations_millions() == pytest.approx(3.28, rel=0.01)
+
+    def test_linear_in_trials(self):
+        small = ScalabilityModel(100, 100, (5,), 0.05, 0.05, 32 * 1024)
+        large = ScalabilityModel(100, 100, (5,), 0.05, 0.05, 64 * 1024)
+        assert large.operations() == pytest.approx(2 * small.operations(), rel=1e-6)
+
+    def test_linear_in_qubits(self):
+        """§7.4: complexity is linear in qubits (N = n CPMs)."""
+        small = ScalabilityModel(100, 100, (5,), 0.05, 0.05, 32 * 1024)
+        large = ScalabilityModel(500, 500, (5,), 0.05, 0.05, 32 * 1024)
+        assert large.operations() == pytest.approx(
+            5 * small.operations(), rel=1e-6
+        )
+
+    def test_local_entries_capped_by_outcomes(self):
+        model = ScalabilityModel(100, 100, (2,), 0.05, 0.05, 1024 * 1024)
+        assert model.local_entries(2) == 4  # min(2^2, delta*T)
+
+    def test_local_entries_capped_by_trials(self):
+        model = ScalabilityModel(100, 100, (20,), 0.05, 0.05, 32 * 1024)
+        assert model.local_entries(20) == int(0.05 * 32 * 1024)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            ScalabilityModel(0, 1, (2,), 0.5, 0.5, 100)
+        with pytest.raises(ReproError):
+            ScalabilityModel(10, 10, (2,), 1.5, 0.5, 100)
+        with pytest.raises(ReproError):
+            ScalabilityModel(10, 10, (), 0.5, 0.5, 100)
+
+    def test_table7_rows_complete(self):
+        rows = table7_rows()
+        assert len(rows) == 8
+        for row in rows:
+            assert row["jigsawm_memory_gb"] >= row["jigsaw_memory_gb"]
+            assert row["jigsawm_ops_millions"] == pytest.approx(
+                4 * row["jigsaw_ops_millions"], rel=1e-6
+            )

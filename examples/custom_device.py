@@ -44,8 +44,12 @@ def main() -> None:
     print(f"Vulnerable qubits (>75th pct readout): "
           f"{device.vulnerable_qubits()}\n")
 
+    # Plan first (compile global + CPMs, split the budget), then execute:
+    # the plan is inspectable before a single trial is spent.
     jigsaw = JigSaw(device, JigSawConfig(exact=True), seed=8)
-    result = jigsaw.run(workload.circuit, total_trials=32_768)
+    plan = jigsaw.plan(workload.circuit, total_trials=32_768)
+    print(f"Plan: {plan.describe()}\n")
+    result = jigsaw.execute(plan)
 
     readout = device.calibration.readout_error
     print("Global mapping measures physical qubits:",

@@ -9,8 +9,8 @@ Run:  python examples/qaoa_maxcut.py
 """
 
 from repro.devices import ibmq_paris
-from repro.experiments import SchemeRunner
 from repro.metrics import approximation_ratio, workload_arg
+from repro.runtime import Session
 from repro.workloads import qaoa_maxcut
 
 
@@ -29,11 +29,11 @@ def main() -> None:
     print(f"Noise-free approximation ratio: {ar_ideal:.3f}")
     print(f"MaxCut solutions: {workload.correct_outcomes}\n")
 
-    runner = SchemeRunner(device, seed=3, exact=True)
+    session = Session(device, seed=3, exact=True)
     print(f"{'Scheme':12s}  {'PST':>7s}  {'ARG (%)':>8s}")
     for scheme in ("baseline", "edm", "jigsaw", "jigsaw_m"):
-        pmf = runner.run_scheme(scheme, workload)
-        metrics = runner.evaluate(workload, pmf)
+        pmf = session.run_scheme(scheme, workload)
+        metrics = session.evaluate(workload, pmf)
         print(f"{scheme:12s}  {metrics.pst:7.4f}  {metrics.arg:8.2f}")
 
     print(

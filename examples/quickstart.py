@@ -5,13 +5,18 @@ baseline, JigSaw, and JigSaw-M — and prints the probability of a
 successful trial for each, reproducing the paper's headline effect in
 under a minute.
 
+The run goes through the runtime API: a :class:`~repro.runtime.Session`
+binds the device, an execution backend, and a compilation cache; each
+scheme is *planned* (subsets chosen, global circuit + CPMs compiled,
+trial budget split) and then *executed* (the whole batch evaluated in
+one backend call, then Bayesian reconstruction).
+
 Run:  python examples/quickstart.py
 """
 
-from repro import JigSaw, JigSawM
-from repro.core import JigSawConfig, JigSawMConfig
 from repro.devices import ibmq_toronto
 from repro.metrics import probability_of_successful_trial
+from repro.runtime import Session
 from repro.workloads import ghz
 
 
@@ -22,10 +27,14 @@ def main() -> None:
     print(f"Workload: {workload.name}, correct outcomes: "
           f"{workload.correct_outcomes}")
 
+    session = Session(device, seed=1, exact=False, total_trials=65_536)
+
     # JigSaw: half the trials in global mode, half across size-2 CPMs,
-    # Bayesian reconstruction at the end (paper Fig. 4).
-    jigsaw = JigSaw(device, JigSawConfig(exact=False), seed=1)
-    result = jigsaw.run(workload.circuit, total_trials=65_536)
+    # Bayesian reconstruction at the end (paper Fig. 4).  plan() compiles
+    # (and caches); run() batch-executes and reconstructs.
+    plan = session.plan(workload, scheme="jigsaw")
+    print(f"\nPlan: {plan.describe()}")
+    result = session.run(plan)
 
     baseline_pst = probability_of_successful_trial(
         result.global_pmf, workload.correct_outcomes
@@ -35,12 +44,8 @@ def main() -> None:
     )
 
     # JigSaw-M: CPMs of sizes 2..5, reconstructed largest-size first.
-    jigsaw_m = JigSawM(device, JigSawMConfig(exact=False), seed=1)
-    result_m = jigsaw_m.run(
-        workload.circuit,
-        total_trials=65_536,
-        global_executable=result.global_executable,
-    )
+    # The session reuses the same baseline mapping automatically.
+    result_m = session.run(session.plan(workload, scheme="jigsaw_m"))
     jigsaw_m_pst = probability_of_successful_trial(
         result_m.output_pmf, workload.correct_outcomes
     )
@@ -59,6 +64,10 @@ def main() -> None:
     for outcome, probability in result_m.output_pmf.top(4):
         marker = " <- correct" if outcome in workload.correct_outcomes else ""
         print(f"  {outcome}  {probability:.4f}{marker}")
+
+    stats = session.cache_stats()
+    print(f"\nCompilation cache: {stats['hits']} hits, "
+          f"{stats['misses']} misses (rerun a plan and watch hits grow)")
 
 
 if __name__ == "__main__":

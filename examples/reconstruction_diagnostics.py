@@ -30,7 +30,8 @@ def main() -> None:
     print(draw(workload.circuit))
 
     jigsaw = JigSaw(device, JigSawConfig(exact=False), seed=17)
-    result = jigsaw.run(workload.circuit, total_trials=65_536)
+    plan = jigsaw.plan(workload.circuit, total_trials=65_536)
+    result = jigsaw.execute(plan)
 
     print("\n1. CPM marginal quality (TVD to the ideal marginal):")
     print(f"   {'subset':10s} {'CPM':>8s} {'from global':>12s}  verdict")

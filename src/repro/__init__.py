@@ -3,19 +3,25 @@
 JigSaw boosts the fidelity of NISQ programs by running half of the trials
 with all qubits measured (global mode) and half with small measured subsets
 (subset mode), then Bayesian-updating the global PMF with the high-fidelity
-local PMFs.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
-the per-table/figure reproduction record.
+local PMFs.  See ``docs/ARCHITECTURE.md`` for the system design — in
+particular the runtime API (plan -> compile -> batch-execute ->
+reconstruct) and how the legacy entry points map onto it.
 
 Public API highlights::
 
     from repro import QuantumCircuit, JigSaw, JigSawM
     from repro.devices import ibmq_toronto
+    from repro.runtime import Session
     from repro.workloads import ghz
 
     device = ibmq_toronto(seed=7)
     program = ghz(4)
     result = JigSaw(device, seed=11).run(program, total_trials=8192)
     print(result.output_pmf.top(3))
+
+    session = Session(device, seed=11)          # device + backend + cache
+    plan = session.plan(ghz(4))                 # compile once, inspect
+    print(session.run(plan).output_pmf.top(3))  # batch-execute + reconstruct
 """
 
 from repro.circuits import Gate, Instruction, QuantumCircuit
@@ -45,6 +51,21 @@ try:  # High-level classes appear as the build progresses; keep imports soft.
         "JigSawM",
         "bayesian_reconstruction",
         "bayesian_update",
+    ]
+except ImportError:  # pragma: no cover - during incremental development
+    pass
+
+try:
+    from repro.runtime import (  # noqa: F401
+        CompilationCache,
+        ExecutionPlan,
+        Session,
+    )
+
+    __all__ += [
+        "Session",
+        "ExecutionPlan",
+        "CompilationCache",
     ]
 except ImportError:  # pragma: no cover - during incremental development
     pass

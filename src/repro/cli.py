@@ -28,7 +28,8 @@ from repro.devices import (
     ibmq_toronto,
 )
 from repro.exceptions import ReproError
-from repro.experiments import SchemeRunner, format_table
+from repro.experiments import format_table
+from repro.runtime import Session
 from repro.workloads import workload_by_name
 
 __all__ = ["main", "build_parser"]
@@ -67,6 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--sampled", action="store_true",
         help="sample trials instead of the exact noisy distribution",
     )
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="thread count for CPM compilation fan-out",
+    )
 
     compare = sub.add_parser(
         "compare", help="compare baseline/EDM/JigSaw/JigSaw-M"
@@ -85,13 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args: argparse.Namespace) -> str:
     device = _device(args.device)
     workload = workload_by_name(args.workload)
-    runner = SchemeRunner(
+    session = Session(
         device, seed=args.seed, total_trials=args.trials,
-        exact=not args.sampled,
+        exact=not args.sampled, compile_workers=args.workers,
     )
-    result = runner.run_jigsaw(workload)
-    before = runner.evaluate(workload, result.global_pmf)
-    after = runner.evaluate(workload, result.output_pmf)
+    result = session.run(session.plan(workload, scheme="jigsaw"))
+    before = session.evaluate(workload, result.global_pmf)
+    after = session.evaluate(workload, result.output_pmf)
     rows = [
         ["global (baseline)", before.pst, before.ist, before.fidelity],
         ["JigSaw output", after.pst, after.ist, after.fidelity],
@@ -112,14 +117,14 @@ def _cmd_run(args: argparse.Namespace) -> str:
 def _cmd_compare(args: argparse.Namespace) -> str:
     device = _device(args.device)
     workload = workload_by_name(args.workload)
-    runner = SchemeRunner(
+    session = Session(
         device, seed=args.seed, total_trials=args.trials,
         exact=not args.sampled,
     )
     rows: List[List[object]] = []
     base = None
     for scheme in ("baseline", "edm", "jigsaw", "jigsaw_m"):
-        metrics = runner.evaluate(workload, runner.run_scheme(scheme, workload))
+        metrics = session.evaluate(workload, session.run_scheme(scheme, workload))
         if base is None:
             base = metrics
         rows.append(
@@ -132,10 +137,13 @@ def _cmd_compare(args: argparse.Namespace) -> str:
                 metrics.arg,
             ]
         )
+    stats = session.cache_stats()
     return format_table(
         ["Scheme", "PST", "Rel PST", "IST", "Fidelity", "ARG (%)"],
         rows,
         title=f"Scheme comparison on {workload.name} / {device.name}",
+    ) + (
+        f"\nplan cache: {stats['hits']} hits / {stats['misses']} misses"
     )
 
 

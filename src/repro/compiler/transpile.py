@@ -10,6 +10,7 @@ strongest readout qubits.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -25,7 +26,29 @@ from repro.exceptions import CompilationError
 from repro.sim.statevector import StatevectorSimulator
 from repro.utils.random import SeedLike, as_generator, spawn
 
-__all__ = ["ExecutableCircuit", "transpile"]
+__all__ = [
+    "ExecutableCircuit",
+    "transpile",
+    "transpile_call_count",
+    "reset_transpile_call_count",
+]
+
+# Process-wide transpilation counter.  Compilation is the dominant cost of
+# planning, so the cache benchmarks assert on this instead of wall time.
+_call_count_lock = threading.Lock()
+_call_count = 0
+
+
+def transpile_call_count() -> int:
+    """Number of ``transpile()`` invocations since the last reset."""
+    return _call_count
+
+
+def reset_transpile_call_count() -> None:
+    """Reset the process-wide transpilation counter to zero."""
+    global _call_count
+    with _call_count_lock:
+        _call_count = 0
 
 
 @dataclass
@@ -107,6 +130,9 @@ def transpile(
     """
     if attempts < 1:
         raise CompilationError("attempts must be >= 1")
+    global _call_count
+    with _call_count_lock:
+        _call_count += 1
     rng = as_generator(seed)
     if initial_layouts is None:
         layouts = candidate_layouts(

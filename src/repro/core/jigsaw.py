@@ -1,30 +1,31 @@
 """The JigSaw framework (paper §4).
 
-:class:`JigSaw` orchestrates the full pipeline:
+:class:`JigSaw` orchestrates the full pipeline as two first-class stages:
 
-1. **Global mode** — compile the program with the noise-aware baseline
-   compiler and spend half the trial budget measuring *all* qubits,
-   producing the global PMF (full correlation, low fidelity).
-2. **Subset mode** — build one Circuit with Partial Measurements per
-   sliding-window subset (size 2 by default), recompile each so its
-   measurements land on the best readout qubits without extra SWAPs, and
-   spend the other half of the budget evenly across them, producing
-   high-fidelity local PMFs.
-3. **Reconstruction** — Bayesian-update the global PMF with every local
-   PMF until convergence.
+1. :meth:`JigSaw.plan` — **plan & compile**: choose the measurement
+   subsets (sliding window of size 2 by default), compile the program
+   with the noise-aware baseline compiler, build and recompile one
+   Circuit with Partial Measurements per subset, and split the trial
+   budget.  The result is an :class:`~repro.runtime.plan.ExecutionPlan`
+   — serializable, inspectable, and cacheable through a
+   :class:`~repro.runtime.cache.CompilationCache`.
+2. :meth:`JigSaw.execute` — **batch-execute & reconstruct**: evaluate
+   the plan's batch (global circuit + every CPM) on a
+   :class:`~repro.runtime.backend.Backend` and Bayesian-update the
+   global PMF with every local PMF until convergence.
 
-The runner supports an ``exact`` mode that replaces sampling with the
-closed-form noisy distributions (the infinite-trials limit); the paper
-notes fidelity saturates in trials (Fig. 7), so exact mode is the
-deterministic, fast stand-in used by most benches.
+:meth:`JigSaw.run` chains the two and remains the convenient entry
+point.  The default backend is local simulation: exact mode evaluates
+the closed-form noisy distributions (the infinite-trials limit; the
+paper notes fidelity saturates in trials, Fig. 7), sampling mode draws
+the allocated trials.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.cpm_compile import compile_cpm
@@ -44,7 +45,14 @@ from repro.devices.device import Device
 from repro.exceptions import ReconstructionError
 from repro.noise.model import NoiseModel
 from repro.noise.sampler import NoisySampler
-from repro.sim.statevector import StatevectorSimulator
+from repro.runtime.backend import Backend, local_backend
+from repro.runtime.cache import CompilationCache
+from repro.runtime.fingerprint import (
+    circuit_fingerprint,
+    config_fingerprint,
+    executable_fingerprint,
+)
+from repro.runtime.plan import ExecutionPlan, PlanLayer
 from repro.utils.random import SeedLike, as_generator, spawn
 
 __all__ = ["JigSawConfig", "JigSawResult", "JigSaw", "measured_positions_map"]
@@ -98,6 +106,11 @@ class JigSawConfig:
     max_rounds: int = DEFAULT_MAX_ROUNDS
     #: Use closed-form noisy distributions instead of sampling trials.
     exact: bool = False
+    #: Thread count for fanning CPM compilation out over
+    #: ``concurrent.futures``; ``None``/``1`` compiles serially.  Results
+    #: are identical either way: every CPM compiles from its own
+    #: pre-spawned seed.
+    compile_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.global_fraction < 1.0:
@@ -120,6 +133,8 @@ class JigSawResult:
     cpm_executables: List[ExecutableCircuit]
     global_trials: int
     trials_per_cpm: int
+    #: The plan this result was executed from (when run via plan/execute).
+    plan: Optional[ExecutionPlan] = None
 
     @property
     def total_trials(self) -> int:
@@ -127,19 +142,61 @@ class JigSawResult:
 
 
 class JigSaw:
-    """JigSaw runner bound to one device (paper §4, Fig. 4)."""
+    """JigSaw runner bound to one device (paper §4, Fig. 4).
+
+    Args:
+        device: the target device.
+        config: pipeline knobs (see :class:`JigSawConfig`).
+        seed: RNG seed; drives compilation exploration and sampling.
+        backend: execution engine; defaults to local simulation matching
+            ``config.exact``.
+        cache: optional :class:`CompilationCache`; when set, ``plan`` and
+            ``run`` reuse compiled plans for identical (circuit, device,
+            config) keys instead of recompiling.
+        cache_salt: extra cache-key component.  Share a cache between
+            runners only under the same salt+seed if bit-for-bit
+            reproducibility matters: a hit replays the compilation of the
+            first planning call for that key.
+    """
+
+    #: Plan scheme tag; :class:`~repro.core.multilayer.JigSawM` overrides.
+    scheme = "jigsaw"
+
+    #: Config knobs that cannot affect the compiled artifact — excluded
+    #: from the plan-cache key so e.g. a tolerance sweep or an exact vs
+    #: sampled comparison still reuses compilations.  (global_fraction is
+    #: excluded too: the trial split is recomputed on every cache hit.)
+    _EXECUTION_ONLY_CONFIG_FIELDS = (
+        "global_fraction",
+        "tolerance",
+        "max_rounds",
+        "exact",
+        "compile_workers",
+    )
 
     def __init__(
         self,
         device: Device,
         config: Optional[JigSawConfig] = None,
         seed: SeedLike = None,
+        backend: Optional[Backend] = None,
+        cache: Optional[CompilationCache] = None,
+        cache_salt: str = "",
     ) -> None:
         self.device = device
         self.config = config or JigSawConfig()
         self._rng = as_generator(seed)
         self.noise_model = NoiseModel.from_device(device)
         self.sampler = NoisySampler(self.noise_model, seed=spawn(self._rng, 1)[0])
+        self.backend = backend
+        self.cache = cache
+        self.cache_salt = cache_salt
+
+    def _resolve_backend(self) -> Backend:
+        """The configured backend, or the local default for this config."""
+        if self.backend is not None:
+            return self.backend
+        return local_backend(self.sampler, self.config.exact)
 
     # ------------------------------------------------------------------
     # Planning helpers
@@ -161,13 +218,19 @@ class JigSaw:
         )
 
     def split_trials(self, total_trials: int, num_cpms: int) -> Tuple[int, int]:
-        """(global trials, trials per CPM) under the configured split."""
+        """(global trials, trials per CPM) under the configured split.
+
+        The integer split can leave a remainder; it is folded into the
+        global allocation so no trial of the budget is silently dropped —
+        ``global + per_cpm * num_cpms == total_trials`` always holds.
+        """
         if total_trials < 2 * (num_cpms + 1):
             raise ReconstructionError(
                 f"{total_trials} trials are too few for {num_cpms} CPMs"
             )
         global_trials = int(round(total_trials * self.config.global_fraction))
         per_cpm = (total_trials - global_trials) // num_cpms
+        global_trials = total_trials - per_cpm * num_cpms
         return global_trials, per_cpm
 
     # ------------------------------------------------------------------
@@ -198,31 +261,189 @@ class JigSaw:
         subsets: Sequence[Tuple[int, ...]],
         global_executable: ExecutableCircuit,
     ) -> List[ExecutableCircuit]:
-        """Compile every CPM (recompiled or reusing the global mapping)."""
+        """Compile every CPM (recompiled or reusing the global mapping).
+
+        Every CPM compiles from its own pre-spawned seed, so the optional
+        thread fan-out (``config.compile_workers``) produces bit-identical
+        executables in the same order as the serial loop.
+        """
         seeds = spawn(self._rng, len(subsets))
-        executables = []
-        for subset, seed in zip(subsets, seeds):
+
+        def _compile_one(subset_and_seed) -> ExecutableCircuit:
+            subset, seed = subset_and_seed
             cpm_circuit = self.build_cpm_circuit(circuit, subset)
-            executables.append(
-                compile_cpm(
-                    cpm_circuit,
-                    self.device,
-                    global_executable,
-                    recompile=self.config.recompile_cpms,
-                    attempts=self.config.cpm_attempts,
-                    vulnerable_percentile=self.config.vulnerable_percentile,
-                    seed=seed,
-                )
+            return compile_cpm(
+                cpm_circuit,
+                self.device,
+                global_executable,
+                recompile=self.config.recompile_cpms,
+                attempts=self.config.cpm_attempts,
+                vulnerable_percentile=self.config.vulnerable_percentile,
+                seed=seed,
             )
-        return executables
+
+        workers = self.config.compile_workers
+        if workers and workers > 1 and len(subsets) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_compile_one, zip(subsets, seeds)))
+        return [_compile_one(pair) for pair in zip(subsets, seeds)]
 
     # ------------------------------------------------------------------
-    # Execution
+    # Stage 1: plan & compile
+    # ------------------------------------------------------------------
+
+    def _layer_subsets(
+        self,
+        circuit: QuantumCircuit,
+        subsets: Optional[Sequence[Sequence[int]]],
+    ) -> List[Tuple[int, List[Tuple[int, ...]]]]:
+        """(subset size, subsets) per plan layer; JigSaw has one layer."""
+        chosen = self.generate_subsets(circuit, subsets)
+        return [(len(chosen[0]), chosen)]
+
+    def _build_plan(
+        self,
+        circuit: QuantumCircuit,
+        total_trials: int,
+        subsets: Optional[Sequence[Sequence[int]]],
+        global_executable: Optional[ExecutableCircuit],
+    ) -> ExecutionPlan:
+        layer_specs = self._layer_subsets(circuit, subsets)
+        compile_spawns = 0
+        if global_executable is None:
+            global_executable = self.compile_global(circuit)
+            compile_spawns += 1
+        layers = []
+        for size, layer_subsets in layer_specs:
+            executables = self.compile_cpms(
+                circuit, layer_subsets, global_executable
+            )
+            compile_spawns += len(layer_subsets)
+            layers.append(
+                PlanLayer(
+                    subset_size=size,
+                    subsets=tuple(tuple(s) for s in layer_subsets),
+                    executables=tuple(executables),
+                )
+            )
+        num_cpms = sum(layer.num_cpms for layer in layers)
+        global_trials, per_cpm = self.split_trials(total_trials, num_cpms)
+        return ExecutionPlan(
+            scheme=self.scheme,
+            circuit=circuit,
+            circuit_fingerprint=circuit_fingerprint(circuit),
+            device_name=self.device.name,
+            config=replace(self.config),
+            total_trials=total_trials,
+            global_trials=global_trials,
+            trials_per_cpm=per_cpm,
+            global_executable=global_executable,
+            layers=tuple(layers),
+            compile_spawns=compile_spawns,
+        )
+
+    def _plan_cache_key(
+        self,
+        circuit: QuantumCircuit,
+        global_executable: Optional[ExecutableCircuit],
+    ) -> str:
+        return CompilationCache.make_key(
+            (
+                self.scheme,
+                circuit_fingerprint(circuit),
+                self.device.name,
+                config_fingerprint(
+                    self.config, exclude=self._EXECUTION_ONLY_CONFIG_FIELDS
+                ),
+                executable_fingerprint(global_executable)
+                if global_executable is not None
+                else "auto-global",
+                self.cache_salt,
+            )
+        )
+
+    def plan(
+        self,
+        circuit: QuantumCircuit,
+        total_trials: int = 32_768,
+        subsets: Optional[Sequence[Sequence[int]]] = None,
+        global_executable: Optional[ExecutableCircuit] = None,
+    ) -> ExecutionPlan:
+        """Plan and compile a JigSaw run without executing it.
+
+        When a :class:`CompilationCache` is attached and the subsets are
+        deterministic (the default sliding method, no explicit subsets),
+        an identical prior plan is reused with only the trial split
+        recomputed; the RNG children the skipped compilation would have
+        consumed are discarded so downstream seed streams stay aligned.
+        """
+        cache = self.cache
+        key = None
+        if (
+            cache is not None
+            and subsets is None
+            and self.config.subset_method == "sliding"
+        ):
+            key = self._plan_cache_key(circuit, global_executable)
+            cached = cache.get(key)
+            if cached is not None:
+                spawn(self._rng, cached.compile_spawns)
+                global_trials, per_cpm = self.split_trials(
+                    total_trials, cached.num_cpms
+                )
+                rebudgeted = cached.with_trials(
+                    total_trials, global_trials, per_cpm
+                )
+                # The key ignores execution-only knobs, so refresh the
+                # config snapshot to this runner's (e.g. its tolerance).
+                return replace(rebudgeted, config=replace(self.config))
+        built = self._build_plan(circuit, total_trials, subsets, global_executable)
+        if key is not None:
+            cache.put(key, built)
+        return built
+
+    # ------------------------------------------------------------------
+    # Stage 2: batch-execute & reconstruct
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: ExecutionPlan) -> JigSawResult:
+        """Evaluate a plan's batch on the backend and reconstruct."""
+        if plan.scheme != self.scheme:
+            raise ReconstructionError(
+                f"{type(self).__name__} cannot execute a {plan.scheme!r} plan"
+            )
+        pmfs = self._resolve_backend().execute(plan.requests())
+        global_pmf = pmfs[0]
+        subsets = plan.subsets
+        marginals = [
+            Marginal(subset, pmf) for subset, pmf in zip(subsets, pmfs[1:])
+        ]
+        output = bayesian_reconstruction(
+            global_pmf,
+            marginals,
+            tolerance=self.config.tolerance,
+            max_rounds=self.config.max_rounds,
+        )
+        return JigSawResult(
+            output_pmf=output,
+            global_pmf=global_pmf,
+            marginals=marginals,
+            subsets=subsets,
+            global_executable=plan.global_executable,
+            cpm_executables=plan.cpm_executables,
+            global_trials=plan.global_trials,
+            trials_per_cpm=plan.trials_per_cpm,
+            plan=plan,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience: the historical one-call pipeline
     # ------------------------------------------------------------------
 
     def _pmf_from_executable(
         self, executable: ExecutableCircuit, trials: int
     ) -> PMF:
+        """Single-circuit evaluation (legacy helper; batches via backend)."""
         if self.config.exact:
             return PMF(self.sampler.exact_distribution(executable))
         return PMF.from_counts(self.sampler.run(executable, trials))
@@ -236,45 +457,15 @@ class JigSaw:
     ) -> JigSawResult:
         """Execute the full JigSaw pipeline on ``circuit``.
 
+        Thin wrapper over :meth:`plan` + :meth:`execute`.
         ``global_executable`` lets experiments reuse one baseline
         compilation across schemes so comparisons share a mapping.
         """
-        chosen_subsets = self.generate_subsets(circuit, subsets)
-        if global_executable is None:
-            global_executable = self.compile_global(circuit)
-        cpm_executables = self.compile_cpms(
-            circuit, chosen_subsets, global_executable
-        )
-
-        # One statevector serves the global circuit and every CPM: their
-        # unitary bodies are identical (§4.2.1).
-        shared = StatevectorSimulator().probabilities(circuit)
-        global_executable.share_ideal_probabilities(shared)
-        for executable in cpm_executables:
-            executable.share_ideal_probabilities(shared)
-
-        global_trials, per_cpm = self.split_trials(
-            total_trials, len(cpm_executables)
-        )
-        global_pmf = self._pmf_from_executable(global_executable, global_trials)
-        marginals = [
-            Marginal(subset, self._pmf_from_executable(executable, per_cpm))
-            for subset, executable in zip(chosen_subsets, cpm_executables)
-        ]
-
-        output = bayesian_reconstruction(
-            global_pmf,
-            marginals,
-            tolerance=self.config.tolerance,
-            max_rounds=self.config.max_rounds,
-        )
-        return JigSawResult(
-            output_pmf=output,
-            global_pmf=global_pmf,
-            marginals=marginals,
-            subsets=list(chosen_subsets),
-            global_executable=global_executable,
-            cpm_executables=cpm_executables,
-            global_trials=global_trials,
-            trials_per_cpm=per_cpm,
+        return self.execute(
+            self.plan(
+                circuit,
+                total_trials=total_trials,
+                subsets=subsets,
+                global_executable=global_executable,
+            )
         )

@@ -10,11 +10,16 @@ Reconstruction is **ordered, largest size first** (§4.4.2): the global PMF
 is first updated with the most-correlated marginals (limiting the loss of
 global correlation), and the progressively smaller, higher-fidelity
 marginals then sharpen the result.
+
+Like :class:`~repro.core.jigsaw.JigSaw`, the runner factors into
+:meth:`JigSawM.plan` (compile one plan layer per subset size) and
+:meth:`JigSawM.execute` (batch-evaluate on a backend, reconstruct
+largest-first); ``run`` chains the two.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
@@ -25,7 +30,9 @@ from repro.core.reconstruction import bayesian_reconstruction
 from repro.core.subsets import sliding_window_subsets
 from repro.devices.device import Device
 from repro.exceptions import ReconstructionError
-from repro.sim.statevector import StatevectorSimulator
+from repro.runtime.backend import Backend
+from repro.runtime.cache import CompilationCache
+from repro.runtime.plan import ExecutionPlan
 from repro.utils.random import SeedLike
 
 __all__ = ["JigSawMConfig", "JigSawMResult", "JigSawM", "ordered_reconstruction"]
@@ -71,10 +78,16 @@ class JigSawMResult:
     cpm_executables_by_size: Dict[int, List[ExecutableCircuit]]
     global_trials: int
     trials_per_cpm: int
+    #: The plan this result was executed from (when run via plan/execute).
+    plan: Optional[ExecutionPlan] = None
 
     @property
     def num_cpms(self) -> int:
         return sum(len(v) for v in self.cpm_executables_by_size.values())
+
+    @property
+    def total_trials(self) -> int:
+        return self.global_trials + self.trials_per_cpm * self.num_cpms
 
     @property
     def all_marginals(self) -> List[Marginal]:
@@ -104,13 +117,25 @@ def ordered_reconstruction(
 class JigSawM(JigSaw):
     """JigSaw-M runner: multi-size CPMs with ordered reconstruction."""
 
+    scheme = "jigsaw_m"
+
     def __init__(
         self,
         device: Device,
         config: Optional[JigSawMConfig] = None,
         seed: SeedLike = None,
+        backend: Optional[Backend] = None,
+        cache: Optional[CompilationCache] = None,
+        cache_salt: str = "",
     ) -> None:
-        super().__init__(device, config or JigSawMConfig(), seed=seed)
+        super().__init__(
+            device,
+            config or JigSawMConfig(),
+            seed=seed,
+            backend=backend,
+            cache=cache,
+            cache_salt=cache_salt,
+        )
 
     # ------------------------------------------------------------------
 
@@ -125,49 +150,40 @@ class JigSawM(JigSaw):
             for size in config.sizes_for(num_bits)
         }
 
-    def run(
+    def _layer_subsets(
         self,
         circuit: QuantumCircuit,
-        total_trials: int = 32_768,
-        subsets: Optional[Sequence[Sequence[int]]] = None,
-        global_executable: Optional[ExecutableCircuit] = None,
-    ) -> JigSawMResult:
+        subsets: Optional[Sequence[Sequence[int]]],
+    ) -> List[Tuple[int, List[Tuple[int, ...]]]]:
+        """One plan layer per configured subset size, ascending."""
         if subsets is not None:
             raise ReconstructionError(
                 "JigSawM generates its own multi-size subsets; "
                 "use JigSaw for explicit subsets"
             )
-        subsets_by_size = self.generate_subsets_by_size(circuit)
-        if global_executable is None:
-            global_executable = self.compile_global(circuit)
+        by_size = self.generate_subsets_by_size(circuit)
+        return [(size, by_size[size]) for size in sorted(by_size)]
 
-        executables_by_size: Dict[int, List[ExecutableCircuit]] = {}
-        for size, size_subsets in subsets_by_size.items():
-            executables_by_size[size] = self.compile_cpms(
-                circuit, size_subsets, global_executable
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: ExecutionPlan) -> JigSawMResult:
+        """Batch-evaluate a JigSaw-M plan and reconstruct largest-first."""
+        if plan.scheme != self.scheme:
+            raise ReconstructionError(
+                f"JigSawM cannot execute a {plan.scheme!r} plan"
             )
-
-        shared = StatevectorSimulator().probabilities(circuit)
-        global_executable.share_ideal_probabilities(shared)
-        for executables in executables_by_size.values():
-            for executable in executables:
-                executable.share_ideal_probabilities(shared)
-
-        num_cpms = sum(len(v) for v in executables_by_size.values())
-        global_trials, per_cpm = self.split_trials(total_trials, num_cpms)
-
-        global_pmf = self._pmf_from_executable(global_executable, global_trials)
+        pmfs = self._resolve_backend().execute(plan.requests())
+        global_pmf = pmfs[0]
         marginals_by_size: Dict[int, List[Marginal]] = {}
-        for size, size_subsets in subsets_by_size.items():
-            layer = []
-            for subset, executable in zip(
-                size_subsets, executables_by_size[size]
-            ):
-                layer.append(
-                    Marginal(subset, self._pmf_from_executable(executable, per_cpm))
-                )
-            marginals_by_size[size] = layer
-
+        executables_by_size: Dict[int, List[ExecutableCircuit]] = {}
+        cursor = 1
+        for layer in plan.layers:
+            marginals = []
+            for subset in layer.subsets:
+                marginals.append(Marginal(subset, pmfs[cursor]))
+                cursor += 1
+            marginals_by_size[layer.subset_size] = marginals
+            executables_by_size[layer.subset_size] = list(layer.executables)
         output = ordered_reconstruction(
             global_pmf,
             marginals_by_size,
@@ -178,8 +194,25 @@ class JigSawM(JigSaw):
             output_pmf=output,
             global_pmf=global_pmf,
             marginals_by_size=marginals_by_size,
-            global_executable=global_executable,
+            global_executable=plan.global_executable,
             cpm_executables_by_size=executables_by_size,
-            global_trials=global_trials,
-            trials_per_cpm=per_cpm,
+            global_trials=plan.global_trials,
+            trials_per_cpm=plan.trials_per_cpm,
+            plan=plan,
+        )
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        total_trials: int = 32_768,
+        subsets: Optional[Sequence[Sequence[int]]] = None,
+        global_executable: Optional[ExecutableCircuit] = None,
+    ) -> JigSawMResult:
+        return self.execute(
+            self.plan(
+                circuit,
+                total_trials=total_trials,
+                subsets=subsets,
+                global_executable=global_executable,
+            )
         )

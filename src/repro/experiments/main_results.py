@@ -15,7 +15,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.devices.device import Device
 from repro.devices.library import ibmq_manhattan, ibmq_paris, ibmq_toronto
 from repro.experiments.render import format_table
-from repro.experiments.runner import Metrics, SchemeRunner, geometric_mean
+from repro.experiments.runner import Metrics, geometric_mean
+from repro.runtime import Session
 from repro.metrics.success import relative
 from repro.utils.random import SeedLike
 from repro.workloads.suite import paper_suite
@@ -84,7 +85,7 @@ def run_main_results(
     workloads = list(workloads) if workloads is not None else paper_suite()
     rows: List[MainResultRow] = []
     for device in devices:
-        runner = SchemeRunner(
+        runner = Session(
             device, seed=seed, total_trials=total_trials, exact=exact
         )
         for workload in workloads:

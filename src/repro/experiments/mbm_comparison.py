@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.devices.device import Device
 from repro.devices.library import ibmq_paris, ibmq_toronto
 from repro.experiments.render import format_table
-from repro.experiments.runner import SchemeRunner
+from repro.runtime import Session
 from repro.metrics.success import probability_of_successful_trial, relative
 from repro.mitigation.combos import jigsaw_with_mbm, jigsawm_with_mbm
 from repro.utils.random import SeedLike
@@ -54,7 +54,7 @@ def run_figure14(
     )
     rows: List[MbmRow] = []
     for device in devices:
-        runner = SchemeRunner(
+        runner = Session(
             device, seed=seed, total_trials=total_trials, exact=exact
         )
         for name in workload_names:

@@ -12,7 +12,7 @@ from typing import List, Optional, Sequence
 
 from repro.devices.device import Device
 from repro.experiments.render import format_table
-from repro.experiments.runner import SchemeRunner
+from repro.runtime import Session
 from repro.utils.random import SeedLike
 from repro.workloads.suite import workload_by_name
 from repro.workloads.workload import Workload
@@ -51,7 +51,7 @@ def run_table5(
     """Compute Table 5 rows for the given devices."""
     rows: List[ArgRow] = []
     for device in devices:
-        runner = SchemeRunner(
+        runner = Session(
             device, seed=seed, total_trials=total_trials, exact=exact
         )
         for name in workload_names:

@@ -1,10 +1,13 @@
-"""Scheme runners: Baseline, EDM, JigSaw (± recompilation), JigSaw-M, MBM.
+"""Legacy scheme-runner entry point (now a thin wrapper over ``Session``).
 
-Every paper experiment compares some subset of these schemes on a
-(workload, device) pair with a shared trial budget.  The runner caches the
-baseline (global) compilation per workload so all schemes compare against
-the *same* mapping, as in the paper's methodology (§5.2: the global mode
-"is identical to the baseline policy").
+Every paper experiment compares some subset of the schemes — Baseline,
+EDM, JigSaw (± recompilation), JigSaw-M, MBM — on a (workload, device)
+pair with a shared trial budget.  That machinery now lives in
+:class:`repro.runtime.session.Session`, the first-class execution API
+(plan → compile → batch-execute → reconstruct, with a compilation
+cache).  :class:`SchemeRunner` remains as a deprecated alias so existing
+experiment code and notebooks keep working; under a fixed seed it is
+bit-for-bit identical to ``Session`` because it *is* a ``Session``.
 
 ``exact=True`` (default) evaluates the closed-form noisy distributions —
 the infinite-trials limit.  The paper's own setup runs enough trials that
@@ -15,64 +18,25 @@ fidelity saturates (Fig. 7), so this is the faithful deterministic mode;
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import warnings
+from typing import List
 
-from repro.compiler.edm import ensemble_of_diverse_mappings
-from repro.compiler.transpile import ExecutableCircuit, transpile
-from repro.core.jigsaw import JigSaw, JigSawConfig, JigSawResult
-from repro.core.multilayer import JigSawM, JigSawMConfig, JigSawMResult
-from repro.core.pmf import PMF
 from repro.devices.device import Device
 from repro.exceptions import ExperimentError
-from repro.metrics.distances import fidelity as fidelity_metric
-from repro.metrics.qaoa_metrics import workload_arg
-from repro.metrics.success import (
-    inference_strength,
-    probability_of_successful_trial,
-)
-from repro.mitigation.combos import jigsaw_with_mbm, mitigate_executable_pmf
-from repro.mitigation.mbm import MAX_MBM_QUBITS
-from repro.noise.model import NoiseModel
-from repro.noise.sampler import NoisySampler
-from repro.sim.statevector import StatevectorSimulator
-from repro.utils.random import SeedLike, as_generator, spawn
-from repro.workloads.workload import Workload
+from repro.runtime.session import SCHEME_NAMES, Metrics, Session
+from repro.utils.random import SeedLike
 
-__all__ = ["SchemeRunner", "Metrics", "SCHEME_NAMES"]
-
-SCHEME_NAMES = (
-    "baseline",
-    "edm",
-    "jigsaw",
-    "jigsaw_nr",  # JigSaw without CPM recompilation (Fig. 11 ablation)
-    "jigsaw_m",
-    "mbm",
-    "jigsaw_mbm",
-)
+__all__ = ["SchemeRunner", "Metrics", "SCHEME_NAMES", "geometric_mean"]
 
 
-@dataclass(frozen=True)
-class Metrics:
-    """The paper's four figures of merit for one scheme run (§5.5)."""
+class SchemeRunner(Session):
+    """Deprecated: use :class:`repro.runtime.session.Session` instead.
 
-    pst: float
-    ist: float
-    fidelity: float
-    arg: Optional[float] = None  # QAOA workloads only
-
-    def as_dict(self) -> Dict[str, Optional[float]]:
-        """The metrics as a plain dict (for serialisation/rendering)."""
-        return {
-            "pst": self.pst,
-            "ist": self.ist,
-            "fidelity": self.fidelity,
-            "arg": self.arg,
-        }
-
-
-class SchemeRunner:
-    """Runs all comparison schemes on one device with a shared seed."""
+    A ``Session`` under its historical name and signature.  All methods
+    (``run_scheme``, ``run_jigsaw``, ``evaluate``, ...) are inherited
+    unchanged, so outputs match ``Session`` bit-for-bit under the same
+    seed.
+    """
 
     def __init__(
         self,
@@ -84,165 +48,39 @@ class SchemeRunner:
         cpm_attempts: int = 3,
         ensemble_size: int = 4,
     ) -> None:
-        self.device = device
-        self.total_trials = total_trials
-        self.exact = exact
-        self.compile_attempts = compile_attempts
-        self.cpm_attempts = cpm_attempts
-        self.ensemble_size = ensemble_size
-        self._rng = as_generator(seed)
-        (
-            self._baseline_seed,
-            self._edm_seed,
-            self._jigsaw_seed,
-            self._jigsaw_nr_seed,
-            self._jigsawm_seed,
-            self._sampler_seed,
-        ) = spawn(self._rng, 6)
-        self.noise_model = NoiseModel.from_device(device)
-        self.sampler = NoisySampler(self.noise_model, seed=self._sampler_seed)
-        self._global_cache: Dict[str, ExecutableCircuit] = {}
-
-    # ------------------------------------------------------------------
-    # Shared pieces
-    # ------------------------------------------------------------------
-
-    def global_executable(self, workload: Workload) -> ExecutableCircuit:
-        """The baseline (Noise-Aware SABRE) compilation, cached per workload."""
-        if workload.name not in self._global_cache:
-            executable = transpile(
-                workload.circuit,
-                self.device,
-                seed=self._baseline_seed,
-                attempts=self.compile_attempts,
-            )
-            executable.share_ideal_probabilities(
-                StatevectorSimulator().probabilities(workload.circuit)
-            )
-            self._global_cache[workload.name] = executable
-        return self._global_cache[workload.name]
-
-    def _pmf(self, executable: ExecutableCircuit, trials: int) -> PMF:
-        if self.exact:
-            return PMF(self.sampler.exact_distribution(executable))
-        return PMF.from_counts(self.sampler.run(executable, trials))
-
-    def _jigsaw_config(self, recompile: bool) -> JigSawConfig:
-        return JigSawConfig(
-            recompile_cpms=recompile,
-            compile_attempts=self.compile_attempts,
-            cpm_attempts=self.cpm_attempts,
-            exact=self.exact,
+        warnings.warn(
+            "SchemeRunner is deprecated; use repro.runtime.Session "
+            "(same behaviour, plus plan/cache/backend control)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-
-    # ------------------------------------------------------------------
-    # Schemes
-    # ------------------------------------------------------------------
-
-    def run_baseline(self, workload: Workload) -> PMF:
-        """All trials on the noise-aware mapping, all qubits measured."""
-        return self._pmf(self.global_executable(workload), self.total_trials)
-
-    def run_edm(self, workload: Workload) -> PMF:
-        """Ensemble of Diverse Mappings: merge histograms of 4 mappings."""
-        executables = ensemble_of_diverse_mappings(
-            workload.circuit,
-            self.device,
-            ensemble_size=self.ensemble_size,
-            attempts=self.compile_attempts,
-            seed=self._edm_seed,
-        )
-        shared = StatevectorSimulator().probabilities(workload.circuit)
-        per_mapping = self.total_trials // len(executables)
-        merged: Dict[str, float] = {}
-        for executable in executables:
-            executable.share_ideal_probabilities(shared)
-            pmf = self._pmf(executable, per_mapping)
-            for key, value in pmf.items():
-                merged[key] = merged.get(key, 0.0) + value
-        return PMF(merged, normalize=True)
-
-    def run_jigsaw(
-        self, workload: Workload, recompile: bool = True
-    ) -> JigSawResult:
-        """JigSaw with (default) or without CPM recompilation."""
-        seed = self._jigsaw_seed if recompile else self._jigsaw_nr_seed
-        runner = JigSaw(self.device, self._jigsaw_config(recompile), seed=seed)
-        return runner.run(
-            workload.circuit,
-            total_trials=self.total_trials,
-            global_executable=self.global_executable(workload),
-        )
-
-    def run_jigsaw_m(self, workload: Workload) -> JigSawMResult:
-        """Multi-layer JigSaw (subset sizes 2..5)."""
-        config = JigSawMConfig(
-            recompile_cpms=True,
-            compile_attempts=self.compile_attempts,
-            cpm_attempts=self.cpm_attempts,
-            exact=self.exact,
-        )
-        runner = JigSawM(self.device, config, seed=self._jigsawm_seed)
-        return runner.run(
-            workload.circuit,
-            total_trials=self.total_trials,
-            global_executable=self.global_executable(workload),
-        )
-
-    def run_mbm(self, workload: Workload) -> PMF:
-        """IBM matrix-based mitigation applied to the baseline output."""
-        if workload.num_outcome_bits > MAX_MBM_QUBITS:
-            raise ExperimentError(
-                f"MBM limited to {MAX_MBM_QUBITS}-bit outputs"
-            )
-        baseline_pmf = self.run_baseline(workload)
-        return mitigate_executable_pmf(
-            baseline_pmf, self.global_executable(workload), self.noise_model
-        )
-
-    def run_jigsaw_mbm(self, workload: Workload) -> PMF:
-        """JigSaw + MBM composition (Fig. 14)."""
-        result = self.run_jigsaw(workload)
-        return jigsaw_with_mbm(result, self.noise_model)
-
-    def run_scheme(self, scheme: str, workload: Workload) -> PMF:
-        """Dispatch by scheme name; returns the final output PMF."""
-        if scheme == "baseline":
-            return self.run_baseline(workload)
-        if scheme == "edm":
-            return self.run_edm(workload)
-        if scheme == "jigsaw":
-            return self.run_jigsaw(workload).output_pmf
-        if scheme == "jigsaw_nr":
-            return self.run_jigsaw(workload, recompile=False).output_pmf
-        if scheme == "jigsaw_m":
-            return self.run_jigsaw_m(workload).output_pmf
-        if scheme == "mbm":
-            return self.run_mbm(workload)
-        if scheme == "jigsaw_mbm":
-            return self.run_jigsaw_mbm(workload)
-        raise ExperimentError(f"unknown scheme {scheme!r}; known: {SCHEME_NAMES}")
-
-    # ------------------------------------------------------------------
-    # Evaluation
-    # ------------------------------------------------------------------
-
-    def evaluate(self, workload: Workload, pmf: PMF) -> Metrics:
-        """All §5.5 figures of merit of a scheme's output distribution."""
-        arg = None
-        if "max_cut" in workload.metadata:
-            arg = workload_arg(workload, pmf)
-        return Metrics(
-            pst=probability_of_successful_trial(pmf, workload.correct_outcomes),
-            ist=inference_strength(pmf, workload.correct_outcomes),
-            fidelity=fidelity_metric(workload.ideal_distribution(), pmf),
-            arg=arg,
+        super().__init__(
+            device,
+            seed=seed,
+            total_trials=total_trials,
+            exact=exact,
+            compile_attempts=compile_attempts,
+            cpm_attempts=cpm_attempts,
+            ensemble_size=ensemble_size,
         )
 
 
 def geometric_mean(values: List[float]) -> float:
-    """Geometric mean, ignoring non-positive entries (paper's GMean)."""
+    """Geometric mean over the positive finite entries (paper's GMean).
+
+    Non-positive or non-finite values cannot enter a geometric mean; they
+    are dropped with a :class:`RuntimeWarning` naming how many were lost,
+    so ablation tables cannot quietly lose schemes.
+    """
     positive = [v for v in values if v > 0.0 and math.isfinite(v)]
     if not positive:
         raise ExperimentError("no positive values for a geometric mean")
+    dropped = len(values) - len(positive)
+    if dropped:
+        warnings.warn(
+            f"geometric_mean dropped {dropped} non-positive/non-finite "
+            f"value(s) out of {len(values)}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return math.exp(sum(math.log(v) for v in positive) / len(positive))

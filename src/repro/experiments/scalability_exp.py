@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.devices.device import Device
 from repro.devices.library import ibmq_manhattan, ibmq_paris, ibmq_toronto
 from repro.experiments.render import format_table
-from repro.experiments.runner import SchemeRunner
+from repro.runtime import Session
 from repro.noise.model import NoiseModel
 from repro.noise.sampler import NoisySampler
 from repro.utils.random import SeedLike, as_generator
@@ -64,7 +64,7 @@ def table6_observed_outcomes(
     workload = workload_by_name(workload_name)
     maximum = 1 << workload.num_outcome_bits
     for device in devices:
-        runner = SchemeRunner(device, seed=rng, exact=True)
+        runner = Session(device, seed=rng, exact=True)
         executable = runner.global_executable(workload)
         sampler = NoisySampler(NoiseModel.from_device(device), seed=rng)
         counts = sampler.run(executable, trials)
@@ -109,7 +109,7 @@ def figure13_epsilon_sweep(
     """Observed global-PMF entries and epsilon at growing trial counts."""
     device = device or ibmq_paris()
     rng = as_generator(seed)
-    runner = SchemeRunner(device, seed=rng, exact=True)
+    runner = Session(device, seed=rng, exact=True)
     sampler = NoisySampler(NoiseModel.from_device(device), seed=rng)
     points: List[EpsilonPoint] = []
     for name in workload_names:

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.devices.device import Device
 from repro.devices.library import ibmq_paris
 from repro.experiments.render import format_table
-from repro.experiments.runner import SchemeRunner
+from repro.runtime import Session
 from repro.metrics.success import probability_of_successful_trial
 from repro.noise.model import NoiseModel
 from repro.noise.sampler import NoisySampler
@@ -53,7 +53,7 @@ def run_trials_sweep(
     """Sampled baseline PST at each rung of the trial ladder."""
     device = device or ibmq_paris()
     rng = as_generator(seed)
-    runner = SchemeRunner(device, seed=rng, exact=True)
+    runner = Session(device, seed=rng, exact=True)
     sampler = NoisySampler(NoiseModel.from_device(device), seed=rng)
     points: List[TrialsPoint] = []
     for name in workload_names:

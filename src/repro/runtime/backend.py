@@ -1,0 +1,164 @@
+"""Execution backends: batch evaluation of compiled circuits into PMFs.
+
+A :class:`Backend` takes a **batch** of :class:`ExecutionRequest`s — the
+global executable plus every CPM, each with its trial allocation — and
+returns one :class:`~repro.core.pmf.PMF` per request.  Batching is what
+makes the JigSaw pipeline cheap on a simulator and natural on hardware:
+
+* every executable in a JigSaw batch shares one unitary body, so the
+  local backends compute **one statevector per body** for the whole batch
+  (grouped by :func:`~repro.runtime.fingerprint.unitary_body_fingerprint`)
+  instead of one per circuit;
+* a single entry point per batch is the seam where a remote backend would
+  submit one job with many circuits instead of round-tripping per CPM.
+
+Two local implementations are provided: :class:`LocalExactBackend`
+evaluates the closed-form noisy distribution (the infinite-trials limit,
+deterministic and RNG-free) and :class:`LocalSamplingBackend` samples the
+allocated trials through a shared :class:`~repro.noise.sampler.NoisySampler`
+stream.  Requests are sampled in batch order, so a fixed sampler seed
+yields bit-for-bit the same PMFs as the historical one-call-per-circuit
+loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.compiler.transpile import ExecutableCircuit
+from repro.core.pmf import PMF
+from repro.exceptions import SimulationError
+from repro.noise.model import NoiseModel
+from repro.noise.sampler import NoisySampler
+from repro.runtime.fingerprint import unitary_body_fingerprint
+from repro.sim.statevector import StatevectorSimulator
+from repro.utils.random import SeedLike
+
+__all__ = [
+    "ExecutionRequest",
+    "Backend",
+    "LocalExactBackend",
+    "LocalSamplingBackend",
+    "local_backend",
+]
+
+
+@dataclass(frozen=True)
+class ExecutionRequest:
+    """One circuit execution: a compiled artifact plus its trial budget.
+
+    ``trials == 0`` is a valid request for backends that do not sample
+    (exact mode evaluates the closed-form distribution regardless of the
+    allocation); sampling backends reject it at execution time.
+    """
+
+    executable: ExecutableCircuit
+    trials: int
+
+    def __post_init__(self) -> None:
+        if self.trials < 0:
+            raise SimulationError(
+                f"trials must be non-negative, got {self.trials}"
+            )
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that turns a batch of execution requests into PMFs.
+
+    Implementations must return exactly one PMF per request, in request
+    order.  ``name`` identifies the engine in plan summaries and logs.
+    """
+
+    name: str
+
+    def execute(self, requests: Sequence[ExecutionRequest]) -> List[PMF]:
+        """Evaluate every request; one PMF per request, in order."""
+        ...  # pragma: no cover - protocol
+
+
+class _LocalBackend:
+    """Shared machinery of the local simulator backends."""
+
+    def __init__(
+        self,
+        sampler: Optional[NoisySampler] = None,
+        noise_model: Optional[NoiseModel] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if sampler is None:
+            if noise_model is None:
+                raise SimulationError(
+                    "a local backend needs a sampler or a noise model"
+                )
+            sampler = NoisySampler(noise_model, seed=seed)
+        self.sampler = sampler
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def share_statevectors(requests: Sequence[ExecutionRequest]) -> int:
+        """Compute one ideal statevector per unitary body across the batch.
+
+        Executables that already carry (shared) ideal probabilities are
+        left untouched.  Returns the number of statevector simulations
+        actually performed — the batch saving is ``len(requests) - n``.
+        """
+        pending: Dict[str, List[ExecutableCircuit]] = {}
+        for request in requests:
+            executable = request.executable
+            if executable._ideal_probabilities is not None:
+                continue
+            key = unitary_body_fingerprint(executable.logical)
+            pending.setdefault(key, []).append(executable)
+        simulator = StatevectorSimulator()
+        for group in pending.values():
+            shared = simulator.probabilities(group[0].logical)
+            for executable in group:
+                executable.share_ideal_probabilities(shared)
+        return len(pending)
+
+    def execute(self, requests: Sequence[ExecutionRequest]) -> List[PMF]:
+        self.share_statevectors(requests)
+        return [self._evaluate(request) for request in requests]
+
+    def _evaluate(self, request: ExecutionRequest) -> PMF:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class LocalExactBackend(_LocalBackend):
+    """Closed-form noisy distributions (the infinite-trials limit).
+
+    Trial counts in the requests are recorded but do not affect the
+    output; the paper's experiments use this mode because fidelity
+    saturates in trials (Fig. 7).  Deterministic and RNG-free.
+    """
+
+    name = "local-exact"
+
+    def _evaluate(self, request: ExecutionRequest) -> PMF:
+        return PMF(self.sampler.exact_distribution(request.executable))
+
+
+class LocalSamplingBackend(_LocalBackend):
+    """Finite-trial sampling through one shared noisy-sampler stream.
+
+    Requests are drawn in batch order from the sampler's RNG, so results
+    are reproducible from the sampler seed and bit-for-bit identical to
+    issuing the same sequence of single-circuit runs.
+    """
+
+    name = "local-sampling"
+
+    def _evaluate(self, request: ExecutionRequest) -> PMF:
+        return PMF.from_counts(
+            self.sampler.run(request.executable, request.trials)
+        )
+
+
+def local_backend(sampler: NoisySampler, exact: bool) -> Backend:
+    """The default local backend for a sampler: exact or sampling."""
+    if exact:
+        return LocalExactBackend(sampler)
+    return LocalSamplingBackend(sampler)

@@ -1,0 +1,107 @@
+"""The compilation cache: compile once, execute many.
+
+Transpilation (placement search + SABRE routing + EPS scoring, times one
+global circuit plus every CPM) dominates the cost of a JigSaw run on a
+simulator and is pure overhead when a sweep or a scheme comparison
+re-plans an identical program.  :class:`CompilationCache` stores
+:class:`~repro.runtime.plan.ExecutionPlan`s keyed by **content** —
+circuit fingerprint, device name, config fingerprint (plus the caller's
+seed salt) — so identical programs stop recompiling no matter which code
+path planned them.
+
+The cache is a bounded LRU.  Hit/miss counters are public so tests and
+benchmarks can assert reuse instead of guessing at it.
+
+Determinism note: a cached plan replays the compilation of the *first*
+planning call for its key.  Planning is seeded, so sharing a cache across
+equally-seeded sessions is bit-for-bit safe; the seed salt in the default
+key construction keeps differently-seeded sessions from sharing entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro.runtime.plan import ExecutionPlan
+
+__all__ = ["CompilationCache"]
+
+
+class CompilationCache:
+    """A bounded LRU cache of execution plans with hit/miss accounting.
+
+    Args:
+        max_entries: maximum plans kept; ``None`` means unbounded and
+            ``0`` disables storage entirely (every lookup misses), which
+            is how benchmarks emulate the uncached legacy path.
+    """
+
+    def __init__(self, max_entries: Optional[int] = 256) -> None:
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be >= 0 or None")
+        self.max_entries = max_entries
+        self._plans: "OrderedDict[str, ExecutionPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def disabled(cls) -> "CompilationCache":
+        """A cache that stores nothing (still counts its misses)."""
+        return cls(max_entries=0)
+
+    @staticmethod
+    def make_key(parts: Iterable[str]) -> str:
+        """Join key components; components must not contain ``"|"``."""
+        return "|".join(parts)
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[ExecutionPlan]:
+        """The cached plan for ``key``, or ``None`` (counted either way)."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: str, plan: ExecutionPlan) -> None:
+        """Store ``plan`` under ``key``, evicting the LRU entry if full."""
+        if self.max_entries == 0:
+            return
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._plans) > self.max_entries:
+                self._plans.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._plans.clear()
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._plans
+
+    def stats(self) -> dict:
+        """Hit/miss/size counters (JSON-ready)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._plans),
+            "max_entries": self.max_entries,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompilationCache(entries={len(self._plans)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,99 @@
+"""Stable content fingerprints for circuits, configs, and executables.
+
+The :class:`~repro.runtime.cache.CompilationCache` keys compiled artifacts
+by *content*, not by object identity or workload name: two structurally
+identical programs hash to the same fingerprint even when built by
+different code paths.  Fingerprints are hex SHA-256 digests, so they are
+safe to use as dictionary keys, file names, or wire identifiers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.circuits.circuit import QuantumCircuit
+    from repro.compiler.transpile import ExecutableCircuit
+
+__all__ = [
+    "circuit_fingerprint",
+    "unitary_body_fingerprint",
+    "config_fingerprint",
+    "executable_fingerprint",
+]
+
+
+def _hash(parts) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _instruction_token(instruction) -> str:
+    if instruction.is_gate:
+        params = ",".join(repr(float(p)) for p in instruction.gate.params)
+        return f"g|{instruction.gate.name}|{params}|{instruction.qubits}"
+    return f"{instruction.kind}|{instruction.qubits}|{instruction.clbits}"
+
+
+def circuit_fingerprint(circuit: "QuantumCircuit") -> str:
+    """Content hash of a circuit: dimensions plus every instruction.
+
+    The circuit *name* is deliberately excluded — renaming a program must
+    not defeat the compilation cache.
+    """
+    parts = [f"dims|{circuit.num_qubits}|{circuit.num_clbits}"]
+    parts.extend(_instruction_token(ins) for ins in circuit.instructions)
+    return _hash(parts)
+
+
+def unitary_body_fingerprint(circuit: "QuantumCircuit") -> str:
+    """Content hash of the unitary part only (measurements excluded).
+
+    The global circuit and all of its CPMs share one unitary body
+    (paper §4.2.1), so they share this fingerprint — the backends use it
+    to compute one statevector per body across a whole batch.
+    """
+    parts = [f"body|{circuit.num_qubits}"]
+    parts.extend(
+        _instruction_token(ins)
+        for ins in circuit.instructions
+        if ins.is_gate
+    )
+    return _hash(parts)
+
+
+def config_fingerprint(config, exclude: Sequence[str] = ()) -> str:
+    """Content hash of a configuration dataclass (field name/value pairs).
+
+    The class name participates, so :class:`JigSawConfig` and
+    :class:`JigSawMConfig` with coincidentally equal fields never collide.
+    ``exclude`` drops named fields from the hash — cache keys use it to
+    ignore knobs that cannot affect the compiled artifact (reconstruction
+    tolerance, exact vs sampled, thread counts), so e.g. a tolerance
+    sweep still hits the compilation cache.
+    """
+    if not is_dataclass(config):
+        raise TypeError(f"expected a dataclass config, got {type(config)!r}")
+    excluded = set(exclude)
+    parts = [type(config).__name__]
+    for f in fields(config):
+        if f.name in excluded:
+            continue
+        parts.append(f"{f.name}={getattr(config, f.name)!r}")
+    return _hash(parts)
+
+
+def executable_fingerprint(executable: "ExecutableCircuit") -> str:
+    """Content hash of a compiled artifact (physical schedule + layouts)."""
+    parts = [
+        "exe",
+        circuit_fingerprint(executable.physical),
+        repr(sorted(executable.initial_layout.as_dict().items())),
+        repr(sorted(executable.final_layout.as_dict().items())),
+    ]
+    return _hash(parts)

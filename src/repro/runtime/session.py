@@ -1,0 +1,380 @@
+"""Sessions: device + backend + cache bound into one execution context.
+
+A :class:`Session` is the front door of the runtime API.  It owns
+
+* the **device** and its noise model,
+* a **backend** (local exact simulation by default) that evaluates
+  batches of compiled circuits,
+* a **compilation cache** so that sweeps and scheme comparisons stop
+  recompiling identical programs, and
+* the **seed discipline** of the paper's methodology: one root seed
+  fans out into per-scheme streams, and the baseline (global)
+  compilation is shared across schemes so every comparison uses the
+  same mapping (§5.2).
+
+Typical use::
+
+    from repro.runtime import Session
+    from repro.devices import ibmq_toronto
+    from repro.workloads import ghz
+
+    session = Session(ibmq_toronto(), seed=0)
+    plan = session.plan(ghz(8))            # compile once, inspect, cache
+    result = session.run(plan)             # batch-execute + reconstruct
+    pmf = session.run_scheme("jigsaw_m", ghz(8))   # or by scheme name
+
+The legacy :class:`~repro.experiments.runner.SchemeRunner` is a thin
+deprecated subclass of :class:`Session`, so the two produce bit-for-bit
+identical outputs under the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.edm import ensemble_of_diverse_mappings
+from repro.compiler.transpile import ExecutableCircuit, transpile
+from repro.core.jigsaw import JigSaw, JigSawConfig, JigSawResult
+from repro.core.multilayer import JigSawM, JigSawMConfig, JigSawMResult
+from repro.core.pmf import PMF
+from repro.devices.device import Device
+from repro.exceptions import ExperimentError
+from repro.metrics.distances import fidelity as fidelity_metric
+from repro.metrics.qaoa_metrics import workload_arg
+from repro.metrics.success import (
+    inference_strength,
+    probability_of_successful_trial,
+)
+from repro.mitigation.combos import jigsaw_with_mbm, mitigate_executable_pmf
+from repro.mitigation.mbm import MAX_MBM_QUBITS
+from repro.noise.model import NoiseModel
+from repro.noise.sampler import NoisySampler
+from repro.runtime.backend import Backend, ExecutionRequest, local_backend
+from repro.runtime.cache import CompilationCache
+from repro.runtime.fingerprint import circuit_fingerprint
+from repro.runtime.plan import ExecutionPlan
+from repro.utils.random import SeedLike, as_generator, spawn
+from repro.workloads.workload import Workload
+
+__all__ = ["Session", "Metrics", "SCHEME_NAMES"]
+
+SCHEME_NAMES = (
+    "baseline",
+    "edm",
+    "jigsaw",
+    "jigsaw_nr",  # JigSaw without CPM recompilation (Fig. 11 ablation)
+    "jigsaw_m",
+    "mbm",
+    "jigsaw_mbm",
+)
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """The paper's four figures of merit for one scheme run (§5.5)."""
+
+    pst: float
+    ist: float
+    fidelity: float
+    arg: Optional[float] = None  # QAOA workloads only
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        """The metrics as a plain dict (for serialisation/rendering)."""
+        return {
+            "pst": self.pst,
+            "ist": self.ist,
+            "fidelity": self.fidelity,
+            "arg": self.arg,
+        }
+
+
+class Session:
+    """One execution context: device + backend + cache + seed streams.
+
+    Args:
+        device: the target device.
+        seed: root seed; fans out into per-scheme compilation streams and
+            the sampler stream exactly as the historical ``SchemeRunner``
+            did, so fixed-seed results are reproducible across both APIs.
+        total_trials: default trial budget for scheme runs and plans.
+        exact: evaluate closed-form noisy distributions (deterministic,
+            the infinite-trials limit) instead of sampling.
+        compile_attempts / cpm_attempts: transpiler candidate counts.
+        ensemble_size: mappings in the EDM comparison scheme.
+        compile_workers: optional thread fan-out for CPM compilation.
+        backend: custom execution engine; default is local simulation
+            matching ``exact``.  JigSaw runs inherit it.
+        cache: the plan cache; defaults to a fresh
+            :class:`CompilationCache`.  Pass ``CompilationCache.disabled()``
+            to reproduce the uncached legacy behaviour.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        seed: SeedLike = 0,
+        total_trials: int = 32_768,
+        exact: bool = True,
+        compile_attempts: int = 4,
+        cpm_attempts: int = 3,
+        ensemble_size: int = 4,
+        compile_workers: Optional[int] = None,
+        backend: Optional[Backend] = None,
+        cache: Optional[CompilationCache] = None,
+    ) -> None:
+        self.device = device
+        self.total_trials = total_trials
+        self.exact = exact
+        self.compile_attempts = compile_attempts
+        self.cpm_attempts = cpm_attempts
+        self.ensemble_size = ensemble_size
+        self.compile_workers = compile_workers
+        self._rng = as_generator(seed)
+        (
+            self._baseline_seed,
+            self._edm_seed,
+            self._jigsaw_seed,
+            self._jigsaw_nr_seed,
+            self._jigsawm_seed,
+            self._sampler_seed,
+        ) = spawn(self._rng, 6)
+        self.noise_model = NoiseModel.from_device(device)
+        self.sampler = NoisySampler(self.noise_model, seed=self._sampler_seed)
+        self._backend_override = backend
+        self.backend: Backend = backend or local_backend(self.sampler, exact)
+        self.cache = CompilationCache() if cache is None else cache
+        self._cache_salt = f"session:{seed!r}"
+        # The shared baseline mapping per program (methodology, §5.2: the
+        # global mode "is identical to the baseline policy").  Keyed by
+        # circuit content, not workload name, and always on — it is a
+        # correctness requirement of scheme comparisons, not a knob.
+        self._global_executables: Dict[str, ExecutableCircuit] = {}
+        # One runner per scheme variant: plan(), run(), and run_scheme()
+        # must draw from the same per-scheme RNG stream, or a plan+run
+        # pair would diverge from run_scheme in sampled mode.
+        self._runners: Dict[object, JigSaw] = {}
+
+    # ------------------------------------------------------------------
+    # Shared pieces
+    # ------------------------------------------------------------------
+
+    def global_executable(self, workload: Workload) -> ExecutableCircuit:
+        """The baseline (Noise-Aware SABRE) compilation, shared per program."""
+        key = circuit_fingerprint(workload.circuit)
+        if key not in self._global_executables:
+            executable = transpile(
+                workload.circuit,
+                self.device,
+                seed=self._baseline_seed,
+                attempts=self.compile_attempts,
+            )
+            self._global_executables[key] = executable
+        return self._global_executables[key]
+
+    def _pmf(self, executable: ExecutableCircuit, trials: int) -> PMF:
+        return self.backend.execute([ExecutionRequest(executable, trials)])[0]
+
+    def _jigsaw_config(self, recompile: bool) -> JigSawConfig:
+        return JigSawConfig(
+            recompile_cpms=recompile,
+            compile_attempts=self.compile_attempts,
+            cpm_attempts=self.cpm_attempts,
+            exact=self.exact,
+            compile_workers=self.compile_workers,
+        )
+
+    def _jigsawm_config(self) -> JigSawMConfig:
+        return JigSawMConfig(
+            recompile_cpms=True,
+            compile_attempts=self.compile_attempts,
+            cpm_attempts=self.cpm_attempts,
+            exact=self.exact,
+            compile_workers=self.compile_workers,
+        )
+
+    def _jigsaw_runner(self, recompile: bool = True) -> JigSaw:
+        key = ("jigsaw", recompile)
+        if key not in self._runners:
+            seed = self._jigsaw_seed if recompile else self._jigsaw_nr_seed
+            self._runners[key] = JigSaw(
+                self.device,
+                self._jigsaw_config(recompile),
+                seed=seed,
+                backend=self._backend_override,
+                cache=self.cache,
+                cache_salt=self._cache_salt,
+            )
+        return self._runners[key]
+
+    def _jigsawm_runner(self) -> JigSawM:
+        if "jigsaw_m" not in self._runners:
+            self._runners["jigsaw_m"] = JigSawM(
+                self.device,
+                self._jigsawm_config(),
+                seed=self._jigsawm_seed,
+                backend=self._backend_override,
+                cache=self.cache,
+                cache_salt=self._cache_salt,
+            )
+        runner: JigSawM = self._runners["jigsaw_m"]  # type: ignore[assignment]
+        return runner
+
+    # ------------------------------------------------------------------
+    # Plan-level API
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        workload: Union[Workload, QuantumCircuit],
+        scheme: str = "jigsaw",
+        total_trials: Optional[int] = None,
+    ) -> ExecutionPlan:
+        """Plan (and cache) a JigSaw or JigSaw-M run without executing it."""
+        circuit = workload.circuit if isinstance(workload, Workload) else workload
+        if scheme == "jigsaw_m":
+            runner: JigSaw = self._jigsawm_runner()
+        elif scheme in {"jigsaw", "jigsaw_nr"}:
+            runner = self._jigsaw_runner(recompile=scheme == "jigsaw")
+        else:
+            raise ExperimentError(
+                f"cannot plan scheme {scheme!r}; planable: "
+                "('jigsaw', 'jigsaw_nr', 'jigsaw_m')"
+            )
+        global_executable = (
+            self.global_executable(workload)
+            if isinstance(workload, Workload)
+            else None
+        )
+        return runner.plan(
+            circuit,
+            total_trials=total_trials or self.total_trials,
+            global_executable=global_executable,
+        )
+
+    def run(self, plan: ExecutionPlan) -> Union[JigSawResult, JigSawMResult]:
+        """Batch-execute a plan on this session's backend and reconstruct."""
+        if plan.scheme == "jigsaw_m":
+            return self._jigsawm_runner().execute(plan)
+        recompile = bool(getattr(plan.config, "recompile_cpms", True))
+        return self._jigsaw_runner(recompile=recompile).execute(plan)
+
+    # ------------------------------------------------------------------
+    # Schemes
+    # ------------------------------------------------------------------
+
+    def run_baseline(self, workload: Workload) -> PMF:
+        """All trials on the noise-aware mapping, all qubits measured."""
+        return self._pmf(self.global_executable(workload), self.total_trials)
+
+    def run_edm(self, workload: Workload) -> PMF:
+        """Ensemble of Diverse Mappings: merge histograms of 4 mappings."""
+        executables = ensemble_of_diverse_mappings(
+            workload.circuit,
+            self.device,
+            ensemble_size=self.ensemble_size,
+            attempts=self.compile_attempts,
+            seed=self._edm_seed,
+        )
+        per_mapping = self.total_trials // len(executables)
+        allocations = [per_mapping] * len(executables)
+        # Fold the integer-division remainder into the first mapping so
+        # the whole budget is spent.
+        allocations[0] += self.total_trials - per_mapping * len(executables)
+        pmfs = self.backend.execute(
+            [
+                ExecutionRequest(executable, trials)
+                for executable, trials in zip(executables, allocations)
+            ]
+        )
+        merged: Dict[str, float] = {}
+        for pmf in pmfs:
+            for key, value in pmf.items():
+                merged[key] = merged.get(key, 0.0) + value
+        return PMF(merged, normalize=True)
+
+    def run_jigsaw(
+        self, workload: Workload, recompile: bool = True
+    ) -> JigSawResult:
+        """JigSaw with (default) or without CPM recompilation."""
+        runner = self._jigsaw_runner(recompile)
+        plan = runner.plan(
+            workload.circuit,
+            total_trials=self.total_trials,
+            global_executable=self.global_executable(workload),
+        )
+        return runner.execute(plan)
+
+    def run_jigsaw_m(self, workload: Workload) -> JigSawMResult:
+        """Multi-layer JigSaw (subset sizes 2..5)."""
+        runner = self._jigsawm_runner()
+        plan = runner.plan(
+            workload.circuit,
+            total_trials=self.total_trials,
+            global_executable=self.global_executable(workload),
+        )
+        return runner.execute(plan)
+
+    def run_mbm(self, workload: Workload) -> PMF:
+        """IBM matrix-based mitigation applied to the baseline output."""
+        if workload.num_outcome_bits > MAX_MBM_QUBITS:
+            raise ExperimentError(
+                f"MBM limited to {MAX_MBM_QUBITS}-bit outputs"
+            )
+        baseline_pmf = self.run_baseline(workload)
+        return mitigate_executable_pmf(
+            baseline_pmf, self.global_executable(workload), self.noise_model
+        )
+
+    def run_jigsaw_mbm(self, workload: Workload) -> PMF:
+        """JigSaw + MBM composition (Fig. 14)."""
+        result = self.run_jigsaw(workload)
+        return jigsaw_with_mbm(result, self.noise_model)
+
+    def run_scheme(self, scheme: str, workload: Workload) -> PMF:
+        """Dispatch by scheme name; returns the final output PMF."""
+        if scheme == "baseline":
+            return self.run_baseline(workload)
+        if scheme == "edm":
+            return self.run_edm(workload)
+        if scheme == "jigsaw":
+            return self.run_jigsaw(workload).output_pmf
+        if scheme == "jigsaw_nr":
+            return self.run_jigsaw(workload, recompile=False).output_pmf
+        if scheme == "jigsaw_m":
+            return self.run_jigsaw_m(workload).output_pmf
+        if scheme == "mbm":
+            return self.run_mbm(workload)
+        if scheme == "jigsaw_mbm":
+            return self.run_jigsaw_mbm(workload)
+        raise ExperimentError(f"unknown scheme {scheme!r}; known: {SCHEME_NAMES}")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, workload: Workload, pmf: PMF) -> Metrics:
+        """All §5.5 figures of merit of a scheme's output distribution."""
+        arg = None
+        if "max_cut" in workload.metadata:
+            arg = workload_arg(workload, pmf)
+        return Metrics(
+            pst=probability_of_successful_trial(pmf, workload.correct_outcomes),
+            ist=inference_strength(pmf, workload.correct_outcomes),
+            fidelity=fidelity_metric(workload.ideal_distribution(), pmf),
+            arg=arg,
+        )
+
+    # ------------------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Plan-cache hit/miss counters (see :class:`CompilationCache`)."""
+        return self.cache.stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(device={self.device.name!r}, "
+            f"backend={self.backend.name!r}, exact={self.exact}, "
+            f"cache={self.cache.stats()})"
+        )

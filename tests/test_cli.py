@@ -1,0 +1,75 @@
+"""End-to-end smoke tests for the ``repro`` command line."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--workload", "GHZ-4"])
+        assert args.command == "run"
+        assert args.device == "toronto"
+        assert args.trials == 32_768
+        assert not args.sampled
+
+    def test_rejects_unknown_device(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--workload", "GHZ-4", "--device", "nonexistent"]
+            )
+
+
+class TestMain:
+    def test_run_smoke(self, capsys):
+        code = main(
+            ["run", "--workload", "GHZ-4", "--trials", "2048", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "JigSaw on GHZ-4 / ibmq_toronto" in out
+        assert "JigSaw output" in out
+        assert "CPMs:" in out
+
+    def test_run_with_workers(self, capsys):
+        code = main(
+            [
+                "run", "--workload", "GHZ-4", "--trials", "2048",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "JigSaw output" in capsys.readouterr().out
+
+    def test_compare_smoke(self, capsys):
+        code = main(
+            ["compare", "--workload", "BV-3", "--trials", "2048", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for scheme in ("baseline", "edm", "jigsaw", "jigsaw_m"):
+            assert scheme in out
+        assert "plan cache:" in out
+
+    def test_devices_smoke(self, capsys):
+        code = main(["devices"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("toronto", "paris", "manhattan", "sycamore"):
+            assert name in out
+
+    def test_scalability_smoke(self, capsys):
+        code = main(["scalability"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 7" in out
+
+    def test_unknown_workload_is_reported(self, capsys):
+        code = main(["run", "--workload", "Nope-3"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err

@@ -106,7 +106,15 @@ class TestGeometricMean:
         assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
 
     def test_ignores_nonpositive(self):
-        assert geometric_mean([2.0, 0.0, math.inf]) == pytest.approx(2.0)
+        with pytest.warns(RuntimeWarning, match="dropped 2"):
+            assert geometric_mean([2.0, 0.0, math.inf]) == pytest.approx(2.0)
+
+    def test_all_positive_warns_nothing(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            geometric_mean([1.0, 2.0, 4.0])
 
     def test_empty_rejected(self):
         with pytest.raises(ExperimentError):

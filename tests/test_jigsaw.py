@@ -129,8 +129,10 @@ class TestJigSawEndToEnd:
         result = jigsaw.run(ghz6, total_trials=16_384)
         assert len(result.cpm_executables) == 6
         assert len(result.marginals) == 6
-        assert result.global_trials == 8_192
-        assert result.total_trials <= 16_384
+        # 8192 // 6 leaves 2 remainder trials; they fold into global mode
+        # so the whole budget is spent.
+        assert result.global_trials == 8_194
+        assert result.total_trials == 16_384
         for marginal, subset in zip(result.marginals, result.subsets):
             assert marginal.qubits == subset
 

@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="thread count for CPM compilation fan-out",
     )
+    run.add_argument(
+        "--exec-workers", type=int, default=None,
+        help="worker count for sharded batch execution "
+        "(bit-for-bit identical to serial at any count)",
+    )
 
     compare = sub.add_parser(
         "compare", help="compare baseline/EDM/JigSaw/JigSaw-M"
@@ -81,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--trials", type=int, default=32_768)
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--sampled", action="store_true")
+    compare.add_argument(
+        "--exec-workers", type=int, default=None,
+        help="worker count for sharded batch execution",
+    )
 
     sub.add_parser("devices", help="print device calibration statistics")
     sub.add_parser("scalability", help="print the Table 7 cost model")
@@ -93,6 +102,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
     session = Session(
         device, seed=args.seed, total_trials=args.trials,
         exact=not args.sampled, compile_workers=args.workers,
+        workers=args.exec_workers,
     )
     result = session.run(session.plan(workload, scheme="jigsaw"))
     before = session.evaluate(workload, result.global_pmf)
@@ -119,7 +129,7 @@ def _cmd_compare(args: argparse.Namespace) -> str:
     workload = workload_by_name(args.workload)
     session = Session(
         device, seed=args.seed, total_trials=args.trials,
-        exact=not args.sampled,
+        exact=not args.sampled, workers=args.exec_workers,
     )
     rows: List[List[object]] = []
     base = None

@@ -31,8 +31,10 @@ from repro.core.subsets import (
     validate_subsets,
 )
 from repro.core.trials import (
+    budget_report_for_plan,
     cpm_trial_estimate,
     plan_trial_budget,
+    split_trial_budget,
     trials_for_outcome,
     trials_to_observe_all,
 )
@@ -59,7 +61,9 @@ __all__ = [
     "trials_for_outcome",
     "trials_to_observe_all",
     "cpm_trial_estimate",
+    "split_trial_budget",
     "plan_trial_budget",
+    "budget_report_for_plan",
     "ScalabilityModel",
     "table7_rows",
     "TABLE7_OPERATING_POINTS",

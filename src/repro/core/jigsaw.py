@@ -41,12 +41,14 @@ from repro.core.subsets import (
     sliding_window_subsets,
     validate_subsets,
 )
+from repro.core.trials import split_trial_budget
 from repro.devices.device import Device
 from repro.exceptions import ReconstructionError
 from repro.noise.model import NoiseModel
 from repro.noise.sampler import NoisySampler
-from repro.runtime.backend import Backend, local_backend
+from repro.runtime.backend import Backend
 from repro.runtime.cache import CompilationCache
+from repro.runtime.parallel import sharded_local_backend
 from repro.runtime.fingerprint import (
     circuit_fingerprint,
     config_fingerprint,
@@ -111,6 +113,11 @@ class JigSawConfig:
     #: are identical either way: every CPM compiles from its own
     #: pre-spawned seed.
     compile_workers: Optional[int] = None
+    #: Worker count for sharding *execution* batches (see
+    #: :class:`~repro.runtime.parallel.ShardedBackend`); ``None``/``1``
+    #: evaluates in-process.  Results are bit-for-bit identical at any
+    #: worker count: every request draws from its own per-index stream.
+    execute_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.global_fraction < 1.0:
@@ -172,6 +179,7 @@ class JigSaw:
         "max_rounds",
         "exact",
         "compile_workers",
+        "execute_workers",
     )
 
     def __init__(
@@ -191,12 +199,34 @@ class JigSaw:
         self.backend = backend
         self.cache = cache
         self.cache_salt = cache_salt
+        self._resolved_backend: Optional[Backend] = None
+        self._resolved_backend_key = None
 
     def _resolve_backend(self) -> Backend:
-        """The configured backend, or the local default for this config."""
+        """The configured backend, or the local default for this config.
+
+        With ``config.execute_workers`` set, the local backend is wrapped
+        in a :class:`~repro.runtime.parallel.ShardedBackend` — safe at
+        any worker count because sharding is bit-for-bit identical to
+        serial execution.  The resolved backend is cached (until the
+        relevant config knobs change) so its worker pool and ``stats()``
+        counters persist across runs.
+        """
         if self.backend is not None:
             return self.backend
-        return local_backend(self.sampler, self.config.exact)
+        key = (self.config.exact, self.config.execute_workers)
+        if self._resolved_backend is None or self._resolved_backend_key != key:
+            self._resolved_backend = sharded_local_backend(
+                self.sampler, self.config.exact, self.config.execute_workers
+            )
+            self._resolved_backend_key = key
+        return self._resolved_backend
+
+    def close(self) -> None:
+        """Release the resolved backend's worker pool, if it has one."""
+        backend = self._resolved_backend
+        if backend is not None and hasattr(backend, "close"):
+            backend.close()
 
     # ------------------------------------------------------------------
     # Planning helpers
@@ -220,18 +250,16 @@ class JigSaw:
     def split_trials(self, total_trials: int, num_cpms: int) -> Tuple[int, int]:
         """(global trials, trials per CPM) under the configured split.
 
-        The integer split can leave a remainder; it is folded into the
-        global allocation so no trial of the budget is silently dropped —
+        Delegates to :func:`repro.core.trials.split_trial_budget` — the
+        same split the Appendix A.2 sufficiency report
+        (:func:`repro.core.trials.plan_trial_budget`) describes, so the
+        reported budget is always the budget that runs.  The integer
+        remainder is folded into the global allocation:
         ``global + per_cpm * num_cpms == total_trials`` always holds.
         """
-        if total_trials < 2 * (num_cpms + 1):
-            raise ReconstructionError(
-                f"{total_trials} trials are too few for {num_cpms} CPMs"
-            )
-        global_trials = int(round(total_trials * self.config.global_fraction))
-        per_cpm = (total_trials - global_trials) // num_cpms
-        global_trials = total_trials - per_cpm * num_cpms
-        return global_trials, per_cpm
+        return split_trial_budget(
+            total_trials, num_cpms, self.config.global_fraction
+        )
 
     # ------------------------------------------------------------------
     # Compilation
@@ -408,11 +436,41 @@ class JigSaw:
 
     def execute(self, plan: ExecutionPlan) -> JigSawResult:
         """Evaluate a plan's batch on the backend and reconstruct."""
-        if plan.scheme != self.scheme:
-            raise ReconstructionError(
-                f"{type(self).__name__} cannot execute a {plan.scheme!r} plan"
-            )
-        pmfs = self._resolve_backend().execute(plan.requests())
+        return self.execute_many([plan])[0]
+
+    def execute_many(self, plans: Sequence[ExecutionPlan]) -> List[JigSawResult]:
+        """Evaluate several plans as **one** backend batch, then reconstruct.
+
+        This is the sharded-execution submission path for sweeps: all
+        plans' requests are concatenated into a single batch, so a
+        :class:`~repro.runtime.parallel.ShardedBackend` can spread the
+        whole sweep across its workers and coalesce duplicate
+        executables *across plans* (scheme/budget sweeps repeat
+        programs).  Request order is plan order, so per-request seed
+        streams — and therefore sampled results — are a deterministic
+        function of the submitted sequence.
+        """
+        plans = list(plans)
+        for plan in plans:
+            if plan.scheme != self.scheme:
+                raise ReconstructionError(
+                    f"{type(self).__name__} cannot execute a "
+                    f"{plan.scheme!r} plan"
+                )
+        requests = []
+        bounds = []
+        for plan in plans:
+            start = len(requests)
+            requests.extend(plan.requests())
+            bounds.append((start, len(requests)))
+        pmfs = self._resolve_backend().execute(requests)
+        return [
+            self._reconstruct(plan, pmfs[start:stop])
+            for plan, (start, stop) in zip(plans, bounds)
+        ]
+
+    def _reconstruct(self, plan: ExecutionPlan, pmfs: List[PMF]) -> JigSawResult:
+        """Build the result for one plan from its slice of batch PMFs."""
         global_pmf = pmfs[0]
         subsets = plan.subsets
         marginals = [

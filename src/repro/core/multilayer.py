@@ -166,13 +166,12 @@ class JigSawM(JigSaw):
 
     # ------------------------------------------------------------------
 
-    def execute(self, plan: ExecutionPlan) -> JigSawMResult:
-        """Batch-evaluate a JigSaw-M plan and reconstruct largest-first."""
-        if plan.scheme != self.scheme:
-            raise ReconstructionError(
-                f"JigSawM cannot execute a {plan.scheme!r} plan"
-            )
-        pmfs = self._resolve_backend().execute(plan.requests())
+    def _reconstruct(self, plan: ExecutionPlan, pmfs: List[PMF]) -> JigSawMResult:
+        """Reconstruct one JigSaw-M plan largest-first from its batch PMFs.
+
+        ``execute`` and ``execute_many`` (sharded multi-plan submission)
+        are inherited from :class:`~repro.core.jigsaw.JigSaw`.
+        """
         global_pmf = pmfs[0]
         marginals_by_size: Dict[int, List[Marginal]] = {}
         executables_by_size: Dict[int, List[ExecutableCircuit]] = {}

@@ -54,6 +54,43 @@ def sliding_window_subsets(num_qubits: int, size: int = 2) -> List[Tuple[int, ..
     return subsets
 
 
+def _repair_coverage(
+    chosen: Set[Tuple[int, ...]], num_qubits: int
+) -> Set[Tuple[int, ...]]:
+    """Deterministically swap redundant slots until every qubit is covered.
+
+    Precondition: total slots ``count * size >= num_qubits``.  While a
+    qubit is uncovered, some covered qubit appears in >= 2 subsets
+    (pigeonhole), and replacing one of its redundant occurrences with the
+    uncovered qubit cannot collide with an existing subset (none contains
+    the uncovered qubit).  Each swap covers one more qubit, so the loop
+    terminates after at most ``num_qubits`` swaps — no rejection
+    sampling, no RNG.
+    """
+    multiplicity: dict = {}
+    for subset in chosen:
+        for qubit in subset:
+            multiplicity[qubit] = multiplicity.get(qubit, 0) + 1
+    for qubit in range(num_qubits):
+        if qubit in multiplicity:
+            continue
+        for subset in sorted(chosen):
+            # Redundant slot: a member still covered after removal.
+            victims = [q for q in subset if multiplicity[q] >= 2]
+            if not victims:
+                continue
+            victim = victims[0]
+            repaired = tuple(sorted(set(subset) - {victim} | {qubit}))
+            chosen.remove(subset)
+            chosen.add(repaired)
+            multiplicity[victim] -= 1
+            multiplicity[qubit] = 1
+            break
+        else:  # pragma: no cover - unreachable given the slot precondition
+            raise ReconstructionError("coverage repair found no redundant slot")
+    return chosen
+
+
 def random_subsets(
     num_qubits: int,
     size: int,
@@ -64,8 +101,12 @@ def random_subsets(
     """``count`` distinct random subsets of ``size`` qubits.
 
     With ``ensure_coverage`` every program qubit appears in at least one
-    subset when ``count * size >= num_qubits`` — the constraint the paper
-    applies in the §6.5 selection-method study.
+    subset — the constraint the paper applies in the §6.5
+    selection-method study.  Infeasibility (``count * size <
+    num_qubits``) is rejected **upfront**, before any draw, and coverage
+    holes in the random family are repaired deterministically (swap a
+    redundantly covered slot for each missed qubit) instead of redrawing
+    whole families, so the draw cost is bounded.
     """
     _check_size(num_qubits, size)
     max_subsets = _num_combinations(num_qubits, size)
@@ -75,22 +116,34 @@ def random_subsets(
         raise ReconstructionError(
             f"only {max_subsets} distinct subsets of size {size} exist"
         )
+    if ensure_coverage and count * size < num_qubits:
+        raise ReconstructionError(
+            f"{count} subsets of size {size} cannot cover {num_qubits} qubits"
+        )
     rng = as_generator(seed)
 
-    for _ in range(10_000):
-        chosen: Set[Tuple[int, ...]] = set()
-        while len(chosen) < count:
-            subset = tuple(sorted(rng.choice(num_qubits, size=size, replace=False)))
-            chosen.add(subset)
-        subsets = sorted(chosen)
-        covered = {q for subset in subsets for q in subset}
-        if not ensure_coverage or len(covered) == num_qubits:
-            return subsets
-        if count * size < num_qubits:
-            raise ReconstructionError(
-                f"{count} subsets of size {size} cannot cover {num_qubits} qubits"
-            )
-    raise ReconstructionError("failed to draw a covering subset family")
+    chosen: Set[Tuple[int, ...]] = set()
+    # Distinctness by rejection is cheap while the family is sparse in
+    # the combination space; once draws stop landing on fresh subsets
+    # (dense families), fall back to a deterministic fill from the
+    # enumerated complement — bounded either way, unlike whole-family
+    # redraws.
+    attempts_left = 100 * count
+    while len(chosen) < count and attempts_left > 0:
+        attempts_left -= 1
+        subset = tuple(sorted(rng.choice(num_qubits, size=size, replace=False)))
+        chosen.add(subset)
+    if len(chosen) < count:
+        for subset in combinations(range(num_qubits), size):
+            if len(chosen) >= count:
+                break
+            chosen.add(tuple(subset))
+
+    if ensure_coverage:
+        covered = {q for subset in chosen for q in subset}
+        if len(covered) < num_qubits:
+            chosen = _repair_coverage(chosen, num_qubits)
+    return sorted(chosen)
 
 
 def all_pair_subsets(num_qubits: int) -> List[Tuple[int, ...]]:

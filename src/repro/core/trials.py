@@ -20,7 +20,9 @@ __all__ = [
     "trials_for_outcome",
     "trials_to_observe_all",
     "cpm_trial_estimate",
+    "split_trial_budget",
     "plan_trial_budget",
+    "budget_report_for_plan",
 ]
 
 
@@ -62,6 +64,59 @@ def cpm_trial_estimate(subset_size: int, confidence: float = 0.9999) -> int:
     return trials_to_observe_all(1 << subset_size, confidence)
 
 
+def split_trial_budget(
+    total_trials: int,
+    num_cpms: int,
+    global_fraction: float = 0.5,
+) -> Tuple[int, int]:
+    """The canonical (global trials, trials per CPM) split of a budget.
+
+    This is the single source of truth for trial accounting: the integer
+    split can leave a remainder, which is folded into the global
+    allocation so no trial of the budget is silently dropped —
+    ``global + per_cpm * num_cpms == total_trials`` always holds.  Both
+    :meth:`repro.core.jigsaw.JigSaw.split_trials` (the budget that
+    actually runs) and :func:`plan_trial_budget` (the Appendix A.2
+    sufficiency report) delegate here, so the report always describes
+    the executed allocation.
+    """
+    if not 0.0 < global_fraction < 1.0:
+        raise ReconstructionError("global_fraction must be in (0, 1)")
+    if num_cpms < 1:
+        raise ReconstructionError("need at least one CPM")
+    if total_trials < 2 * (num_cpms + 1):
+        raise ReconstructionError(
+            f"{total_trials} trials are too few for {num_cpms} CPMs"
+        )
+    global_trials = int(round(total_trials * global_fraction))
+    per_cpm = (total_trials - global_trials) // num_cpms
+    global_trials = total_trials - per_cpm * num_cpms
+    return global_trials, per_cpm
+
+
+def _sufficiency_layers(
+    subset_sizes: Sequence[int],
+    num_cpms_per_size: Sequence[int],
+    per_cpm: int,
+    confidence: float,
+) -> List[Dict[str, object]]:
+    """Per-layer Appendix A.2 sufficiency, size-aware (JigSaw-M layers)."""
+    layers: List[Dict[str, object]] = []
+    for size, count in zip(subset_sizes, num_cpms_per_size):
+        needed = cpm_trial_estimate(size, confidence)
+        layers.append(
+            {
+                "subset_size": size,
+                "num_cpms": count,
+                "trials_per_cpm": per_cpm,
+                "subset_trials": per_cpm * count,
+                "min_trials_needed": needed,
+                "sufficient": per_cpm >= needed,
+            }
+        )
+    return layers
+
+
 def plan_trial_budget(
     total_trials: int,
     subset_sizes: Sequence[int],
@@ -71,33 +126,49 @@ def plan_trial_budget(
 ) -> Dict[str, object]:
     """Split a trial budget and check each CPM gets enough trials.
 
-    Returns a plan dict with the global/per-CPM allocation plus, per size,
-    the Appendix A.2 minimum and whether the allocation satisfies it.
+    Returns a plan dict with the global/per-CPM allocation plus, per
+    subset size (one layer each for JigSaw-M), the Appendix A.2 minimum
+    and whether the allocation satisfies it.  The split delegates to
+    :func:`split_trial_budget`, so the reported numbers are exactly the
+    budget ``JigSaw.split_trials`` would execute — remainder folded into
+    the global allocation, conservation guaranteed.
     """
     if len(subset_sizes) != len(num_cpms_per_size):
         raise ReconstructionError("sizes and counts must align")
-    if not 0.0 < global_fraction < 1.0:
-        raise ReconstructionError("global_fraction must be in (0, 1)")
     total_cpms = sum(num_cpms_per_size)
-    if total_cpms < 1:
-        raise ReconstructionError("need at least one CPM")
-    global_trials = int(round(total_trials * global_fraction))
-    per_cpm = (total_trials - global_trials) // total_cpms
-    layers: List[Dict[str, object]] = []
-    for size, count in zip(subset_sizes, num_cpms_per_size):
-        needed = cpm_trial_estimate(size, confidence)
-        layers.append(
-            {
-                "subset_size": size,
-                "num_cpms": count,
-                "trials_per_cpm": per_cpm,
-                "min_trials_needed": needed,
-                "sufficient": per_cpm >= needed,
-            }
-        )
+    global_trials, per_cpm = split_trial_budget(
+        total_trials, total_cpms, global_fraction
+    )
+    layers = _sufficiency_layers(
+        subset_sizes, num_cpms_per_size, per_cpm, confidence
+    )
     return {
         "total_trials": total_trials,
         "global_trials": global_trials,
         "trials_per_cpm": per_cpm,
+        "allocated_trials": global_trials + per_cpm * total_cpms,
+        "sufficient": all(layer["sufficient"] for layer in layers),
+        "layers": layers,
+    }
+
+
+def budget_report_for_plan(plan, confidence: float = 0.9999) -> Dict[str, object]:
+    """The Appendix A.2 sufficiency report for a compiled execution plan.
+
+    Reads the allocation *off the plan* (an
+    :class:`~repro.runtime.plan.ExecutionPlan`, duck-typed to avoid a
+    layering cycle) instead of re-deriving it, so the report describes
+    the budget that actually runs — including JigSaw-M plans, where each
+    layer is checked against its own size's minimum.
+    """
+    sizes = [layer.subset_size for layer in plan.layers]
+    counts = [layer.num_cpms for layer in plan.layers]
+    layers = _sufficiency_layers(sizes, counts, plan.trials_per_cpm, confidence)
+    return {
+        "total_trials": plan.total_trials,
+        "global_trials": plan.global_trials,
+        "trials_per_cpm": plan.trials_per_cpm,
+        "allocated_trials": plan.allocated_trials,
+        "sufficient": all(layer["sufficient"] for layer in layers),
         "layers": layers,
     }

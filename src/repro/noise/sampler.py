@@ -23,7 +23,7 @@ matrix oracle.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -32,9 +32,19 @@ from repro.exceptions import SimulationError
 from repro.noise.model import NoiseModel
 from repro.sim.statevector import marginal_probabilities
 from repro.utils.bits import bit_array_to_strings, indices_to_bit_array
-from repro.utils.random import SeedLike, as_generator
+from repro.utils.random import SeedLike, as_generator, spawn
 
-__all__ = ["NoisySampler", "clbit_probability_vector", "apply_confusions"]
+__all__ = [
+    "NoisySampler",
+    "clbit_probability_vector",
+    "apply_confusions",
+    "DEFAULT_CHUNK_SHOTS",
+]
+
+#: Shots sampled per chunk.  Sampling materialises a ``(chunk, k)`` bit
+#: matrix, so the chunk size bounds peak memory regardless of the request's
+#: total shot count; million-shot requests stream through in chunks.
+DEFAULT_CHUNK_SHOTS = 1 << 16
 
 
 def clbit_probability_vector(
@@ -92,9 +102,27 @@ class NoisySampler:
         self,
         noise_model: NoiseModel,
         seed: SeedLike = None,
+        chunk_shots: int = DEFAULT_CHUNK_SHOTS,
     ) -> None:
+        if chunk_shots < 1:
+            raise SimulationError("chunk_shots must be positive")
         self.noise_model = noise_model
+        self.chunk_shots = chunk_shots
         self._rng = as_generator(seed)
+
+    # ------------------------------------------------------------------
+
+    def spawn_streams(self, count: int) -> List[np.random.Generator]:
+        """``count`` independent child RNG streams off this sampler's stream.
+
+        The backends use this to give every request in a batch its own
+        stream (spawned per request *index*), which is what makes sharded
+        execution bit-for-bit identical to serial execution: a request's
+        draws depend only on its position in the batch, never on which
+        worker evaluates it.  Spawning advances the generator's spawn
+        counter, not its draw stream, so it is deterministic per seed.
+        """
+        return spawn(self._rng, count)
 
     # ------------------------------------------------------------------
 
@@ -113,21 +141,24 @@ class NoisySampler:
 
     # ------------------------------------------------------------------
 
-    def run(
+    def _sample_chunk(
         self,
-        executable: ExecutableCircuit,
+        rng: np.random.Generator,
         shots: int,
-        rng: SeedLike = None,
-    ) -> Dict[str, int]:
-        """Sample ``shots`` noisy trials; returns a counts histogram."""
-        if shots <= 0:
-            raise SimulationError("shots must be positive")
-        rng = as_generator(rng) if rng is not None else self._rng
-        ideal, physical_by_clbit, k = self._measured_setup(executable)
+        ideal: np.ndarray,
+        readout_rates,
+        k: int,
+        p_fail: float,
+        counts: Dict[str, int],
+    ) -> None:
+        """Sample one chunk of noisy trials, accumulating into ``counts``.
 
-        p_fail = self.noise_model.circuit_failure_probability(executable.physical)
+        ``ideal`` must be normalised and ``readout_rates`` precomputed:
+        both are loop-invariant per executable, so callers hoist them out
+        of the chunk loop.
+        """
         failures = rng.random(shots) < p_fail
-        outcomes = rng.choice(len(ideal), size=shots, p=ideal / ideal.sum())
+        outcomes = rng.choice(len(ideal), size=shots, p=ideal)
         bits = indices_to_bit_array(outcomes, k)
         # Gate failures corrupt the outcome locally: each measured bit of a
         # failing trial flips with the model's flip rate (see NoiseModel).
@@ -138,15 +169,66 @@ class NoisySampler:
                 rng.random((num_fail, k)) < flip_rate
             ).astype(np.uint8)
             bits[failures] ^= masks
-        p01, p10 = self.noise_model.readout_rates(physical_by_clbit, k)
+        p01, p10 = readout_rates
         draws = rng.random(bits.shape)
         flip = np.where(bits == 0, draws < p01[None, :], draws < p10[None, :])
         bits = bits ^ flip.astype(np.uint8)
 
-        counts: Dict[str, int] = {}
         for key in bit_array_to_strings(bits):
             counts[key] = counts.get(key, 0) + 1
-        return counts
+
+    def run(
+        self,
+        executable: ExecutableCircuit,
+        shots: int,
+        rng: SeedLike = None,
+    ) -> Dict[str, int]:
+        """Sample ``shots`` noisy trials; returns a counts histogram.
+
+        Sampling streams in chunks of ``chunk_shots``: counts accumulate
+        per chunk, so peak memory is bounded by the chunk size instead of
+        the total shot count.  Requests at or below one chunk draw the
+        exact same RNG sequence as the historical unchunked sampler.
+        """
+        (result,) = self.run_many(executable, [shots], rng=rng)
+        return result
+
+    def run_many(
+        self,
+        executable: ExecutableCircuit,
+        shots_list: Sequence[int],
+        rng: SeedLike = None,
+    ) -> List[Dict[str, int]]:
+        """Sample several allocations of one executable from one stream.
+
+        The coalescing path of the sharded backend: requests whose
+        executables share a content fingerprint are merged so the
+        measurement setup (statevector marginalisation) happens once, then
+        each allocation is drawn sequentially — and chunked — from the
+        same stream.  Returns one counts histogram per allocation, in
+        order.
+        """
+        for shots in shots_list:
+            if shots <= 0:
+                raise SimulationError("shots must be positive")
+        rng = as_generator(rng) if rng is not None else self._rng
+        ideal, physical_by_clbit, k = self._measured_setup(executable)
+        ideal = ideal / ideal.sum()
+        p_fail = self.noise_model.circuit_failure_probability(executable.physical)
+        readout_rates = self.noise_model.readout_rates(physical_by_clbit, k)
+
+        results: List[Dict[str, int]] = []
+        for shots in shots_list:
+            counts: Dict[str, int] = {}
+            remaining = shots
+            while remaining > 0:
+                chunk = min(remaining, self.chunk_shots)
+                self._sample_chunk(
+                    rng, chunk, ideal, readout_rates, k, p_fail, counts
+                )
+                remaining -= chunk
+            results.append(counts)
+        return results
 
     # ------------------------------------------------------------------
 

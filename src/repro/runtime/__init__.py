@@ -23,6 +23,7 @@ from repro.runtime.backend import (
     local_backend,
 )
 from repro.runtime.cache import CompilationCache
+from repro.runtime.parallel import ShardedBackend, sharded_local_backend
 from repro.runtime.fingerprint import (
     circuit_fingerprint,
     config_fingerprint,
@@ -52,6 +53,8 @@ __all__ = [
     "LocalExactBackend",
     "LocalSamplingBackend",
     "local_backend",
+    "ShardedBackend",
+    "sharded_local_backend",
     "CompilationCache",
     "ExecutionPlan",
     "PlanLayer",

@@ -15,15 +15,18 @@ makes the JigSaw pipeline cheap on a simulator and natural on hardware:
 Two local implementations are provided: :class:`LocalExactBackend`
 evaluates the closed-form noisy distribution (the infinite-trials limit,
 deterministic and RNG-free) and :class:`LocalSamplingBackend` samples the
-allocated trials through a shared :class:`~repro.noise.sampler.NoisySampler`
-stream.  Requests are sampled in batch order, so a fixed sampler seed
-yields bit-for-bit the same PMFs as the historical one-call-per-circuit
-loop.
+allocated trials through **per-request seed streams**: each batch spawns
+one child stream per request *index* off the shared
+:class:`~repro.noise.sampler.NoisySampler` stream, so a request's draws
+depend only on its position in the batch.  That discipline is what lets
+:class:`~repro.runtime.parallel.ShardedBackend` fan a batch out across
+workers and still produce bit-for-bit the PMFs of a serial run under the
+same seed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.compiler.transpile import ExecutableCircuit
@@ -51,10 +54,17 @@ class ExecutionRequest:
     ``trials == 0`` is a valid request for backends that do not sample
     (exact mode evaluates the closed-form distribution regardless of the
     allocation); sampling backends reject it at execution time.
+
+    ``tag`` is free-form provenance (e.g. ``"global"``, ``"cpm[3]"``)
+    carried into logs and shard summaries.  A request's *seed stream* is
+    not part of the request: sampling backends spawn one child stream per
+    batch position, so the position of a request in its batch — not its
+    tag, not the worker that evaluates it — determines its draws.
     """
 
     executable: ExecutableCircuit
     trials: int
+    tag: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
         if self.trials < 0:
@@ -81,6 +91,11 @@ class Backend(Protocol):
 class _LocalBackend:
     """Shared machinery of the local simulator backends."""
 
+    #: Whether evaluation is RNG-free (exact mode).  Deterministic
+    #: backends can coalesce duplicate executables without changing any
+    #: result; see :class:`~repro.runtime.parallel.ShardedBackend`.
+    deterministic = False
+
     def __init__(
         self,
         sampler: Optional[NoisySampler] = None,
@@ -94,6 +109,11 @@ class _LocalBackend:
                 )
             sampler = NoisySampler(noise_model, seed=seed)
         self.sampler = sampler
+        #: Cumulative statevector simulations / noisy-channel evaluations
+        #: performed by this backend — the quantities batching and
+        #: coalescing save; benchmarks assert on these instead of wall time.
+        self.statevector_evals = 0
+        self.channel_evals = 0
 
     # ------------------------------------------------------------------
 
@@ -119,12 +139,30 @@ class _LocalBackend:
                 executable.share_ideal_probabilities(shared)
         return len(pending)
 
-    def execute(self, requests: Sequence[ExecutionRequest]) -> List[PMF]:
-        self.share_statevectors(requests)
-        return [self._evaluate(request) for request in requests]
-
-    def _evaluate(self, request: ExecutionRequest) -> PMF:
+    def request_streams(self, count: int) -> List[Optional[object]]:
+        """One RNG stream per batch position (``None`` for RNG-free modes)."""
         raise NotImplementedError  # pragma: no cover - abstract
+
+    def execute(self, requests: Sequence[ExecutionRequest]) -> List[PMF]:
+        requests = list(requests)
+        self.statevector_evals += self.share_statevectors(requests)
+        streams = self.request_streams(len(requests))
+        pmfs = [
+            self._evaluate(request, stream)
+            for request, stream in zip(requests, streams)
+        ]
+        self.channel_evals += len(requests)
+        return pmfs
+
+    def _evaluate(self, request: ExecutionRequest, rng) -> PMF:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def stats(self) -> dict:
+        """Cumulative work counters (JSON-ready)."""
+        return {
+            "statevector_evals": self.statevector_evals,
+            "channel_evals": self.channel_evals,
+        }
 
 
 class LocalExactBackend(_LocalBackend):
@@ -136,24 +174,37 @@ class LocalExactBackend(_LocalBackend):
     """
 
     name = "local-exact"
+    deterministic = True
 
-    def _evaluate(self, request: ExecutionRequest) -> PMF:
+    def request_streams(self, count: int) -> List[Optional[object]]:
+        # Exact evaluation never touches the sampler RNG; keeping the
+        # spawn counter untouched preserves RNG-free exact runs.
+        return [None] * count
+
+    def _evaluate(self, request: ExecutionRequest, rng) -> PMF:
         return PMF(self.sampler.exact_distribution(request.executable))
 
 
 class LocalSamplingBackend(_LocalBackend):
-    """Finite-trial sampling through one shared noisy-sampler stream.
+    """Finite-trial sampling through per-request seed streams.
 
-    Requests are drawn in batch order from the sampler's RNG, so results
-    are reproducible from the sampler seed and bit-for-bit identical to
-    issuing the same sequence of single-circuit runs.
+    Every batch spawns one child stream per request index off the shared
+    sampler stream, so a request's draws are a function of the sampler
+    seed, the batch spawn counter, and its batch position only.  Results
+    are reproducible from the sampler seed and — because streams never
+    depend on evaluation order — identical to any sharded execution of
+    the same batch (see :class:`~repro.runtime.parallel.ShardedBackend`).
     """
 
     name = "local-sampling"
+    deterministic = False
 
-    def _evaluate(self, request: ExecutionRequest) -> PMF:
+    def request_streams(self, count: int) -> List[Optional[object]]:
+        return list(self.sampler.spawn_streams(count))
+
+    def _evaluate(self, request: ExecutionRequest, rng) -> PMF:
         return PMF.from_counts(
-            self.sampler.run(request.executable, request.trials)
+            self.sampler.run(request.executable, request.trials, rng=rng)
         )
 
 

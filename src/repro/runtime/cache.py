@@ -54,8 +54,18 @@ class CompilationCache:
 
     @staticmethod
     def make_key(parts: Iterable[str]) -> str:
-        """Join key components; components must not contain ``"|"``."""
-        return "|".join(parts)
+        """Join key components into one collision-free string.
+
+        Components are escaped (``\\`` -> ``\\\\``, ``|`` -> ``\\|``)
+        before joining on ``|``, so two different part tuples can never
+        collide into one key — ``("a|b", "c")`` and ``("a", "b|c")`` map
+        to distinct keys.  Components without either character (the
+        common case: hex fingerprints, scheme/device names) are joined
+        verbatim, keeping keys readable.
+        """
+        return "|".join(
+            part.replace("\\", "\\\\").replace("|", "\\|") for part in parts
+        )
 
     # ------------------------------------------------------------------
 

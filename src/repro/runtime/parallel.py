@@ -1,0 +1,279 @@
+"""Sharded execution: partition a batch across workers, deterministically.
+
+:class:`ShardedBackend` wraps a local backend and makes ``execute`` scale
+without changing a single bit of its output:
+
+* **Sharding** — the batch is partitioned across a thread or process
+  pool.  Determinism survives because seed streams are spawned **per
+  request index** before dispatch (see
+  :meth:`~repro.runtime.backend.LocalSamplingBackend.request_streams`):
+  a request's draws depend on its batch position, never on which worker
+  ran it or in what order workers finished.  ``workers=1`` and
+  ``workers=16`` are bit-for-bit identical to the serial backend under a
+  fixed seed.
+* **Coalescing** — requests whose executables share a content
+  fingerprint (the common case: JigSaw's global circuit and its CPMs
+  share one unitary body, and sweeps repeat whole programs) are merged
+  into one evaluation group.  Exact mode evaluates the noisy channel
+  once per group and shares the PMF — output unchanged, work reduced
+  from one channel evaluation per request to one per *unique*
+  executable.  Sampling mode keeps one stream per request by default
+  (coalescing off) so serial parity holds; opting in
+  (``coalesce=True``) draws each group's allocations sequentially from
+  the group leader's stream — still deterministic at any worker count,
+  but a differently-seeded (equally valid) sample than the serial
+  backend's.
+
+Work counters (``stats()``) expose requests, groups, and statevector /
+channel evaluations so benchmarks can assert the coalescing win instead
+of guessing at it from wall clock.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pmf import PMF
+from repro.exceptions import SimulationError
+from repro.noise.sampler import NoisySampler
+from repro.runtime.backend import (
+    Backend,
+    ExecutionRequest,
+    LocalExactBackend,
+    _LocalBackend,
+    local_backend,
+)
+from repro.runtime.fingerprint import executable_fingerprint
+
+__all__ = ["ShardedBackend", "sharded_local_backend"]
+
+
+def sharded_local_backend(
+    sampler, exact: bool, workers: Optional[int] = None
+) -> Backend:
+    """The local backend for a sampler, sharded when a fan-out is set.
+
+    The single place that turns a ``workers`` knob into a backend —
+    shared by :class:`~repro.runtime.session.Session` and the JigSaw
+    runners so their wrap rules cannot drift.  ``None``/``0``/``1``
+    stays serial (no wrapper), anything larger shards; either way the
+    results are bit-for-bit identical.
+    """
+    backend = local_backend(sampler, exact)
+    if workers is not None and workers > 1:
+        return ShardedBackend(backend, workers=workers)
+    return backend
+
+
+def _evaluate_group(payload) -> Tuple[List[int], List[Dict[str, float]]]:
+    """Evaluate one coalesced group; the unit of work a shard executes.
+
+    Module-level (not a closure) so the process-pool executor can pickle
+    it.  Returns plain dicts, not PMFs, so the result crosses process
+    boundaries cheaply; the parent rebuilds PMFs in batch order.
+    """
+    noise_model, chunk_shots, executable, indices, trials, rng, exact = payload
+    # Seed 0 avoids an OS-entropy pull for a default stream that is never
+    # drawn: exact mode is RNG-free and sampling always passes rng in.
+    sampler = NoisySampler(noise_model, seed=0, chunk_shots=chunk_shots)
+    if exact:
+        distribution = sampler.exact_distribution(executable)
+        return indices, [distribution] * len(indices)
+    counts = sampler.run_many(executable, trials, rng=rng)
+    return indices, [
+        {key: float(value) for key, value in chunk.items()} for chunk in counts
+    ]
+
+
+class ShardedBackend:
+    """A local backend partitioned across a worker pool, bit-for-bit.
+
+    Args:
+        inner: the local backend to shard (``LocalExactBackend`` or
+            ``LocalSamplingBackend``).  Its sampler supplies the noise
+            model, the chunk size, and — for sampling — the per-request
+            seed streams.
+        workers: pool size; ``None``/``0``/``1`` evaluates in-process
+            (still coalesced).  Any value yields identical PMFs.
+        coalesce: merge requests with identical executable fingerprints
+            into one evaluation group.  ``None`` (default) enables it
+            exactly when the inner backend is deterministic (exact mode),
+            where it provably cannot change results.  Forcing ``True`` on
+            a sampling backend merges the groups' seed streams: results
+            stay deterministic and worker-count independent but differ
+            from the uncoalesced stream.
+        executor: ``"thread"`` (default) or ``"process"``.  Threads share
+            the parent's executables (no pickling); processes sidestep
+            the GIL for CPU-bound channel evaluation at the cost of
+            shipping payloads.
+    """
+
+    def __init__(
+        self,
+        inner: _LocalBackend,
+        workers: Optional[int] = None,
+        coalesce: Optional[bool] = None,
+        executor: str = "thread",
+    ) -> None:
+        if not isinstance(inner, _LocalBackend):
+            raise SimulationError(
+                "ShardedBackend shards the local backends; got "
+                f"{type(inner).__name__}"
+            )
+        if executor not in {"thread", "process"}:
+            raise SimulationError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if workers is not None and workers < 0:
+            raise SimulationError("workers must be >= 0")
+        self.inner = inner
+        self.workers = workers
+        self.coalesce = inner.deterministic if coalesce is None else coalesce
+        self.executor = executor
+        self.name = f"sharded-{inner.name}"
+        # The pool is created lazily on first use and reused across
+        # batches — process workers in particular are far too expensive
+        # to respawn per execute().  close() (or the context manager)
+        # releases it.
+        self._pool = None
+        #: Cumulative work counters; see :meth:`stats`.
+        self.batches = 0
+        self.requests_seen = 0
+        self.groups_evaluated = 0
+        self.statevector_evals = 0
+        self.channel_evals = 0
+
+    # ------------------------------------------------------------------
+
+    def _group_indices(
+        self, requests: Sequence[ExecutionRequest]
+    ) -> List[List[int]]:
+        """Batch positions grouped by executable content (order-stable)."""
+        if not self.coalesce:
+            return [[index] for index in range(len(requests))]
+        by_fingerprint: "Dict[str, List[int]]" = {}
+        for index, request in enumerate(requests):
+            key = executable_fingerprint(request.executable)
+            by_fingerprint.setdefault(key, []).append(index)
+        return list(by_fingerprint.values())
+
+    def _payloads(
+        self,
+        requests: Sequence[ExecutionRequest],
+        groups: Sequence[List[int]],
+        streams: Sequence[object],
+    ) -> List[tuple]:
+        exact = self.inner.deterministic
+        sampler = self.inner.sampler
+        payloads = []
+        for group in groups:
+            leader = requests[group[0]]
+            trials = [requests[index].trials for index in group]
+            if not exact:
+                for allocation in trials:
+                    if allocation <= 0:
+                        raise SimulationError("shots must be positive")
+            payloads.append(
+                (
+                    sampler.noise_model,
+                    sampler.chunk_shots,
+                    leader.executable,
+                    list(group),
+                    trials,
+                    streams[group[0]],
+                    exact,
+                )
+            )
+        return payloads
+
+    def execute(self, requests: Sequence[ExecutionRequest]) -> List[PMF]:
+        """Evaluate the batch across the pool; one PMF per request, in order."""
+        requests = list(requests)
+        if not requests:
+            return []
+        self.batches += 1
+        self.requests_seen += len(requests)
+        self.statevector_evals += self.inner.share_statevectors(requests)
+        # Seed streams are spawned per request index *before* dispatch —
+        # the whole determinism story.  Exact mode returns Nones and
+        # leaves the sampler's spawn counter untouched.
+        streams = self.inner.request_streams(len(requests))
+        groups = self._group_indices(requests)
+        payloads = self._payloads(requests, groups, streams)
+        self.groups_evaluated += len(groups)
+        self.channel_evals += len(groups)
+
+        pool = self._get_pool()
+        if pool is None:
+            outcomes = [_evaluate_group(payload) for payload in payloads]
+        else:
+            outcomes = list(pool.map(_evaluate_group, payloads))
+
+        results: List[Optional[PMF]] = [None] * len(requests)
+        for indices, distributions in outcomes:
+            shared: Dict[int, PMF] = {}
+            for index, distribution in zip(indices, distributions):
+                # Exact groups share one distribution object; build the
+                # PMF once and share it the way the distribution is shared.
+                key = id(distribution)
+                if key not in shared:
+                    shared[key] = PMF(distribution)
+                results[index] = shared[key]
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _get_pool(self):
+        if self.workers is None or self.workers <= 1:
+            return None
+        if self._pool is None:
+            pool_cls = (
+                ProcessPoolExecutor
+                if self.executor == "process"
+                else ThreadPoolExecutor
+            )
+            self._pool = pool_cls(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down; the backend stays usable (relazied)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Cumulative shard/coalescing counters (JSON-ready)."""
+        return {
+            "batches": self.batches,
+            "requests": self.requests_seen,
+            "groups": self.groups_evaluated,
+            "coalesced_requests": self.requests_seen - self.groups_evaluated,
+            "statevector_evals": self.statevector_evals,
+            "channel_evals": self.channel_evals,
+            "workers": self.workers,
+            "executor": self.executor,
+            "coalesce": self.coalesce,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedBackend({self.inner.name!r}, workers={self.workers}, "
+            f"coalesce={self.coalesce}, executor={self.executor!r})"
+        )

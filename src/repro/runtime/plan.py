@@ -107,12 +107,31 @@ class ExecutionPlan:
         return self.global_trials + self.trials_per_cpm * self.num_cpms
 
     def requests(self) -> List[ExecutionRequest]:
-        """The backend batch: the global executable first, then every CPM."""
-        batch = [ExecutionRequest(self.global_executable, self.global_trials)]
-        batch.extend(
-            ExecutionRequest(exe, self.trials_per_cpm)
-            for exe in self.cpm_executables
-        )
+        """The backend batch: the global executable first, then every CPM.
+
+        Batch order is **seed provenance**: sampling backends spawn one
+        RNG child per batch position, so a request's position here — the
+        global circuit at 0, then CPMs in layer order — pins down exactly
+        which stream it draws, no matter how many workers execute the
+        batch or how plans are concatenated into larger batches.  Tags
+        record which plan slot each position carries.
+        """
+        batch = [
+            ExecutionRequest(
+                self.global_executable, self.global_trials, tag="global"
+            )
+        ]
+        position = 0
+        for layer in self.layers:
+            for exe in layer.executables:
+                batch.append(
+                    ExecutionRequest(
+                        exe,
+                        self.trials_per_cpm,
+                        tag=f"cpm[{position}]size={layer.subset_size}",
+                    )
+                )
+                position += 1
         return batch
 
     # ------------------------------------------------------------------

@@ -51,8 +51,9 @@ from repro.mitigation.combos import jigsaw_with_mbm, mitigate_executable_pmf
 from repro.mitigation.mbm import MAX_MBM_QUBITS
 from repro.noise.model import NoiseModel
 from repro.noise.sampler import NoisySampler
-from repro.runtime.backend import Backend, ExecutionRequest, local_backend
+from repro.runtime.backend import Backend, ExecutionRequest
 from repro.runtime.cache import CompilationCache
+from repro.runtime.parallel import sharded_local_backend
 from repro.runtime.fingerprint import circuit_fingerprint
 from repro.runtime.plan import ExecutionPlan
 from repro.utils.random import SeedLike, as_generator, spawn
@@ -104,6 +105,12 @@ class Session:
         compile_attempts / cpm_attempts: transpiler candidate counts.
         ensemble_size: mappings in the EDM comparison scheme.
         compile_workers: optional thread fan-out for CPM compilation.
+        workers: optional worker fan-out for *execution* batches: wraps
+            the local backend in a
+            :class:`~repro.runtime.parallel.ShardedBackend` and threads
+            the knob into every JigSaw runner.  Bit-for-bit identical to
+            serial execution at any worker count (per-request seed
+            streams); ignored when a custom ``backend`` is supplied.
         backend: custom execution engine; default is local simulation
             matching ``exact``.  JigSaw runs inherit it.
         cache: the plan cache; defaults to a fresh
@@ -121,6 +128,7 @@ class Session:
         cpm_attempts: int = 3,
         ensemble_size: int = 4,
         compile_workers: Optional[int] = None,
+        workers: Optional[int] = None,
         backend: Optional[Backend] = None,
         cache: Optional[CompilationCache] = None,
     ) -> None:
@@ -131,6 +139,7 @@ class Session:
         self.cpm_attempts = cpm_attempts
         self.ensemble_size = ensemble_size
         self.compile_workers = compile_workers
+        self.workers = workers
         self._rng = as_generator(seed)
         (
             self._baseline_seed,
@@ -143,7 +152,7 @@ class Session:
         self.noise_model = NoiseModel.from_device(device)
         self.sampler = NoisySampler(self.noise_model, seed=self._sampler_seed)
         self._backend_override = backend
-        self.backend: Backend = backend or local_backend(self.sampler, exact)
+        self.backend: Backend = backend or self._default_backend()
         self.cache = CompilationCache() if cache is None else cache
         self._cache_salt = f"session:{seed!r}"
         # The shared baseline mapping per program (methodology, §5.2: the
@@ -159,6 +168,10 @@ class Session:
     # ------------------------------------------------------------------
     # Shared pieces
     # ------------------------------------------------------------------
+
+    def _default_backend(self) -> Backend:
+        """Local simulation, sharded when a worker fan-out is configured."""
+        return sharded_local_backend(self.sampler, self.exact, self.workers)
 
     def global_executable(self, workload: Workload) -> ExecutableCircuit:
         """The baseline (Noise-Aware SABRE) compilation, shared per program."""
@@ -183,6 +196,7 @@ class Session:
             cpm_attempts=self.cpm_attempts,
             exact=self.exact,
             compile_workers=self.compile_workers,
+            execute_workers=self.workers,
         )
 
     def _jigsawm_config(self) -> JigSawMConfig:
@@ -192,6 +206,7 @@ class Session:
             cpm_attempts=self.cpm_attempts,
             exact=self.exact,
             compile_workers=self.compile_workers,
+            execute_workers=self.workers,
         )
 
     def _jigsaw_runner(self, recompile: bool = True) -> JigSaw:
@@ -284,14 +299,21 @@ class Session:
         allocations[0] += self.total_trials - per_mapping * len(executables)
         pmfs = self.backend.execute(
             [
-                ExecutionRequest(executable, trials)
-                for executable, trials in zip(executables, allocations)
+                ExecutionRequest(executable, trials, tag=f"edm[{index}]")
+                for index, (executable, trials) in enumerate(
+                    zip(executables, allocations)
+                )
             ]
         )
+        # Merging histograms (§5.3) means pooling *counts*, so each
+        # mapping's normalized PMF is weighted by its trial allocation —
+        # the first mapping carries the folded remainder and weighs
+        # proportionally more, not equal to its starved peers.
         merged: Dict[str, float] = {}
-        for pmf in pmfs:
+        for pmf, trials in zip(pmfs, allocations):
+            weight = trials / self.total_trials
             for key, value in pmf.items():
-                merged[key] = merged.get(key, 0.0) + value
+                merged[key] = merged.get(key, 0.0) + value * weight
         return PMF(merged, normalize=True)
 
     def run_jigsaw(
@@ -367,6 +389,18 @@ class Session:
         )
 
     # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release worker pools held by the session and its runners.
+
+        Pools are created lazily, so this is only meaningful after
+        sharded runs (``workers > 1``); the session stays usable — pools
+        re-materialise on the next execute.
+        """
+        if hasattr(self.backend, "close"):
+            self.backend.close()
+        for runner in self._runners.values():
+            runner.close()
 
     def cache_stats(self) -> dict:
         """Plan-cache hit/miss counters (see :class:`CompilationCache`)."""

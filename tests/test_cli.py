@@ -45,6 +45,17 @@ class TestMain:
         assert code == 0
         assert "JigSaw output" in capsys.readouterr().out
 
+    def test_run_with_exec_workers_matches_serial(self, capsys):
+        # The sharded path is a pure fan-out: same seed, same report.
+        argv = [
+            "run", "--workload", "GHZ-4", "--trials", "2048",
+            "--seed", "1", "--sampled",
+        ]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--exec-workers", "4"]) == 0
+        assert capsys.readouterr().out == serial_out
+
     def test_compare_smoke(self, capsys):
         code = main(
             ["compare", "--workload", "BV-3", "--trials", "2048", "--seed", "1"]

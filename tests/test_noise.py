@@ -183,6 +183,46 @@ class TestSamplerAgainstOracle:
         with pytest.raises(SimulationError):
             NoisySampler(noise).run(executable, 0)
 
+    def test_chunked_sampling_conserves_shots(self, device, noise, ghz4):
+        # Chunking bounds memory, not totals: shots that span many chunks
+        # (including a ragged final chunk) all land in the histogram.
+        executable = compile_identity(ghz4, device)
+        counts = NoisySampler(noise, seed=4, chunk_shots=100).run(
+            executable, 4_099
+        )
+        assert sum(counts.values()) == 4_099
+
+    def test_chunked_sampling_statistics_match(self, device, noise, ghz4):
+        # A chunked stream draws different variates than an unchunked one
+        # but must converge to the same channel.
+        executable = compile_identity(ghz4, device)
+        chunked = NoisySampler(noise, seed=5, chunk_shots=1_000).run(
+            executable, 100_000
+        )
+        exact = NoisySampler(noise).exact_distribution(executable)
+        for key, prob in exact.items():
+            assert chunked.get(key, 0) / 100_000 == pytest.approx(
+                prob, abs=0.01
+            )
+
+    def test_chunk_shots_must_be_positive(self, noise):
+        with pytest.raises(SimulationError):
+            NoisySampler(noise, chunk_shots=0)
+
+    def test_run_many_shares_one_stream(self, device, noise, ghz4):
+        # run_many(exe, [a, b]) is exactly run(a) then run(b) on the same
+        # stream — the coalesced-sampling contract.
+        executable = compile_identity(ghz4, device)
+        merged = NoisySampler(noise, seed=6).run_many(executable, [700, 300])
+        reference = NoisySampler(noise, seed=6)
+        assert merged[0] == reference.run(executable, 700)
+        assert merged[1] == reference.run(executable, 300)
+
+    def test_run_many_rejects_zero_allocation(self, device, noise, ghz4):
+        executable = compile_identity(ghz4, device)
+        with pytest.raises(SimulationError):
+            NoisySampler(noise, seed=6).run_many(executable, [700, 0])
+
     def test_exact_distribution_normalised(self, device, noise, ghz4):
         executable = compile_identity(ghz4, device)
         dist = NoisySampler(noise).exact_distribution(executable)

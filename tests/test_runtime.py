@@ -84,9 +84,12 @@ class TestBackends:
         expected = NoisySampler(noise_model).exact_distribution(executable)
         assert pmf.as_dict() == pytest.approx(expected)
 
-    def test_sampling_bitforbit_with_sequential_runs(
+    def test_sampling_bitforbit_with_per_request_streams(
         self, device, noise_model, ghz6
     ):
+        # The batch seed discipline: one child stream per request index,
+        # spawned off the sampler stream before any evaluation.  This is
+        # what makes sharded execution bit-for-bit equal to serial.
         executable = transpile(ghz6, device, seed=0)
         cpm = transpile(ghz6.with_measured_subset([0, 1]), device, seed=1)
         requests = [
@@ -97,11 +100,30 @@ class TestBackends:
         batch = backend.execute(requests)
 
         reference_sampler = NoisySampler(noise_model, seed=7)
-        for request, pmf in zip(requests, batch):
-            counts = reference_sampler.run(request.executable, request.trials)
+        streams = reference_sampler.spawn_streams(len(requests))
+        for request, pmf, stream in zip(requests, batch, streams):
+            counts = reference_sampler.run(
+                request.executable, request.trials, rng=stream
+            )
             total = sum(counts.values())
             expected = {k: v / total for k, v in counts.items()}
             assert pmf.as_dict() == pytest.approx(expected)
+
+    def test_sampling_request_streams_independent_of_batch_shape(
+        self, device, noise_model, ghz6
+    ):
+        # Request i's draws depend on its batch position only: executing
+        # [a, b] yields the same PMF for a as executing [a, c].
+        a = transpile(ghz6, device, seed=0)
+        b = transpile(ghz6.with_measured_subset([0, 1]), device, seed=1)
+        c = transpile(ghz6.with_measured_subset([2, 3]), device, seed=2)
+        first = LocalSamplingBackend(noise_model=noise_model, seed=9).execute(
+            [ExecutionRequest(a, 400), ExecutionRequest(b, 200)]
+        )
+        second = LocalSamplingBackend(noise_model=noise_model, seed=9).execute(
+            [ExecutionRequest(a, 400), ExecutionRequest(c, 200)]
+        )
+        assert first[0].as_dict() == second[0].as_dict()
 
     def test_one_statevector_per_unitary_body(self, device, noise_model, ghz6):
         executables = [
@@ -312,6 +334,34 @@ class TestCompilationCache:
             ghz(5).circuit, 16_384
         )
         assert cache.hits == 0 and cache.misses == 3
+
+    def test_make_key_escapes_separator(self):
+        # Regression: components containing "|" used to collide — two
+        # different part tuples could map to one cache key.
+        assert CompilationCache.make_key(
+            ("a|b", "c")
+        ) != CompilationCache.make_key(("a", "b|c"))
+        assert CompilationCache.make_key(
+            ("a\\", "|b")
+        ) != CompilationCache.make_key(("a", "\\|b"))
+
+    def test_make_key_injective_over_part_tuples(self):
+        parts = [
+            ("a", "b", "c"),
+            ("a|b", "c"),
+            ("a", "b|c"),
+            ("a\\|b", "c"),
+            ("a\\", "b", "c"),
+            ("a", "b\\", "c"),
+            ("a|b|c",),
+        ]
+        keys = {CompilationCache.make_key(p) for p in parts}
+        assert len(keys) == len(parts)
+
+    def test_make_key_plain_parts_unchanged(self):
+        # Fingerprints/device names contain neither "|" nor "\\"; their
+        # keys keep the historical readable format.
+        assert CompilationCache.make_key(("jigsaw", "abc123")) == "jigsaw|abc123"
 
     def test_rebudget_on_hit(self, device, ghz6):
         cache = CompilationCache()

@@ -200,6 +200,28 @@ class TestBudgetConservation:
         session.run_edm(ghz(6))
         assert sum(r.trials for r in recorded) == total
 
+    def test_edm_merge_weighted_by_allocation(self, device):
+        # Regression: merging must weight each mapping's histogram by its
+        # trial allocation (pooled counts), not average normalized PMFs —
+        # the first mapping carries the integer-division remainder.
+        from repro.core.pmf import PMF
+
+        class StubBackend:
+            name = "stub"
+
+            def execute(self, requests):
+                # Mapping 0 observes all-zeros, the rest all-ones.
+                pmfs = [PMF({"0" * 6: 1.0})]
+                pmfs.extend(PMF({"1" * 6: 1.0}) for _ in requests[1:])
+                return pmfs
+
+        total = 1_003  # 4 mappings -> allocations [253, 250, 250, 250]
+        session = Session(device, seed=0, exact=True, total_trials=total)
+        session.backend = StubBackend()
+        merged = session.run_edm(ghz(6))
+        assert merged.prob("0" * 6) == pytest.approx(253 / 1_003)
+        assert merged.prob("1" * 6) == pytest.approx(750 / 1_003)
+
 
 class TestMetricsEvaluation:
     def test_metrics_fields(self, device):

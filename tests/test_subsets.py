@@ -85,6 +85,32 @@ class TestRandomSubsets:
         b = random_subsets(10, 3, 5, seed=42)
         assert a == b
 
+    def test_infeasible_coverage_rejected_before_any_draw(self):
+        # Upfront infeasibility: no RNG draw happens, so the check fires
+        # even where rejection sampling would first burn a failed family.
+        class PoisonedRNG:
+            def choice(self, *args, **kwargs):  # pragma: no cover
+                raise AssertionError("drew from RNG despite infeasibility")
+
+        with pytest.raises(ReconstructionError):
+            random_subsets(12, 2, 3, ensure_coverage=True, seed=PoisonedRNG())
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_coverage_repair_holds_for_any_seed(self, seed):
+        # Tight family (count * size == num_qubits): random draws rarely
+        # cover on their own, so the deterministic repair must kick in.
+        subsets = random_subsets(12, 2, 6, ensure_coverage=True, seed=seed)
+        assert len(subsets) == 6
+        assert len(set(subsets)) == 6
+        assert {q for subset in subsets for q in subset} == set(range(12))
+        assert all(len(set(s)) == len(s) == 2 for s in subsets)
+
+    def test_dense_family_fills_deterministically(self):
+        # count == C(n, k): rejection alone would stall; the enumerated
+        # fallback must deliver every combination.
+        subsets = random_subsets(5, 2, 10, ensure_coverage=True, seed=0)
+        assert len(set(subsets)) == 10
+
 
 class TestAllPairs:
     def test_count_is_n_choose_2(self):

@@ -8,6 +8,7 @@ from repro.core import (
     ScalabilityModel,
     cpm_trial_estimate,
     plan_trial_budget,
+    split_trial_budget,
     table7_rows,
     trials_for_outcome,
     trials_to_observe_all,
@@ -69,6 +70,42 @@ class TestBudgetPlan:
     def test_zero_cpms_rejected(self):
         with pytest.raises(ReconstructionError):
             plan_trial_budget(1000, [2], [0])
+
+    def test_report_agrees_with_canonical_split(self):
+        """Regression: the A.2 report must describe the executed budget.
+
+        ``plan_trial_budget`` used to report ``round(total * fraction)``
+        global trials while the runner folded the remainder in — for odd
+        budgets the two disagreed and the report was non-conserving.
+        """
+        for total in (1_001, 16_383, 32_769):
+            report = plan_trial_budget(total, [2], [16])
+            global_trials, per_cpm = split_trial_budget(total, 16, 0.5)
+            assert report["global_trials"] == global_trials
+            assert report["trials_per_cpm"] == per_cpm
+            assert (
+                report["global_trials"] + report["trials_per_cpm"] * 16
+                == total
+            )
+            assert report["allocated_trials"] == total
+
+    def test_split_conserves_budget(self):
+        for total in (35, 1_001, 16_383):
+            global_trials, per_cpm = split_trial_budget(total, 16)
+            assert global_trials + per_cpm * 16 == total
+
+    def test_split_rejects_starved_budget(self):
+        with pytest.raises(ReconstructionError):
+            split_trial_budget(33, 16)
+
+    def test_size_aware_layers(self):
+        report = plan_trial_budget(32_768, [2, 5], [16, 16])
+        by_size = {layer["subset_size"]: layer for layer in report["layers"]}
+        assert by_size[2]["min_trials_needed"] < by_size[5]["min_trials_needed"]
+        assert by_size[2]["subset_trials"] == report["trials_per_cpm"] * 16
+        assert report["sufficient"] == all(
+            layer["sufficient"] for layer in report["layers"]
+        )
 
 
 class TestScalabilityModel:

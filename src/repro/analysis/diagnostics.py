@@ -59,7 +59,11 @@ def marginal_quality_report(
     result: JigSawResult, ideal_distribution: Mapping[str, float]
 ) -> List[MarginalQuality]:
     """Compare every CPM marginal against the global-derived one."""
-    ideal_pmf = PMF(dict(ideal_distribution))
+    ideal_pmf = (
+        ideal_distribution
+        if isinstance(ideal_distribution, PMF)
+        else PMF(dict(ideal_distribution))
+    )
     report: List[MarginalQuality] = []
     for marginal in result.marginals:
         ideal_marginal = ideal_pmf.marginal(marginal.qubits)
@@ -109,8 +113,13 @@ def support_statistics(
     """§7.1 bookkeeping: support size, epsilon, and outcome-space usage."""
     if not distribution:
         raise ReproError("empty distribution")
-    width = len(next(iter(distribution)))
-    support = sum(1 for v in distribution.values() if v > 0)
+    if isinstance(distribution, PMF):
+        # Native path: the support is the stored (all-positive) entries.
+        width = distribution.num_bits
+        support = distribution.support_size
+    else:
+        width = len(next(iter(distribution)))
+        support = sum(1 for v in distribution.values() if v > 0)
     stats: Dict[str, float] = {
         "num_bits": float(width),
         "support": float(support),

@@ -147,6 +147,28 @@ class JigSawResult:
     def total_trials(self) -> int:
         return self.global_trials + self.trials_per_cpm * len(self.cpm_executables)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready result payload.
+
+        Distributions are serialized in the native array form —
+        ``{codes, probs, num_bits}`` (see :meth:`PMF.to_payload`) — so a
+        round-trip through JSON and :meth:`PMF.from_payload` never renders
+        a bitstring.
+        """
+        return {
+            "scheme": "jigsaw",
+            "output_pmf": self.output_pmf.to_payload(),
+            "global_pmf": self.global_pmf.to_payload(),
+            "marginals": [
+                {"qubits": list(m.qubits), "pmf": m.pmf.to_payload()}
+                for m in self.marginals
+            ],
+            "subsets": [list(subset) for subset in self.subsets],
+            "global_trials": self.global_trials,
+            "trials_per_cpm": self.trials_per_cpm,
+            "total_trials": self.total_trials,
+        }
+
 
 class JigSaw:
     """JigSaw runner bound to one device (paper §4, Fig. 4).
@@ -503,8 +525,8 @@ class JigSaw:
     ) -> PMF:
         """Single-circuit evaluation (legacy helper; batches via backend)."""
         if self.config.exact:
-            return PMF(self.sampler.exact_distribution(executable))
-        return PMF.from_counts(self.sampler.run(executable, trials))
+            return self.sampler.exact_pmf(executable)
+        return self.sampler.run_codes(executable, trials).to_pmf()
 
     def run(
         self,

@@ -93,6 +93,28 @@ class JigSawMResult:
     def all_marginals(self) -> List[Marginal]:
         return [m for size in sorted(self.marginals_by_size) for m in self.marginals_by_size[size]]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready result payload; distributions in native array form.
+
+        Mirrors :meth:`~repro.core.jigsaw.JigSawResult.to_dict`: every PMF
+        is carried as ``{codes, probs, num_bits}``.
+        """
+        return {
+            "scheme": "jigsaw_m",
+            "output_pmf": self.output_pmf.to_payload(),
+            "global_pmf": self.global_pmf.to_payload(),
+            "marginals_by_size": {
+                size: [
+                    {"qubits": list(m.qubits), "pmf": m.pmf.to_payload()}
+                    for m in marginals
+                ]
+                for size, marginals in sorted(self.marginals_by_size.items())
+            },
+            "global_trials": self.global_trials,
+            "trials_per_cpm": self.trials_per_cpm,
+            "total_trials": self.total_trials,
+        }
+
 
 def ordered_reconstruction(
     global_pmf: PMF,

@@ -4,6 +4,15 @@ A :class:`PMF` stores only *observed* (non-zero) outcomes — the key design
 decision behind JigSaw's scalability (paper §7.1): the number of entries is
 bounded by the number of trials, not by ``2**n``.
 
+The storage format is **array-native**: a PMF is a pair of aligned numpy
+arrays — ``codes`` (int64 outcome codes, sorted ascending) and ``probs``
+(float64) — plus the register width.  Bitstrings are a lazy *view* used at
+the edges (construction from hardware-style counts dicts, CLI rendering,
+serialization); the hot paths (marginalisation, metrics, sampling,
+reconstruction) never materialise a string.  Outcome codes use the IBM-order
+encoding of :mod:`repro.utils.bits`: bit ``c`` of a code is classical bit
+``c``, so ``format(code, "0{n}b")`` prints the bitstring directly.
+
 A :class:`Marginal` pairs a local PMF with the global bit positions it
 covers — the paper's "marginal" object ``m = [{outcome: prob}, [i0..ik]]``
 (§4.3), produced by one Circuit with Partial Measurements.
@@ -12,18 +21,40 @@ covers — the paper's "marginal" object ``m = [{outcome: prob}, [i0..ik]]``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.exceptions import PMFError
-from repro.utils.bits import extract_bits
+from repro.utils.bits import (
+    MAX_CODE_BITS,
+    codes_to_strings,
+    gather_code_bits,
+    group_code_sums,
+    strings_to_codes,
+)
 
-__all__ = ["PMF", "Marginal"]
+__all__ = ["PMF", "Marginal", "aligned_probs", "hellinger_pmfs"]
 
 
 class PMF(Mapping[str, float]):
-    """An immutable sparse PMF over fixed-width bitstrings."""
+    """An immutable sparse PMF over fixed-width bitstrings.
 
-    __slots__ = ("_probs", "_num_bits")
+    Backed by aligned ``codes``/``probs`` arrays sorted by outcome code;
+    the ``Mapping[str, float]`` interface renders bitstring keys lazily.
+    """
+
+    __slots__ = ("_codes", "_probs", "_num_bits", "_keys")
 
     def __init__(
         self,
@@ -33,38 +64,155 @@ class PMF(Mapping[str, float]):
     ) -> None:
         if not probabilities:
             raise PMFError("a PMF needs at least one outcome")
-        widths = {len(key) for key in probabilities}
+        keys = list(probabilities)
+        widths = {len(key) for key in keys}
         if len(widths) != 1:
             raise PMFError(f"inconsistent outcome widths: {sorted(widths)}")
         width = widths.pop()
         if num_bits is not None and num_bits != width:
             raise PMFError(f"outcomes are {width}-bit but num_bits={num_bits}")
-        total = 0.0
-        cleaned: Dict[str, float] = {}
-        for key, value in probabilities.items():
-            if any(c not in "01" for c in key):
-                raise PMFError(f"not a bitstring outcome: {key!r}")
-            value = float(value)
-            if value < 0.0:
-                raise PMFError(f"negative probability for {key!r}: {value}")
-            if value > 0.0:
-                cleaned[key] = value
-                total += value
-        if not cleaned:
-            raise PMFError("all probabilities are zero")
-        if normalize:
-            cleaned = {k: v / total for k, v in cleaned.items()}
-        self._probs = cleaned
-        self._num_bits = width
+        try:
+            codes = strings_to_codes(keys, width)
+        except ValueError as exc:
+            raise PMFError(str(exc)) from exc
+        values = np.fromiter(
+            (float(probabilities[key]) for key in keys),
+            dtype=np.float64,
+            count=len(keys),
+        )
+        negative = np.flatnonzero(values < 0.0)
+        if negative.size:
+            index = int(negative[0])
+            raise PMFError(
+                f"negative probability for {keys[index]!r}: {values[index]}"
+            )
+        self._init_from_arrays(codes, values, width, normalize, dedupe=False)
 
     # ------------------------------------------------------------------
-    # Constructors
+    # Array spine
+    # ------------------------------------------------------------------
+
+    def _init_from_arrays(
+        self,
+        codes: np.ndarray,
+        probs: np.ndarray,
+        num_bits: int,
+        normalize: bool,
+        dedupe: bool,
+    ) -> None:
+        """Shared tail of every constructor: sort, drop zeros, freeze.
+
+        Arrays still identical to the inputs after filtering / sorting /
+        normalising are copied before freezing, so a caller's writable
+        array is never mutated (read-only inputs — e.g. another PMF's
+        ``codes`` — are shared as-is).
+        """
+        in_codes, in_probs = codes, probs
+        mask = probs > 0.0
+        if not mask.all():
+            codes = codes[mask]
+            probs = probs[mask]
+        if codes.size == 0:
+            raise PMFError("all probabilities are zero")
+        if codes.size > 1 and np.any(np.diff(codes) <= 0):
+            if dedupe:
+                codes, probs = group_code_sums(codes, probs)
+            else:
+                order = np.argsort(codes, kind="stable")
+                codes = codes[order]
+                probs = probs[order]
+        if normalize:
+            probs = probs / probs.sum()
+        if codes is in_codes and codes.flags.writeable:
+            codes = codes.copy()
+        if probs is in_probs and probs.flags.writeable:
+            probs = probs.copy()
+        codes.flags.writeable = False
+        probs.flags.writeable = False
+        self._codes = codes
+        self._probs = probs
+        self._num_bits = num_bits
+        self._keys: Optional[List[str]] = None
+
+    @classmethod
+    def from_codes(
+        cls,
+        codes: np.ndarray,
+        probs: np.ndarray,
+        num_bits: int,
+        normalize: bool = True,
+    ) -> "PMF":
+        """Array-native constructor: aligned outcome codes + probabilities.
+
+        The data-plane entry point — backends, the sampler, mitigation and
+        reconstruction all build PMFs through here without ever touching a
+        string.  Codes may arrive unsorted; duplicates are summed; zero
+        probabilities are dropped.
+        """
+        if num_bits < 1 or num_bits > MAX_CODE_BITS:
+            raise PMFError(
+                f"outcome width must be in 1..{MAX_CODE_BITS}, got {num_bits}"
+            )
+        codes = np.asarray(codes, dtype=np.int64)
+        probs = np.asarray(probs, dtype=np.float64)
+        if codes.ndim != 1 or probs.ndim != 1 or codes.shape != probs.shape:
+            raise PMFError("codes and probs must be aligned 1-d arrays")
+        if codes.size == 0:
+            raise PMFError("a PMF needs at least one outcome")
+        if np.any(codes < 0) or (
+            num_bits < MAX_CODE_BITS and np.any(codes >= (1 << num_bits))
+        ):
+            raise PMFError(f"outcome code out of range for {num_bits} bits")
+        if np.any(probs < 0.0):
+            index = int(np.flatnonzero(probs < 0.0)[0])
+            raise PMFError(
+                f"negative probability for code {int(codes[index])}: "
+                f"{probs[index]}"
+            )
+        pmf = cls.__new__(cls)
+        pmf._init_from_arrays(codes, probs, num_bits, normalize, dedupe=True)
+        return pmf
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Outcome codes (int64, sorted ascending, read-only)."""
+        return self._codes
+
+    @property
+    def probs(self) -> np.ndarray:
+        """Probabilities aligned with :attr:`codes` (float64, read-only)."""
+        return self._probs
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray, int]:
+        """The native ``(codes, probs, num_bits)`` triple (read-only views)."""
+        return self._codes, self._probs, self._num_bits
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready serialization: ``{codes, probs, num_bits}`` lists."""
+        return {
+            "codes": [int(code) for code in self._codes],
+            "probs": [float(prob) for prob in self._probs],
+            "num_bits": self._num_bits,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "PMF":
+        """Rebuild a PMF from :meth:`to_payload` output."""
+        return cls.from_codes(
+            np.asarray(payload["codes"], dtype=np.int64),
+            np.asarray(payload["probs"], dtype=np.float64),
+            int(payload["num_bits"]),
+            normalize=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors (string edges)
     # ------------------------------------------------------------------
 
     @classmethod
     def from_counts(cls, counts: Mapping[str, int]) -> "PMF":
         """Build a PMF from a counts histogram."""
-        return cls({k: float(v) for k, v in counts.items()})
+        return cls(counts)
 
     @classmethod
     def uniform(cls, outcomes: Iterable[str]) -> "PMF":
@@ -73,21 +221,52 @@ class PMF(Mapping[str, float]):
         return cls({key: 1.0 for key in outcomes})
 
     # ------------------------------------------------------------------
-    # Mapping protocol
+    # Mapping protocol (bitstring view)
     # ------------------------------------------------------------------
 
+    def _string_keys(self) -> List[str]:
+        """Bitstring keys, rendered lazily once and cached."""
+        if self._keys is None:
+            self._keys = codes_to_strings(self._codes, self._num_bits)
+        return self._keys
+
+    def _lookup(self, key: str) -> int:
+        """Index of ``key`` in the code arrays, or -1 when absent/invalid."""
+        if (
+            not isinstance(key, str)
+            or len(key) != self._num_bits
+            or not set(key) <= {"0", "1"}
+        ):
+            return -1
+        code = int(key, 2)
+        index = int(np.searchsorted(self._codes, code))
+        if index < len(self._codes) and self._codes[index] == code:
+            return index
+        return -1
+
     def __getitem__(self, key: str) -> float:
-        return self._probs[key]
+        index = self._lookup(key)
+        if index < 0:
+            raise KeyError(key)
+        return float(self._probs[index])
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self._probs)
+        return iter(self._string_keys())
 
     def __len__(self) -> int:
-        return len(self._probs)
+        return len(self._codes)
 
     def prob(self, key: str) -> float:
         """Probability of ``key`` (0.0 when unobserved)."""
-        return self._probs.get(key, 0.0)
+        index = self._lookup(key)
+        return float(self._probs[index]) if index >= 0 else 0.0
+
+    def prob_of_code(self, code: int) -> float:
+        """Probability of an integer outcome code (0.0 when unobserved)."""
+        index = int(np.searchsorted(self._codes, code))
+        if index < len(self._codes) and self._codes[index] == code:
+            return float(self._probs[index])
+        return 0.0
 
     # ------------------------------------------------------------------
     # Queries
@@ -100,32 +279,42 @@ class PMF(Mapping[str, float]):
     @property
     def support_size(self) -> int:
         """Number of observed (non-zero) outcomes — the paper's εT."""
-        return len(self._probs)
+        return len(self._codes)
 
     def top(self, count: int = 1) -> List[Tuple[str, float]]:
-        """The ``count`` most probable outcomes, descending."""
-        ranked = sorted(self._probs.items(), key=lambda kv: (-kv[1], kv[0]))
-        return ranked[:count]
+        """The ``count`` most probable outcomes, descending.
+
+        Ties break on the smaller outcome code, which for fixed-width
+        bitstrings is exactly the lexicographic order of the keys.
+        """
+        order = np.lexsort((self._codes, -self._probs))[:count]
+        keys = codes_to_strings(self._codes[order], self._num_bits)
+        return [
+            (key, float(prob)) for key, prob in zip(keys, self._probs[order])
+        ]
 
     def mode(self) -> str:
         """The single most probable outcome."""
         return self.top(1)[0][0]
 
     def total(self) -> float:
-        return sum(self._probs.values())
+        return float(self._probs.sum())
 
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
 
     def normalized(self) -> "PMF":
-        return PMF(self._probs, normalize=True)
+        return PMF.from_codes(
+            self._codes, self._probs, self._num_bits, normalize=True
+        )
 
     def marginal(self, positions: Sequence[int]) -> "PMF":
         """Marginal PMF over ``positions`` (bit indices, IBM order).
 
         This is what "deriving the marginals from the global-PMF" means in
         the paper's §1 — the low-fidelity alternative to running a CPM.
+        One bit-gather over the codes plus one group-sum; no strings.
         """
         positions = list(positions)
         if not positions:
@@ -135,21 +324,33 @@ class PMF(Mapping[str, float]):
                 raise PMFError(f"bit position {pos} out of range")
         if len(set(positions)) != len(positions):
             raise PMFError("duplicate positions in marginal")
-        grouped: Dict[str, float] = {}
-        for key, value in self._probs.items():
-            sub = extract_bits(key, positions)
-            grouped[sub] = grouped.get(sub, 0.0) + value
-        return PMF(grouped, normalize=True)
+        projected = gather_code_bits(self._codes, positions)
+        grouped, sums = group_code_sums(projected, self._probs)
+        return PMF.from_codes(grouped, sums, len(positions), normalize=True)
 
     def restrict(self, keys: Iterable[str]) -> "PMF":
         """Renormalised PMF over the intersection with ``keys``."""
-        subset = {k: self._probs[k] for k in keys if k in self._probs}
-        if not subset:
+        width = self._num_bits
+        candidates = [
+            key for key in keys if len(key) == width and set(key) <= {"0", "1"}
+        ]
+        selected = np.empty(0, dtype=np.int64)
+        if candidates:
+            wanted = strings_to_codes(candidates, width)
+            indices = np.searchsorted(self._codes, wanted)
+            indices = np.minimum(indices, len(self._codes) - 1)
+            selected = np.unique(indices[self._codes[indices] == wanted])
+        if selected.size == 0:
             raise PMFError("restriction has empty support")
-        return PMF(subset, normalize=True)
+        return PMF.from_codes(
+            self._codes[selected], self._probs[selected], width, normalize=True
+        )
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self._probs)
+        return {
+            key: float(prob)
+            for key, prob in zip(self._string_keys(), self._probs)
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         preview = ", ".join(f"{k}: {v:.4f}" for k, v in self.top(3))
@@ -157,6 +358,57 @@ class PMF(Mapping[str, float]):
             f"PMF(bits={self._num_bits}, support={self.support_size}, "
             f"top=[{preview}])"
         )
+
+    # ------------------------------------------------------------------
+    # Pickling (``__slots__`` without ``__dict__``)
+    # ------------------------------------------------------------------
+
+    def __reduce__(self):
+        return (
+            _rebuild_pmf,
+            (np.asarray(self._codes), np.asarray(self._probs), self._num_bits),
+        )
+
+
+def _rebuild_pmf(codes: np.ndarray, probs: np.ndarray, num_bits: int) -> PMF:
+    """Pickle helper: rebuild without renormalising the stored arrays."""
+    return PMF.from_codes(codes, probs, num_bits, normalize=False)
+
+
+def aligned_probs(p: PMF, q: PMF) -> Tuple[np.ndarray, np.ndarray]:
+    """Probabilities of ``p`` and ``q`` over the union of their supports.
+
+    The sorted-support merge primitive behind the vectorised distribution
+    metrics: both supports are already sorted, so the union is one sort of
+    the concatenation (near-linear on two sorted runs) plus two
+    ``searchsorted`` scatters — the cost tracks the observed supports,
+    never ``2**n``.
+    """
+    merged = np.concatenate([p.codes, q.codes])
+    merged.sort(kind="stable")
+    keep = np.empty(merged.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+    union = merged[keep]
+    p_aligned = np.zeros(union.size)
+    q_aligned = np.zeros(union.size)
+    p_aligned[np.searchsorted(union, p.codes)] = p.probs
+    q_aligned[np.searchsorted(union, q.codes)] = q.probs
+    return p_aligned, q_aligned
+
+
+def hellinger_pmfs(p: PMF, q: PMF) -> float:
+    """Hellinger distance between two PMFs via the sorted-support merge.
+
+    The single vectorised implementation behind both
+    :func:`repro.metrics.distances.hellinger` (for PMF operands) and
+    :func:`repro.core.reconstruction.hellinger_distance`.  It lives here —
+    not in :mod:`repro.metrics` — so the reconstruction layer can share it
+    without importing the metrics package (which imports this module).
+    """
+    p_aligned, q_aligned = aligned_probs(p, q)
+    diff = np.sqrt(p_aligned) - np.sqrt(q_aligned)
+    return float(np.sqrt(np.dot(diff, diff) / 2.0))
 
 
 @dataclass(frozen=True)
@@ -192,10 +444,8 @@ class Marginal:
         """Total variation distance to the same marginal of ``global_pmf``.
 
         Diagnostic used in tests: a perfect global PMF has TVD 0 against
-        every exact marginal.
+        every exact marginal.  Computed on the merged code supports.
         """
         derived = global_pmf.marginal(self.qubits)
-        keys = set(self.pmf) | set(derived)
-        return 0.5 * sum(
-            abs(self.pmf.prob(k) - derived.prob(k)) for k in keys
-        )
+        ours, theirs = aligned_probs(self.pmf, derived)
+        return float(0.5 * np.abs(ours - theirs).sum())

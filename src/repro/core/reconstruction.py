@@ -23,23 +23,24 @@ stated in §4.3.  Because every posterior is computed from the same prior
 and then summed, the order of marginals within a round does not matter
 (§4.3, last paragraph); the tests assert this invariance.
 
-Implementation note: the public API speaks :class:`~repro.core.pmf.PMF`,
-but internally the support is held as integer outcome codes and numpy
-probability vectors, so one update is a handful of vectorised gathers —
-this is what makes the §7 linear complexity claim real in this codebase
-(the per-round cost is O(support x marginals), independent of ``2**n``).
+Implementation note: :class:`~repro.core.pmf.PMF` *is* the integer-coded
+array representation — ``prior.codes`` / ``prior.probs`` are consumed
+directly and results are built with :meth:`PMF.from_codes`, so a full
+reconstruction performs zero string conversions.  One update is a handful
+of vectorised gathers, which is what makes the §7 linear complexity claim
+real in this codebase (the per-round cost is O(support x marginals),
+independent of ``2**n``).
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 
-from repro.core.pmf import PMF, Marginal
+from repro.core.pmf import PMF, Marginal, hellinger_pmfs
 from repro.exceptions import ReconstructionError
+from repro.utils.bits import gather_code_bits
 
 __all__ = [
     "bayesian_update",
@@ -61,76 +62,36 @@ DEFAULT_MAX_ROUNDS = 32
 
 
 def hellinger_distance(p: PMF, q: PMF) -> float:
-    """Hellinger distance between two PMFs over the same outcome width."""
+    """Hellinger distance between two PMFs over the same outcome width.
+
+    Thin width-checking wrapper over the shared vectorised
+    :func:`~repro.core.pmf.hellinger_pmfs` (also behind
+    :func:`repro.metrics.distances.hellinger`).
+    """
     if p.num_bits != q.num_bits:
         raise ReconstructionError("PMFs have different outcome widths")
-    keys = set(p) | set(q)
-    total = 0.0
-    for key in keys:
-        diff = math.sqrt(p.prob(key)) - math.sqrt(q.prob(key))
-        total += diff * diff
-    return math.sqrt(total / 2.0)
+    return hellinger_pmfs(p, q)
 
 
 # ---------------------------------------------------------------------------
-# Vectorised support representation
+# Vectorised update machinery (operates on the PMF's native arrays)
 # ---------------------------------------------------------------------------
-
-
-@dataclass
-class _Support:
-    """The prior's support as integer outcome codes + probabilities."""
-
-    codes: np.ndarray  # int64, outcome encoded with bit c = clbit c
-    probs: np.ndarray  # float64, aligned with codes
-    num_bits: int
-
-    @classmethod
-    def from_pmf(cls, pmf: PMF) -> "_Support":
-        keys = list(pmf.keys())
-        codes = np.fromiter(
-            (int(key, 2) for key in keys), dtype=np.int64, count=len(keys)
-        )
-        probs = np.fromiter(
-            (pmf[key] for key in keys), dtype=np.float64, count=len(keys)
-        )
-        return cls(codes=codes, probs=probs / probs.sum(), num_bits=pmf.num_bits)
-
-    def to_pmf(self) -> PMF:
-        width = self.num_bits
-        return PMF(
-            {
-                format(int(code), f"0{width}b"): float(prob)
-                for code, prob in zip(self.codes, self.probs)
-                if prob > 0.0
-            },
-            normalize=True,
-        )
-
-    def projections(self, qubits: Sequence[int]) -> np.ndarray:
-        """Projection codes onto ``qubits`` (bit j = j-th smallest position)."""
-        proj = np.zeros(len(self.codes), dtype=np.int64)
-        for j, position in enumerate(qubits):
-            proj |= ((self.codes >> position) & 1) << j
-        return proj
 
 
 def _marginal_vector(marginal: Marginal) -> np.ndarray:
     """Dense probability vector of a marginal over its 2**s sub-outcomes."""
-    size = 1 << marginal.subset_size
-    vec = np.zeros(size)
-    for key, value in marginal.pmf.items():
-        vec[int(key, 2)] = value
+    vec = np.zeros(1 << marginal.subset_size)
+    vec[marginal.pmf.codes] = marginal.pmf.probs
     return vec
 
 
 def _update_probs(
-    support: _Support, projections: np.ndarray, marginal_vec: np.ndarray
+    probs: np.ndarray, projections: np.ndarray, marginal_vec: np.ndarray
 ) -> np.ndarray:
     """Vectorised Algorithm 1 ``Bayesian_Update`` on a prior's support."""
     size = len(marginal_vec)
     # Prior mass of each projection group (Fig. 6 step 1).
-    group_mass = np.bincount(projections, weights=support.probs, minlength=size)
+    group_mass = np.bincount(projections, weights=probs, minlength=size)
     observed = marginal_vec > 0.0
     clipped = np.minimum(marginal_vec, _MAX_MARGINAL_PROB)
     odds = np.where(observed, clipped / (1.0 - clipped), 0.0)
@@ -142,13 +103,24 @@ def _update_probs(
     with np.errstate(divide="ignore", invalid="ignore"):
         updated = np.where(
             entry_observed,
-            support.probs / np.where(mass > 0.0, mass, 1.0) * odds[projections],
-            support.probs,
+            probs / np.where(mass > 0.0, mass, 1.0) * odds[projections],
+            probs,
         )
     total = updated.sum()
     if total <= 0.0:
         raise ReconstructionError("Bayesian update produced a zero posterior")
     return updated / total
+
+
+def _normalized(prior: PMF) -> np.ndarray:
+    """The prior's probabilities normalised to unit mass.
+
+    The update mixes scale-invariant terms (observed projections) with
+    raw prior entries (unobserved ones), so an unnormalised prior — e.g.
+    built with ``normalize=False`` — must be rescaled first, exactly as
+    the historical support construction did.
+    """
+    return prior.probs / prior.probs.sum()
 
 
 def _check_marginal(marginal: Marginal, num_bits: int) -> None:
@@ -157,6 +129,39 @@ def _check_marginal(marginal: Marginal, num_bits: int) -> None:
             f"marginal covers bit {marginal.qubits[-1]} but the prior is "
             f"{num_bits}-bit"
         )
+
+
+def _prepare(
+    codes: np.ndarray, marginals: Iterable[Marginal]
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """(projection codes, marginal vector) per marginal, computed once.
+
+    Projections depend only on the support's outcome codes, which never
+    change across rounds.
+    """
+    return [
+        (gather_code_bits(codes, m.qubits), _marginal_vector(m))
+        for m in marginals
+    ]
+
+
+def _round(
+    probs: np.ndarray, prepared: List[Tuple[np.ndarray, np.ndarray]]
+) -> np.ndarray:
+    """One reconstruction round over a support; returns new probabilities.
+
+    ``Pout = normalize(P + sum_j BayesianUpdate(P, m_j))`` — Algorithm 1's
+    ``Bayesian_Reconstruction`` body.
+    """
+    accumulator = probs.copy()
+    for projections, marginal_vec in prepared:
+        accumulator += _update_probs(probs, projections, marginal_vec)
+    return accumulator / accumulator.sum()
+
+
+def _hellinger_arrays(p: np.ndarray, q: np.ndarray) -> float:
+    diff = np.sqrt(p) - np.sqrt(q)
+    return float(np.sqrt(np.dot(diff, diff) / 2.0))
 
 
 # ---------------------------------------------------------------------------
@@ -172,49 +177,22 @@ def bayesian_update(prior: PMF, marginal: Marginal) -> PMF:
     result is normalised.
     """
     _check_marginal(marginal, prior.num_bits)
-    support = _Support.from_pmf(prior)
-    projections = support.projections(marginal.qubits)
-    updated = _update_probs(support, projections, _marginal_vector(marginal))
-    return _Support(support.codes, updated, support.num_bits).to_pmf()
-
-
-def _round_in_place(
-    support: _Support, prepared: List[Tuple[np.ndarray, np.ndarray]]
-) -> np.ndarray:
-    """One reconstruction round over a support; returns new probabilities.
-
-    ``prepared`` holds (projection codes, marginal vector) pairs computed
-    once — projections depend only on the support's outcome codes, which
-    never change across rounds.
-    """
-    accumulator = support.probs.copy()
-    for projections, marginal_vec in prepared:
-        accumulator += _update_probs(support, projections, marginal_vec)
-    return accumulator / accumulator.sum()
-
-
-def _hellinger_arrays(p: np.ndarray, q: np.ndarray) -> float:
-    diff = np.sqrt(p) - np.sqrt(q)
-    return float(np.sqrt(np.dot(diff, diff) / 2.0))
+    projections = gather_code_bits(prior.codes, marginal.qubits)
+    updated = _update_probs(
+        _normalized(prior), projections, _marginal_vector(marginal)
+    )
+    return PMF.from_codes(prior.codes, updated, prior.num_bits, normalize=True)
 
 
 def bayesian_reconstruction_round(prior: PMF, marginals: Iterable[Marginal]) -> PMF:
-    """One full round: update per marginal from the same prior, then merge.
-
-    ``Pout = normalize(P + sum_j BayesianUpdate(P, m_j))`` — Algorithm 1's
-    ``Bayesian_Reconstruction`` body.
-    """
+    """One full round: update per marginal from the same prior, then merge."""
     marginals = list(marginals)
     if not marginals:
         raise ReconstructionError("reconstruction needs at least one marginal")
     for marginal in marginals:
         _check_marginal(marginal, prior.num_bits)
-    support = _Support.from_pmf(prior)
-    prepared = [
-        (support.projections(m.qubits), _marginal_vector(m)) for m in marginals
-    ]
-    new_probs = _round_in_place(support, prepared)
-    return _Support(support.codes, new_probs, support.num_bits).to_pmf()
+    new_probs = _round(_normalized(prior), _prepare(prior.codes, marginals))
+    return PMF.from_codes(prior.codes, new_probs, prior.num_bits, normalize=True)
 
 
 def bayesian_reconstruction(
@@ -239,16 +217,12 @@ def bayesian_reconstruction(
     for marginal in marginals:
         _check_marginal(marginal, prior.num_bits)
 
-    support = _Support.from_pmf(prior)
-    prepared = [
-        (support.projections(m.qubits), _marginal_vector(m)) for m in marginals
-    ]
-    current = support.probs
+    prepared = _prepare(prior.codes, marginals)
+    current = _normalized(prior)
     for _ in range(max_rounds):
-        working = _Support(support.codes, current, support.num_bits)
-        updated = _round_in_place(working, prepared)
+        updated = _round(current, prepared)
         if _hellinger_arrays(current, updated) <= tolerance:
             current = updated
             break
         current = updated
-    return _Support(support.codes, current, support.num_bits).to_pmf()
+    return PMF.from_codes(prior.codes, current, prior.num_bits, normalize=True)

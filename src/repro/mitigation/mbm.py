@@ -20,7 +20,7 @@ produces.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -130,11 +130,7 @@ def mitigate_pmf(
         )
     matrix = assignment if assignment is not None else calibration_matrix(confusions)
     dense = np.zeros(1 << num_bits)
-    for key, value in pmf.items():
-        dense[int(key, 2)] = value
+    dense[pmf.codes] = pmf.probs
     recovered = apply_mitigation(dense, matrix)
-    out: Dict[str, float] = {
-        format(idx, f"0{num_bits}b"): float(recovered[idx])
-        for idx in np.flatnonzero(recovered > threshold)
-    }
-    return PMF(out, normalize=True)
+    observed = np.flatnonzero(recovered > threshold).astype(np.int64)
+    return PMF.from_codes(observed, recovered[observed], num_bits)

@@ -23,23 +23,63 @@ matrix oracle.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
 from repro.compiler.transpile import ExecutableCircuit
+from repro.core.pmf import PMF
 from repro.exceptions import SimulationError
 from repro.noise.model import NoiseModel
 from repro.sim.statevector import marginal_probabilities
-from repro.utils.bits import bit_array_to_strings, indices_to_bit_array
+from repro.utils.bits import (
+    bit_array_to_indices,
+    codes_to_strings,
+    group_code_sums,
+    indices_to_bit_array,
+)
 from repro.utils.random import SeedLike, as_generator, spawn
 
 __all__ = [
+    "CodeCounts",
     "NoisySampler",
     "clbit_probability_vector",
     "apply_confusions",
     "DEFAULT_CHUNK_SHOTS",
 ]
+
+
+class CodeCounts(NamedTuple):
+    """A counts histogram in the array-native data plane.
+
+    ``codes`` are sorted int64 outcome codes (IBM-order encoding: bit ``c``
+    = clbit ``c``) aligned with integer ``counts``; ``num_bits`` is the
+    measured register width.  Strings appear only through :meth:`to_dict`.
+    """
+
+    codes: np.ndarray
+    counts: np.ndarray
+    num_bits: int
+
+    @property
+    def total(self) -> int:
+        """Total trials in the histogram."""
+        return int(self.counts.sum())
+
+    def to_pmf(self) -> PMF:
+        """Normalised PMF over the observed outcomes (no strings built)."""
+        return PMF.from_codes(
+            self.codes, self.counts.astype(np.float64), self.num_bits
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        """Bitstring-keyed histogram (serialization/display edge)."""
+        return {
+            key: int(count)
+            for key, count in zip(
+                codes_to_strings(self.codes, self.num_bits), self.counts
+            )
+        }
 
 #: Shots sampled per chunk.  Sampling materialises a ``(chunk, k)`` bit
 #: matrix, so the chunk size bounds peak memory regardless of the request's
@@ -149,13 +189,13 @@ class NoisySampler:
         readout_rates,
         k: int,
         p_fail: float,
-        counts: Dict[str, int],
-    ) -> None:
-        """Sample one chunk of noisy trials, accumulating into ``counts``.
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample one chunk of noisy trials; returns (codes, counts) arrays.
 
         ``ideal`` must be normalised and ``readout_rates`` precomputed:
         both are loop-invariant per executable, so callers hoist them out
-        of the chunk loop.
+        of the chunk loop.  Trials are counted as integer outcome codes
+        with ``np.unique`` — no strings are built.
         """
         failures = rng.random(shots) < p_fail
         outcomes = rng.choice(len(ideal), size=shots, p=ideal)
@@ -174,8 +214,7 @@ class NoisySampler:
         flip = np.where(bits == 0, draws < p01[None, :], draws < p10[None, :])
         bits = bits ^ flip.astype(np.uint8)
 
-        for key in bit_array_to_strings(bits):
-            counts[key] = counts.get(key, 0) + 1
+        return np.unique(bit_array_to_indices(bits), return_counts=True)
 
     def run(
         self,
@@ -185,12 +224,28 @@ class NoisySampler:
     ) -> Dict[str, int]:
         """Sample ``shots`` noisy trials; returns a counts histogram.
 
-        Sampling streams in chunks of ``chunk_shots``: counts accumulate
-        per chunk, so peak memory is bounded by the chunk size instead of
-        the total shot count.  Requests at or below one chunk draw the
-        exact same RNG sequence as the historical unchunked sampler.
+        Bitstring-keyed wrapper over :meth:`run_codes` for callers at the
+        display/serialization edge; the sampling itself never builds a
+        string.
         """
-        (result,) = self.run_many(executable, [shots], rng=rng)
+        return self.run_codes(executable, shots, rng=rng).to_dict()
+
+    def run_codes(
+        self,
+        executable: ExecutableCircuit,
+        shots: int,
+        rng: SeedLike = None,
+    ) -> CodeCounts:
+        """Sample ``shots`` noisy trials; returns an array-native histogram.
+
+        Sampling streams in chunks of ``chunk_shots``: each chunk's trials
+        collapse to (code, count) pairs before the next chunk is drawn, so
+        peak memory is bounded by the chunk size plus the observed support
+        instead of the total shot count.  Requests at or below one chunk
+        draw the exact same RNG sequence as the historical unchunked
+        sampler.
+        """
+        (result,) = self.run_many_codes(executable, [shots], rng=rng)
         return result
 
     def run_many(
@@ -199,14 +254,26 @@ class NoisySampler:
         shots_list: Sequence[int],
         rng: SeedLike = None,
     ) -> List[Dict[str, int]]:
+        """Bitstring-keyed wrapper over :meth:`run_many_codes`."""
+        return [
+            counts.to_dict()
+            for counts in self.run_many_codes(executable, shots_list, rng=rng)
+        ]
+
+    def run_many_codes(
+        self,
+        executable: ExecutableCircuit,
+        shots_list: Sequence[int],
+        rng: SeedLike = None,
+    ) -> List[CodeCounts]:
         """Sample several allocations of one executable from one stream.
 
         The coalescing path of the sharded backend: requests whose
         executables share a content fingerprint are merged so the
         measurement setup (statevector marginalisation) happens once, then
         each allocation is drawn sequentially — and chunked — from the
-        same stream.  Returns one counts histogram per allocation, in
-        order.
+        same stream.  Returns one array-native histogram per allocation,
+        in order.
         """
         for shots in shots_list:
             if shots <= 0:
@@ -217,25 +284,38 @@ class NoisySampler:
         p_fail = self.noise_model.circuit_failure_probability(executable.physical)
         readout_rates = self.noise_model.readout_rates(physical_by_clbit, k)
 
-        results: List[Dict[str, int]] = []
+        results: List[CodeCounts] = []
         for shots in shots_list:
-            counts: Dict[str, int] = {}
+            parts: List[Tuple[np.ndarray, np.ndarray]] = []
             remaining = shots
             while remaining > 0:
                 chunk = min(remaining, self.chunk_shots)
-                self._sample_chunk(
-                    rng, chunk, ideal, readout_rates, k, p_fail, counts
+                parts.append(
+                    self._sample_chunk(
+                        rng, chunk, ideal, readout_rates, k, p_fail
+                    )
                 )
                 remaining -= chunk
-            results.append(counts)
+            if len(parts) == 1:
+                codes, counts = parts[0]
+            else:
+                merged = np.concatenate([codes for codes, _ in parts])
+                weights = np.concatenate([counts for _, counts in parts])
+                codes, counts = group_code_sums(merged, weights)
+                counts = counts.astype(np.int64)
+            results.append(CodeCounts(codes, counts, k))
         return results
 
     # ------------------------------------------------------------------
 
-    def exact_distribution(
+    def exact_distribution_arrays(
         self, executable: ExecutableCircuit, threshold: float = 0.0
-    ) -> Dict[str, float]:
-        """Closed-form noisy outcome distribution (infinite-shot limit)."""
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Closed-form noisy outcome distribution as ``(codes, probs, k)``.
+
+        The array-native twin of :meth:`exact_distribution` — backends
+        build PMFs from this directly, with no bitstrings in between.
+        """
         ideal, physical_by_clbit, k = self._measured_setup(executable)
         ideal = ideal / ideal.sum()
         p_fail = self.noise_model.circuit_failure_probability(executable.physical)
@@ -248,11 +328,25 @@ class NoisySampler:
         confusions = self.noise_model.confusion_matrices(physical_by_clbit, k)
         noisy = apply_confusions(mixed, confusions)
         noisy = noisy / noisy.sum()
-        out: Dict[str, float] = {}
-        for idx in np.flatnonzero(noisy > threshold):
-            key = format(int(idx), f"0{k}b")
-            out[key] = float(noisy[idx])
-        return out
+        codes = np.flatnonzero(noisy > threshold).astype(np.int64)
+        return codes, noisy[codes], k
+
+    def exact_pmf(
+        self, executable: ExecutableCircuit, threshold: float = 0.0
+    ) -> PMF:
+        """Closed-form noisy outcome PMF (infinite-shot limit)."""
+        codes, probs, k = self.exact_distribution_arrays(executable, threshold)
+        return PMF.from_codes(codes, probs, k)
+
+    def exact_distribution(
+        self, executable: ExecutableCircuit, threshold: float = 0.0
+    ) -> Dict[str, float]:
+        """Bitstring-keyed wrapper over :meth:`exact_distribution_arrays`."""
+        codes, probs, k = self.exact_distribution_arrays(executable, threshold)
+        return {
+            key: float(prob)
+            for key, prob in zip(codes_to_strings(codes, k), probs)
+        }
 
     def expected_counts(
         self, executable: ExecutableCircuit, shots: int

@@ -182,7 +182,7 @@ class LocalExactBackend(_LocalBackend):
         return [None] * count
 
     def _evaluate(self, request: ExecutionRequest, rng) -> PMF:
-        return PMF(self.sampler.exact_distribution(request.executable))
+        return self.sampler.exact_pmf(request.executable)
 
 
 class LocalSamplingBackend(_LocalBackend):
@@ -203,9 +203,9 @@ class LocalSamplingBackend(_LocalBackend):
         return list(self.sampler.spawn_streams(count))
 
     def _evaluate(self, request: ExecutionRequest, rng) -> PMF:
-        return PMF.from_counts(
-            self.sampler.run(request.executable, request.trials, rng=rng)
-        )
+        return self.sampler.run_codes(
+            request.executable, request.trials, rng=rng
+        ).to_pmf()
 
 
 def local_backend(sampler: NoisySampler, exact: bool) -> Backend:

@@ -66,23 +66,26 @@ def sharded_local_backend(
     return backend
 
 
-def _evaluate_group(payload) -> Tuple[List[int], List[Dict[str, float]]]:
+def _evaluate_group(payload) -> Tuple[List[int], List[tuple]]:
     """Evaluate one coalesced group; the unit of work a shard executes.
 
     Module-level (not a closure) so the process-pool executor can pickle
-    it.  Returns plain dicts, not PMFs, so the result crosses process
-    boundaries cheaply; the parent rebuilds PMFs in batch order.
+    it.  Returns raw ``(codes, values, num_bits)`` array triples, not
+    PMFs, so the result crosses process boundaries cheaply (two flat
+    arrays per distribution, no strings); the parent rebuilds PMFs in
+    batch order.
     """
     noise_model, chunk_shots, executable, indices, trials, rng, exact = payload
     # Seed 0 avoids an OS-entropy pull for a default stream that is never
     # drawn: exact mode is RNG-free and sampling always passes rng in.
     sampler = NoisySampler(noise_model, seed=0, chunk_shots=chunk_shots)
     if exact:
-        distribution = sampler.exact_distribution(executable)
-        return indices, [distribution] * len(indices)
-    counts = sampler.run_many(executable, trials, rng=rng)
+        triple = sampler.exact_distribution_arrays(executable)
+        return indices, [triple] * len(indices)
+    histograms = sampler.run_many_codes(executable, trials, rng=rng)
     return indices, [
-        {key: float(value) for key, value in chunk.items()} for chunk in counts
+        (chunk.codes, chunk.counts.astype(float), chunk.num_bits)
+        for chunk in histograms
     ]
 
 
@@ -213,12 +216,12 @@ class ShardedBackend:
         results: List[Optional[PMF]] = [None] * len(requests)
         for indices, distributions in outcomes:
             shared: Dict[int, PMF] = {}
-            for index, distribution in zip(indices, distributions):
+            for index, (codes, values, num_bits) in zip(indices, distributions):
                 # Exact groups share one distribution object; build the
-                # PMF once and share it the way the distribution is shared.
-                key = id(distribution)
+                # PMF once and share it the way the arrays are shared.
+                key = id(codes)
                 if key not in shared:
-                    shared[key] = PMF(distribution)
+                    shared[key] = PMF.from_codes(codes, values, num_bits)
                 results[index] = shared[key]
         return results  # type: ignore[return-value]
 

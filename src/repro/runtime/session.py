@@ -33,6 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
+import numpy as np
+
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.edm import ensemble_of_diverse_mappings
 from repro.compiler.transpile import ExecutableCircuit, transpile
@@ -308,13 +310,19 @@ class Session:
         # Merging histograms (§5.3) means pooling *counts*, so each
         # mapping's normalized PMF is weighted by its trial allocation —
         # the first mapping carries the folded remainder and weighs
-        # proportionally more, not equal to its starved peers.
-        merged: Dict[str, float] = {}
-        for pmf, trials in zip(pmfs, allocations):
-            weight = trials / self.total_trials
-            for key, value in pmf.items():
-                merged[key] = merged.get(key, 0.0) + value * weight
-        return PMF(merged, normalize=True)
+        # proportionally more, not equal to its starved peers.  The merge
+        # is one group-sum over the pooled code supports; PMF.from_codes
+        # collapses the duplicate codes.
+        pooled_codes = np.concatenate([pmf.codes for pmf in pmfs])
+        pooled_mass = np.concatenate(
+            [
+                pmf.probs * (trials / self.total_trials)
+                for pmf, trials in zip(pmfs, allocations)
+            ]
+        )
+        return PMF.from_codes(
+            pooled_codes, pooled_mass, pmfs[0].num_bits, normalize=True
+        )
 
     def run_jigsaw(
         self, workload: Workload, recompile: bool = True

@@ -35,27 +35,36 @@ def expand_operator(
 
     Follows the same convention as the statevector engine: the first qubit
     in ``qubits`` is the most significant bit of the operator's local index.
+
+    Vectorised: column indices are processed as one array, with a small
+    ``4**k`` Python loop over the operator's local entries instead of the
+    ``2**n`` columns.
     """
     k = len(qubits)
     if matrix.shape != (1 << k, 1 << k):
         raise SimulationError("operator dimension does not match qubit count")
     dim = 1 << num_qubits
+    columns = np.arange(dim, dtype=np.int64)
+    # Local column index of every full column (gather the operator qubits).
+    local_cols = np.zeros(dim, dtype=np.int64)
+    touched = 0
+    for j, q in enumerate(qubits):
+        local_cols |= ((columns >> q) & 1) << (k - 1 - j)
+        touched |= 1 << q
+    # Full column with the operator qubits cleared; scattering a local row
+    # index onto the qubit positions then yields the full row index.
+    base = columns & ~touched
     full = np.zeros((dim, dim), dtype=complex)
-    other = [q for q in range(num_qubits) if q not in set(qubits)]
-    for col in range(dim):
-        local_col = 0
+    for row_local in range(1 << k):
+        scattered = 0
         for j, q in enumerate(qubits):
-            local_col |= ((col >> q) & 1) << (k - 1 - j)
-        rest = col
-        for row_local in range(1 << k):
-            amp = matrix[row_local, local_col]
-            if amp == 0:
-                continue
-            row = rest
-            for j, q in enumerate(qubits):
-                bit = (row_local >> (k - 1 - j)) & 1
-                row = (row & ~(1 << q)) | (bit << q)
-            full[row, col] += amp
+            scattered |= ((row_local >> (k - 1 - j)) & 1) << q
+        amps = matrix[row_local, local_cols]
+        nonzero = np.flatnonzero(amps)
+        if nonzero.size == 0:
+            continue
+        rows = base[nonzero] | scattered
+        full[rows, columns[nonzero]] += amps[nonzero]
     return full
 
 

@@ -14,6 +14,7 @@ from typing import Iterable, List, Sequence, Tuple
 import numpy as np
 
 __all__ = [
+    "MAX_CODE_BITS",
     "index_to_bitstring",
     "bitstring_to_index",
     "extract_bits",
@@ -24,7 +25,14 @@ __all__ = [
     "indices_to_bit_array",
     "bit_array_to_indices",
     "bit_array_to_strings",
+    "strings_to_codes",
+    "codes_to_strings",
+    "gather_code_bits",
+    "group_code_sums",
 ]
+
+#: Widest outcome register an ``int64`` outcome code can hold.
+MAX_CODE_BITS = 63
 
 
 def index_to_bitstring(index: int, num_bits: int) -> str:
@@ -104,5 +112,88 @@ def bit_array_to_indices(bits: np.ndarray) -> np.ndarray:
 
 def bit_array_to_strings(bits: np.ndarray) -> List[str]:
     """Convert a bit matrix (column ``c`` = bit ``c``) to IBM-order strings."""
-    flipped = np.asarray(bits)[:, ::-1]
-    return ["".join("1" if b else "0" for b in row) for row in flipped]
+    bits = np.asarray(bits)
+    return codes_to_strings(bit_array_to_indices(bits), bits.shape[1])
+
+
+def strings_to_codes(keys: Sequence[str], num_bits: int) -> np.ndarray:
+    """Vectorised bitstring -> int64 outcome-code conversion (with validation).
+
+    Every key must be exactly ``num_bits`` characters of ``0``/``1`` (IBM
+    order); a :class:`ValueError` is raised otherwise.  This is the single
+    string-parsing primitive of the data plane — everything past it works
+    on integer codes.
+    """
+    if num_bits < 1 or num_bits > MAX_CODE_BITS:
+        raise ValueError(
+            f"outcome width must be in 1..{MAX_CODE_BITS}, got {num_bits}"
+        )
+    keys = list(keys)
+    if not keys:
+        return np.empty(0, dtype=np.int64)
+    try:
+        buffer = np.frombuffer("".join(keys).encode("ascii"), dtype=np.uint8)
+    except UnicodeEncodeError as exc:
+        raise ValueError(f"not a bitstring outcome: {exc.object!r}") from exc
+    if buffer.size != len(keys) * num_bits:
+        raise ValueError(f"outcomes are not all {num_bits}-bit")
+    chars = buffer.reshape(len(keys), num_bits)
+    invalid = (chars != ord("0")) & (chars != ord("1"))
+    if invalid.any():
+        bad = keys[int(np.flatnonzero(invalid.any(axis=1))[0])]
+        raise ValueError(f"not a bitstring outcome: {bad!r}")
+    # The string's leftmost character is the highest bit (IBM order).
+    weights = 1 << np.arange(num_bits - 1, -1, -1, dtype=np.int64)
+    return (chars == ord("1")).astype(np.int64) @ weights
+
+
+def codes_to_strings(codes: np.ndarray, num_bits: int) -> List[str]:
+    """Vectorised int64 outcome-code -> IBM-order bitstring conversion."""
+    if num_bits < 1 or num_bits > MAX_CODE_BITS:
+        raise ValueError(
+            f"outcome width must be in 1..{MAX_CODE_BITS}, got {num_bits}"
+        )
+    codes = np.asarray(codes, dtype=np.int64)
+    shifts = np.arange(num_bits - 1, -1, -1, dtype=np.int64)
+    chars = (((codes[:, None] >> shifts[None, :]) & 1) + ord("0")).astype(
+        np.uint8
+    )
+    text = chars.tobytes().decode("ascii")
+    return [text[i : i + num_bits] for i in range(0, len(text), num_bits)]
+
+
+def group_code_sums(
+    codes: np.ndarray, weights: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sum ``weights`` by outcome code; returns sorted unique codes + sums.
+
+    Sort-based grouping (argsort + ``np.add.reduceat``) rather than
+    ``np.unique(return_inverse=True)``, which on high-cardinality int64
+    data is an order of magnitude slower than a plain sort on current
+    numpy.  This is the group-sum primitive behind marginalisation,
+    histogram merging, and EDM pooling.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    weights = np.asarray(weights)
+    if codes.size == 0:
+        return codes, weights.astype(np.float64)
+    order = np.argsort(codes, kind="stable")
+    ordered = codes[order]
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], ordered[1:] != ordered[:-1]))
+    )
+    return ordered[boundaries], np.add.reduceat(weights[order], boundaries)
+
+
+def gather_code_bits(codes: np.ndarray, positions: Sequence[int]) -> np.ndarray:
+    """Project outcome codes onto ``positions`` (bit indices, ascending).
+
+    Bit ``j`` of each output code is the value of the ``j``-th smallest
+    position — the array twin of :func:`extract_bits`, and the projection
+    step of the paper's reconstruction (Fig. 6, step 1).
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    projected = np.zeros(len(codes), dtype=np.int64)
+    for j, position in enumerate(sorted(positions)):
+        projected |= ((codes >> position) & 1) << j
+    return projected

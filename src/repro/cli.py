@@ -77,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for sharded batch execution "
         "(bit-for-bit identical to serial at any count)",
     )
+    run.add_argument(
+        "--cpm-attempts", type=int, default=3,
+        help="CPM candidate-layout pool size; the pool is routed once "
+        "per plan and every CPM retargets onto it",
+    )
 
     compare = sub.add_parser(
         "compare", help="compare baseline/EDM/JigSaw/JigSaw-M"
@@ -90,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--exec-workers", type=int, default=None,
         help="worker count for sharded batch execution",
     )
+    compare.add_argument(
+        "--cpm-attempts", type=int, default=3,
+        help="CPM candidate-layout pool size (see 'run')",
+    )
 
     sub.add_parser("devices", help="print device calibration statistics")
     sub.add_parser("scalability", help="print the Table 7 cost model")
@@ -102,7 +111,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
     session = Session(
         device, seed=args.seed, total_trials=args.trials,
         exact=not args.sampled, compile_workers=args.workers,
-        workers=args.exec_workers,
+        workers=args.exec_workers, cpm_attempts=args.cpm_attempts,
     )
     result = session.run(session.plan(workload, scheme="jigsaw"))
     before = session.evaluate(workload, result.global_pmf)
@@ -130,6 +139,7 @@ def _cmd_compare(args: argparse.Namespace) -> str:
     session = Session(
         device, seed=args.seed, total_trials=args.trials,
         exact=not args.sampled, workers=args.exec_workers,
+        cpm_attempts=args.cpm_attempts,
     )
     rows: List[List[object]] = []
     base = None
@@ -148,12 +158,16 @@ def _cmd_compare(args: argparse.Namespace) -> str:
             ]
         )
     stats = session.cache_stats()
+    compiler = session.pipeline_stats()["counters"]
     return format_table(
         ["Scheme", "PST", "Rel PST", "IST", "Fidelity", "ARG (%)"],
         rows,
         title=f"Scheme comparison on {workload.name} / {device.name}",
     ) + (
         f"\nplan cache: {stats['hits']} hits / {stats['misses']} misses"
+        f"\ncompiler:   {compiler.get('route_calls', 0)} routings for "
+        f"{compiler.get('retargets', 0)} retargeted schedules "
+        f"({compiler.get('route_hits', 0)} route-cache hits)"
     )
 
 

@@ -1,4 +1,4 @@
-"""Compiler substrate: placement, SABRE routing, EPS, EDM, CPM recompilation."""
+"""Compiler substrate: staged pipeline, placement, SABRE routing, EPS, EDM."""
 
 from repro.compiler.cpm_compile import compile_cpm
 from repro.compiler.decompose import NATIVE_BASIS, decompose_to_native, zyz_angles
@@ -9,7 +9,18 @@ from repro.compiler.eps import (
     readout_eps,
 )
 from repro.compiler.layout import Layout
-from repro.compiler.placement import candidate_layouts, embed_in_region, grow_region
+from repro.compiler.pipeline import (
+    CompilationState,
+    CompilerPipeline,
+    PipelineStats,
+    RoutedBody,
+)
+from repro.compiler.placement import (
+    candidate_layouts,
+    embed_in_region,
+    grow_region,
+    pool_layouts,
+)
 from repro.compiler.sabre import RoutedCircuit, route
 from repro.compiler.transpile import ExecutableCircuit, transpile
 
@@ -22,12 +33,17 @@ __all__ = [
     "RoutedCircuit",
     "transpile",
     "ExecutableCircuit",
+    "CompilerPipeline",
+    "CompilationState",
+    "PipelineStats",
+    "RoutedBody",
     "expected_probability_of_success",
     "gate_eps",
     "readout_eps",
     "candidate_layouts",
     "grow_region",
     "embed_in_region",
+    "pool_layouts",
     "ensemble_of_diverse_mappings",
     "compile_cpm",
 ]

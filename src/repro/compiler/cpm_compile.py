@@ -6,18 +6,23 @@ qubits — while **never paying extra SWAPs** relative to the global
 compilation, because extra SWAPs would trade measurement error for gate
 error.  When no mapping avoids both, the compiler falls back to the mapping
 with the best EPS, exactly as the paper describes.
+
+Since the staged-pipeline refactor this is a *route-once/retarget-many*
+operation: every CPM of a program shares one measurement-free body, so the
+candidate set — the global mapping plus a deterministic readout-emphasised
+layout pool — is routed once per plan and each CPM only re-runs the cheap
+``MeasureRetarget -> EpsScore -> Select`` stages against the cached routed
+bodies (see :mod:`repro.compiler.pipeline`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.compiler.eps import expected_probability_of_success
-from repro.compiler.transpile import ExecutableCircuit, transpile
+from repro.compiler.pipeline import CompilerPipeline, ExecutableCircuit
 from repro.devices.device import Device
-from repro.exceptions import CompilationError
-from repro.utils.random import SeedLike, as_generator, spawn
+from repro.utils.random import SeedLike
 
 __all__ = ["compile_cpm"]
 
@@ -34,6 +39,7 @@ def compile_cpm(
     attempts: int = 4,
     vulnerable_percentile: float = 75.0,
     seed: SeedLike = None,
+    pipeline: Optional[CompilerPipeline] = None,
 ) -> ExecutableCircuit:
     """Compile one CPM, optionally recompiling for readout fidelity.
 
@@ -46,44 +52,24 @@ def compile_cpm(
             budget no candidate may exceed.
         recompile: when ``False`` the CPM simply reuses the global layout
             (the paper's "JigSaw w/o recompilation" ablation, Fig. 11).
-        attempts: candidate layouts to evaluate when recompiling.
+        attempts: size of the candidate layout pool when recompiling.
         vulnerable_percentile: readout-error percentile above which a
             physical qubit is considered vulnerable and avoided.
-        seed: RNG seed.
+        seed: accepted for API compatibility; CPM compilation is fully
+            content-deterministic since the pipeline refactor (the layout
+            pool is deterministic and routing is a pure function of its
+            fingerprint), so the seed no longer influences the result.
+        pipeline: a shared :class:`CompilerPipeline`; pass the planner's so
+            the pool and the global layout are routed at most once per
+            plan.  ``None`` builds a one-shot pipeline (legacy behaviour,
+            identical output).
     """
-    rng = as_generator(seed)
-
-    # The no-recompilation compilation: identical mapping to the global run.
-    baseline = transpile(
+    del seed  # content-determinism: see docstring
+    return CompilerPipeline.for_device(device, pipeline).compile_cpm(
         cpm_circuit,
-        device,
-        seed=spawn(rng, 1)[0],
-        attempts=1,
-        initial_layouts=[global_executable.initial_layout],
-    )
-    if not recompile:
-        return baseline
-
-    vulnerable = device.vulnerable_qubits(vulnerable_percentile)
-    candidate = transpile(
-        cpm_circuit,
-        device,
-        seed=rng,
-        attempts=attempts,
+        global_executable,
+        recompile=recompile,
+        pool_size=attempts,
         readout_emphasis=_CPM_READOUT_EMPHASIS,
-        avoid_qubits=vulnerable,
+        vulnerable_percentile=vulnerable_percentile,
     )
-
-    # Enforce the no-extra-SWAPs rule against the global compilation.
-    candidates = [baseline]
-    if candidate.num_swaps <= global_executable.num_swaps:
-        candidates.append(candidate)
-        chosen = max(
-            candidates,
-            key=lambda e: expected_probability_of_success(
-                e.physical, device, _CPM_READOUT_EMPHASIS
-            ),
-        )
-        return chosen
-    # No SWAP-neutral alternative: pick whichever maximises plain EPS.
-    return max([baseline, candidate], key=lambda e: e.eps)

@@ -12,9 +12,10 @@ budget split evenly (§5.2, §5.4) — this module reproduces that policy.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.pipeline import CompilerPipeline
 from repro.compiler.transpile import ExecutableCircuit, transpile
 from repro.devices.device import Device
 from repro.exceptions import CompilationError
@@ -29,6 +30,7 @@ def ensemble_of_diverse_mappings(
     ensemble_size: int = 4,
     attempts: int = 4,
     seed: SeedLike = None,
+    pipeline: Optional[CompilerPipeline] = None,
 ) -> List[ExecutableCircuit]:
     """Compile ``ensemble_size`` diverse mappings of ``circuit``.
 
@@ -51,6 +53,7 @@ def ensemble_of_diverse_mappings(
             seed=child,
             attempts=attempts,
             avoid_qubits=sorted(used_qubits),
+            pipeline=pipeline,
         )
         executables.append(executable)
         used_qubits.update(executable.final_layout.physical_qubits)

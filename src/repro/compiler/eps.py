@@ -9,11 +9,18 @@ the strongest readout qubits (paper §4.2.2).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.circuits.circuit import QuantumCircuit
 from repro.devices.device import Device
 from repro.exceptions import CompilationError
 
-__all__ = ["expected_probability_of_success", "gate_eps", "readout_eps"]
+__all__ = [
+    "expected_probability_of_success",
+    "gate_eps",
+    "readout_eps",
+    "readout_eps_targets",
+]
 
 #: A SWAP decomposes into three CNOTs on IBM hardware.
 _SWAP_CNOT_FACTOR = 3
@@ -39,6 +46,25 @@ def gate_eps(physical_circuit: QuantumCircuit, device: Device) -> float:
     return eps
 
 
+def readout_eps_targets(
+    measured_physical_qubits: Sequence[int], device: Device
+) -> float:
+    """Readout EPS of measuring the given physical qubits simultaneously.
+
+    The schedule-free core of :func:`readout_eps`: the readout factor
+    depends only on *which* physical qubits are read together, which is
+    what lets the pipeline score a retargeted measurement set without
+    materialising the physical circuit.
+    """
+    num_simultaneous = len(measured_physical_qubits)
+    eps = 1.0
+    for qubit in measured_physical_qubits:
+        eps *= 1.0 - device.calibration.effective_readout_error(
+            qubit, num_simultaneous
+        )
+    return eps
+
+
 def readout_eps(physical_circuit: QuantumCircuit, device: Device) -> float:
     """Product of measurement success probabilities (crosstalk-aware).
 
@@ -46,14 +72,9 @@ def readout_eps(physical_circuit: QuantumCircuit, device: Device) -> float:
     instructions in the schedule — all NISQ measurements fire together at
     the end of the circuit.
     """
-    measures = physical_circuit.measurements
-    num_simultaneous = len(measures)
-    eps = 1.0
-    for ins in measures:
-        eps *= 1.0 - device.calibration.effective_readout_error(
-            ins.qubits[0], num_simultaneous
-        )
-    return eps
+    return readout_eps_targets(
+        [ins.qubits[0] for ins in physical_circuit.measurements], device
+    )
 
 
 def expected_probability_of_success(

@@ -15,7 +15,7 @@ the best EPS, mirroring how Noise-Aware SABRE evaluates candidates.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.devices.device import Device
 from repro.exceptions import CompilationError
 from repro.utils.random import SeedLike, as_generator
 
-__all__ = ["candidate_layouts", "grow_region", "embed_in_region"]
+__all__ = ["candidate_layouts", "grow_region", "embed_in_region", "pool_layouts"]
 
 _AVOID_PENALTY = 0.25
 
@@ -86,8 +86,15 @@ def embed_in_region(
     region: Sequence[int],
     readout_weight: float,
     avoid_qubits: FrozenSet[int],
+    measured_qubits: Optional[Iterable[int]] = None,
 ) -> Layout:
-    """Map logical qubits onto a region, interaction-heavy qubits first."""
+    """Map logical qubits onto a region, interaction-heavy qubits first.
+
+    ``measured_qubits`` overrides which logical qubits attract the readout
+    term; by default the circuit's own measurements are used.  The CPM
+    layout pool passes *every* qubit, producing measured-set-agnostic
+    layouts that any subset can retarget onto.
+    """
     n = circuit.num_qubits
     if len(region) < n:
         raise CompilationError("region smaller than the program")
@@ -96,7 +103,11 @@ def embed_in_region(
     for (a, b), count in interactions.items():
         degree[a] += count
         degree[b] += count
-    measured = set(circuit.measured_qubits)
+    measured = (
+        set(circuit.measured_qubits)
+        if measured_qubits is None
+        else set(measured_qubits)
+    )
     readout = device.calibration.readout_error
     distances = device.distances
 
@@ -173,3 +184,55 @@ def candidate_layouts(
     if not layouts:
         raise CompilationError("placement failed to find any connected region")
     return layouts
+
+
+def pool_layouts(
+    body: QuantumCircuit,
+    device: Device,
+    pool_size: int,
+    readout_weight: float = 1.0,
+    avoid_qubits: Sequence[int] = (),
+) -> List[Layout]:
+    """Deterministic, measured-set-agnostic layout pool for CPM retargeting.
+
+    Candidates grow from the ``pool_size`` best seed qubits by the
+    readout-emphasised badness ranking — no random exploration — and every
+    logical qubit attracts the readout term, so the pool is a pure function
+    of (body, device, weight, avoid set).  The pipeline routes each pool
+    layout **once per plan** and every CPM merely retargets its measured
+    subset onto the routed bodies, picking the layout whose resting
+    positions favour its subset (route-once/retarget-many).
+
+    May return fewer than ``pool_size`` layouts (duplicate embeddings,
+    fragmented devices) and, unlike :func:`candidate_layouts`, an empty
+    list — the CPM compiler then falls back to the global mapping alone.
+    """
+    if pool_size < 1:
+        raise CompilationError("pool_size must be >= 1")
+    n = body.num_qubits
+    if n > device.num_qubits:
+        raise CompilationError(
+            f"{n}-qubit program does not fit on {device.num_qubits}-qubit device"
+        )
+    avoid = frozenset(int(q) for q in avoid_qubits)
+    badness = _qubit_quality(device, readout_weight, avoid)
+    ranked = [int(q) for q in np.argsort(badness, kind="stable")]
+
+    layouts: List[Layout] = []
+    seen: Set[Tuple[Tuple[int, int], ...]] = set()
+    for seed_qubit in ranked:
+        region = grow_region(device, n, seed_qubit, badness)
+        if region is None:
+            continue
+        layout = embed_in_region(
+            body, device, region, readout_weight, avoid,
+            measured_qubits=range(n),
+        )
+        key = tuple(sorted(layout.as_dict().items()))
+        if key not in seen:
+            seen.add(key)
+            layouts.append(layout)
+        if len(layouts) >= pool_size:
+            break
+    return layouts
+

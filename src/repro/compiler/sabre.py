@@ -28,7 +28,7 @@ from repro.devices.device import Device
 from repro.exceptions import CompilationError
 from repro.utils.random import SeedLike, as_generator
 
-__all__ = ["route", "RoutedCircuit"]
+__all__ = ["route", "RoutedCircuit", "emit_measurements"]
 
 _DECAY_INCREMENT = 0.001
 _DECAY_RESET_INTERVAL = 5
@@ -45,6 +45,16 @@ class RoutedCircuit:
     initial_layout: Layout
     final_layout: Layout
     num_swaps: int
+
+
+def emit_measurements(
+    physical: QuantumCircuit, circuit: QuantumCircuit, layout: Layout
+) -> None:
+    """Append ``circuit``'s measurements on each logical qubit's position
+    under ``layout``, preserving clbits — the single implementation shared
+    by the router's tail and the pipeline's MeasureRetarget stage."""
+    for ins in circuit.measurements:
+        physical.measure(layout.physical(ins.qubits[0]), ins.clbits[0])
 
 
 def _emit_gate(
@@ -75,14 +85,45 @@ def _is_executable(node: DAGNode, layout: Layout, device: Device) -> bool:
     return device.are_coupled(p0, p1)
 
 
-def _front_distance(
-    gates: Sequence[DAGNode], layout: Layout, distances: np.ndarray
-) -> float:
-    total = 0.0
-    for node in gates:
-        q0, q1 = node.instruction.qubits
-        total += float(distances[layout.physical(q0), layout.physical(q1)])
-    return total
+def _endpoint_positions(
+    gates: Sequence[DAGNode], layout: Layout
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Current physical positions of every gate's two endpoints."""
+    p0 = np.fromiter(
+        (layout.physical(n.instruction.qubits[0]) for n in gates),
+        dtype=np.int64,
+        count=len(gates),
+    )
+    p1 = np.fromiter(
+        (layout.physical(n.instruction.qubits[1]) for n in gates),
+        dtype=np.int64,
+        count=len(gates),
+    )
+    return p0, p1
+
+
+def _swapped_distances(
+    swaps_a: np.ndarray,
+    swaps_b: np.ndarray,
+    p0: np.ndarray,
+    p1: np.ndarray,
+    distances: np.ndarray,
+) -> np.ndarray:
+    """Total front distance after each candidate SWAP, batched.
+
+    Row ``s`` of the result is the summed distance of every gate
+    ``(p0[g], p1[g])`` after exchanging physical qubits ``swaps_a[s]``
+    and ``swaps_b[s]`` — the whole candidate set is scored against the
+    precomputed distance matrix in one gather instead of trial layouts.
+    """
+    a = swaps_a[:, None]
+    b = swaps_b[:, None]
+
+    def exchange(p: np.ndarray) -> np.ndarray:
+        p = p[None, :]
+        return np.where(p == a, b, np.where(p == b, a, p))
+
+    return distances[exchange(p0), exchange(p1)].sum(axis=1)
 
 
 def _collect_lookahead(front: Sequence[DAGNode], limit: int) -> List[DAGNode]:
@@ -165,34 +206,36 @@ def route(
                 for neighbour in device.graph.neighbors(p):
                     candidate_swaps.add((min(p, neighbour), max(p, neighbour)))
 
-        best_swap: Optional[Tuple[int, int]] = None
-        best_score = None
-        base_front = _front_distance(blocked, layout, distances)
-        for swap in sorted(candidate_swaps):
-            trial = layout.copy()
-            trial.apply_swap(*swap)
-            front_term = _front_distance(blocked, trial, distances) / max(
-                len(blocked), 1
-            )
-            if lookahead:
-                look_term = _front_distance(lookahead, trial, distances) / len(
-                    lookahead
-                )
-            else:
-                look_term = 0.0
-            score = (
-                max(decay[swap[0]], decay[swap[1]])
-                * (front_term + _LOOKAHEAD_WEIGHT * look_term)
-            )
-            # Small random jitter breaks ties differently per seed, giving
-            # the transpiler's restarts genuine diversity.
-            score += 1e-9 * rng.random()
-            if best_score is None or score < best_score:
-                best_score = score
-                best_swap = swap
-
-        if best_swap is None:  # pragma: no cover - defensive
+        if not candidate_swaps:  # pragma: no cover - defensive
             raise CompilationError("no candidate SWAPs for a blocked front layer")
+
+        # Batch-score every candidate SWAP against the precomputed distance
+        # matrix: one gather per term instead of a trial layout per swap.
+        ordered_swaps = sorted(candidate_swaps)
+        swaps_a = np.fromiter(
+            (s[0] for s in ordered_swaps), dtype=np.int64, count=len(ordered_swaps)
+        )
+        swaps_b = np.fromiter(
+            (s[1] for s in ordered_swaps), dtype=np.int64, count=len(ordered_swaps)
+        )
+        front_p0, front_p1 = _endpoint_positions(blocked, layout)
+        scores = _swapped_distances(
+            swaps_a, swaps_b, front_p0, front_p1, distances
+        ) / max(len(blocked), 1)
+        if lookahead:
+            look_p0, look_p1 = _endpoint_positions(lookahead, layout)
+            scores += (
+                _LOOKAHEAD_WEIGHT
+                * _swapped_distances(swaps_a, swaps_b, look_p0, look_p1, distances)
+                / len(lookahead)
+            )
+        scores *= np.maximum(decay[swaps_a], decay[swaps_b])
+        # Small random jitter breaks ties differently per seed, giving the
+        # transpiler's restarts genuine diversity.  (The pipeline derives
+        # this seed from the routing fingerprint, making routing a pure
+        # function of its content key.)
+        scores += 1e-9 * rng.random(len(ordered_swaps))
+        best_swap = ordered_swaps[int(np.argmin(scores))]
 
         physical.swap(*best_swap)
         layout.apply_swap(*best_swap)
@@ -203,12 +246,9 @@ def route(
         if swaps_since_reset >= _DECAY_RESET_INTERVAL:
             decay[:] = 1.0
             swaps_since_reset = 0
-        # Guard against pathological progress: distance must eventually drop.
-        del base_front
 
     # Emit measurements on final physical positions, preserving clbits.
-    for ins in circuit.measurements:
-        physical.measure(layout.physical(ins.qubits[0]), ins.clbits[0])
+    emit_measurements(physical, circuit, layout)
 
     return RoutedCircuit(
         physical=physical,

@@ -6,25 +6,31 @@ every routed schedule by Expected Probability of Success, and keep the
 best.  The ``readout_emphasis`` knob turns the same machinery into the CPM
 recompiler (§4.2.2): a high emphasis steers the measured subset onto the
 strongest readout qubits.
+
+Since the staged-pipeline refactor this module is a thin front door over
+:class:`repro.compiler.pipeline.CompilerPipeline` — the stages (Placement
+-> Route -> MeasureRetarget -> EpsScore -> Select) live there, along with
+the route-once invariant that makes cached and uncached compilation
+bit-for-bit identical.  Callers that compile many related programs (the
+JigSaw planners, sessions) pass a shared ``pipeline`` so routed bodies are
+reused; a bare ``transpile()`` call builds a one-shot pipeline and behaves
+exactly like the historical monolithic flow.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
-
-import numpy as np
+from typing import Optional, Sequence
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.compiler.eps import expected_probability_of_success
 from repro.compiler.layout import Layout
-from repro.compiler.placement import candidate_layouts
-from repro.compiler.sabre import RoutedCircuit, route
+from repro.compiler.pipeline import (
+    CompilerPipeline,
+    ExecutableCircuit,
+    aggregate_stats,
+    reset_aggregate_stats,
+)
 from repro.devices.device import Device
-from repro.exceptions import CompilationError
-from repro.sim.statevector import StatevectorSimulator
-from repro.utils.random import SeedLike, as_generator, spawn
+from repro.utils.random import SeedLike
 
 __all__ = [
     "ExecutableCircuit",
@@ -33,75 +39,26 @@ __all__ = [
     "reset_transpile_call_count",
 ]
 
-# Process-wide transpilation counter.  Compilation is the dominant cost of
-# planning, so the cache benchmarks assert on this instead of wall time.
-_call_count_lock = threading.Lock()
-_call_count = 0
-
 
 def transpile_call_count() -> int:
-    """Number of ``transpile()`` invocations since the last reset."""
-    return _call_count
+    """Number of full compilations since the last reset.
+
+    .. deprecated:: use ``repro.compiler.pipeline.aggregate_stats()`` (or a
+       pipeline's own :class:`~repro.compiler.pipeline.PipelineStats`) for
+       per-stage counters.  This shim reports the process-wide ``compiles``
+       counter — one per ``transpile()``/``compile_cpm()`` invocation — so
+       existing cache benchmarks keep working.
+    """
+    return aggregate_stats().get("compiles", 0)
 
 
 def reset_transpile_call_count() -> None:
-    """Reset the process-wide transpilation counter to zero."""
-    global _call_count
-    with _call_count_lock:
-        _call_count = 0
+    """Reset the process-wide compilation counters to zero.
 
-
-@dataclass
-class ExecutableCircuit:
-    """A program compiled for a device, ready for noisy execution.
-
-    Attributes:
-        logical: the program as written (defines the ideal distribution).
-        physical: the routed schedule on device qubits (defines gate noise
-            and, through its measurement targets, readout noise).
-        initial_layout / final_layout: logical->physical maps before and
-            after routing.
-        num_swaps: SWAPs inserted by the router.
-        eps: expected probability of success of the physical schedule.
+    .. deprecated:: counterpart of :func:`transpile_call_count`; resets
+       every aggregate pipeline counter.
     """
-
-    logical: QuantumCircuit
-    physical: QuantumCircuit
-    initial_layout: Layout
-    final_layout: Layout
-    device: Device
-    num_swaps: int
-    eps: float
-    _ideal_probabilities: Optional[np.ndarray] = field(
-        default=None, repr=False, compare=False
-    )
-
-    @property
-    def measured_physical_qubits(self) -> List[int]:
-        """Physical qubit read for each measurement, in clbit order."""
-        by_clbit = {
-            ins.clbits[0]: ins.qubits[0] for ins in self.physical.measurements
-        }
-        return [by_clbit[c] for c in sorted(by_clbit)]
-
-    def ideal_probabilities(self) -> np.ndarray:
-        """Exact probabilities of the logical circuit over all basis states.
-
-        Cached: JigSaw reuses one statevector across the global circuit and
-        every CPM because their unitary bodies are identical.
-        """
-        if self._ideal_probabilities is None:
-            self._ideal_probabilities = StatevectorSimulator().probabilities(
-                self.logical
-            )
-        return self._ideal_probabilities
-
-    def share_ideal_probabilities(self, probabilities: np.ndarray) -> None:
-        """Inject a precomputed probability vector (same unitary body)."""
-        expected = 1 << self.logical.num_qubits
-        if probabilities.shape != (expected,):
-            raise CompilationError("shared probability vector has wrong size")
-        self._ideal_probabilities = probabilities
+    reset_aggregate_stats()
 
 
 def transpile(
@@ -112,14 +69,15 @@ def transpile(
     readout_emphasis: float = 1.0,
     avoid_qubits: Sequence[int] = (),
     initial_layouts: Optional[Sequence[Layout]] = None,
+    pipeline: Optional[CompilerPipeline] = None,
 ) -> ExecutableCircuit:
     """Compile ``circuit`` for ``device`` maximising (emphasised) EPS.
 
     Args:
         circuit: logical program; must end in measurements for execution.
         device: target device.
-        seed: RNG seed controlling placement exploration and router
-            tie-breaking.
+        seed: RNG seed controlling placement exploration (routing is a
+            pure function of content; see the pipeline module).
         attempts: number of placement+routing candidates to evaluate.
         readout_emphasis: exponent on the readout term of EPS; > 1 gives
             the CPM-recompilation objective.
@@ -127,46 +85,16 @@ def transpile(
             diversity, vulnerable-qubit avoidance).
         initial_layouts: optional explicit layouts to route (bypasses
             placement; still selects by EPS).
+        pipeline: a shared :class:`CompilerPipeline` whose stage cache
+            reuses routed bodies across calls; ``None`` builds a one-shot
+            pipeline (the legacy monolithic behaviour, bit-for-bit
+            identical output).
     """
-    if attempts < 1:
-        raise CompilationError("attempts must be >= 1")
-    global _call_count
-    with _call_count_lock:
-        _call_count += 1
-    rng = as_generator(seed)
-    if initial_layouts is None:
-        layouts = candidate_layouts(
-            circuit,
-            device,
-            num_candidates=attempts,
-            readout_weight=readout_emphasis,
-            avoid_qubits=avoid_qubits,
-            seed=rng,
-        )
-    else:
-        layouts = list(initial_layouts)
-        if not layouts:
-            raise CompilationError("initial_layouts must not be empty")
-
-    router_rngs = spawn(rng, len(layouts))
-    best: Optional[RoutedCircuit] = None
-    best_eps = -1.0
-    for layout, router_rng in zip(layouts, router_rngs):
-        routed = route(circuit, device, layout, seed=router_rng)
-        eps = expected_probability_of_success(
-            routed.physical, device, readout_emphasis
-        )
-        if eps > best_eps:
-            best_eps = eps
-            best = routed
-
-    plain_eps = expected_probability_of_success(best.physical, device, 1.0)
-    return ExecutableCircuit(
-        logical=circuit,
-        physical=best.physical,
-        initial_layout=best.initial_layout,
-        final_layout=best.final_layout,
-        device=device,
-        num_swaps=best.num_swaps,
-        eps=plain_eps,
+    return CompilerPipeline.for_device(device, pipeline).compile(
+        circuit,
+        seed=seed,
+        attempts=attempts,
+        readout_emphasis=readout_emphasis,
+        avoid_qubits=avoid_qubits,
+        initial_layouts=initial_layouts,
     )

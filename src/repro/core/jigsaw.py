@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.cpm_compile import compile_cpm
+from repro.compiler.pipeline import CompilerPipeline
 from repro.compiler.transpile import ExecutableCircuit, transpile
 from repro.core.pmf import PMF, Marginal
 from repro.core.reconstruction import (
@@ -221,6 +222,14 @@ class JigSaw:
         self.backend = backend
         self.cache = cache
         self.cache_salt = cache_salt
+        # The staged compiler pipeline (see repro.compiler.pipeline).  Its
+        # stage cache holds routed bodies: with an attached plan cache the
+        # stage store is shared (sweeps reuse routings across runners);
+        # without one, the pipeline's private default cache still
+        # guarantees the route-once invariant within and across this
+        # runner's plans.  Routing is a pure function of content, so
+        # sharing is always bit-for-bit safe.
+        self.pipeline = CompilerPipeline(device, cache=cache)
         self._resolved_backend: Optional[Backend] = None
         self._resolved_backend_key = None
 
@@ -249,6 +258,20 @@ class JigSaw:
         backend = self._resolved_backend
         if backend is not None and hasattr(backend, "close"):
             backend.close()
+
+    def pipeline_stats(self) -> Dict[str, object]:
+        """Per-stage compiler counters for this runner (JSON-ready).
+
+        ``counters`` are this runner's pipeline counts (compiles, route
+        calls/hits, retargets, EPS evaluations); ``stages`` are the
+        stage-cache hit/miss/entry counters, which are shared whenever a
+        :class:`CompilationCache` is attached.  This replaces the old
+        process-wide ``transpile_call_count`` global.
+        """
+        return {
+            "counters": self.pipeline.stats.snapshot(),
+            "stages": self.pipeline.stage_stats(),
+        }
 
     # ------------------------------------------------------------------
     # Planning helpers
@@ -294,6 +317,7 @@ class JigSaw:
             self.device,
             seed=spawn(self._rng, 1)[0],
             attempts=self.config.compile_attempts,
+            pipeline=self.pipeline,
         )
 
     def build_cpm_circuit(
@@ -313,9 +337,16 @@ class JigSaw:
     ) -> List[ExecutableCircuit]:
         """Compile every CPM (recompiled or reusing the global mapping).
 
-        Every CPM compiles from its own pre-spawned seed, so the optional
-        thread fan-out (``config.compile_workers``) produces bit-identical
-        executables in the same order as the serial loop.
+        Route-once/retarget-many: every CPM shares the program's
+        measurement-free body, so the candidate routings (the global
+        layout plus the deterministic pool) are computed once through the
+        runner's pipeline and each CPM only retargets its measured subset
+        onto them.  CPM compilation is content-deterministic, so the
+        optional thread fan-out (``config.compile_workers``) produces
+        bit-identical executables in the same order as the serial loop.
+        The per-CPM seeds are still spawned to keep this runner's seed
+        stream (and cached plans' ``compile_spawns`` replay) aligned with
+        the historical discipline.
         """
         seeds = spawn(self._rng, len(subsets))
 
@@ -330,6 +361,7 @@ class JigSaw:
                 attempts=self.config.cpm_attempts,
                 vulnerable_percentile=self.config.vulnerable_percentile,
                 seed=seed,
+                pipeline=self.pipeline,
             )
 
         workers = self.config.compile_workers

@@ -14,7 +14,12 @@ marginals then sharpen the result.
 Like :class:`~repro.core.jigsaw.JigSaw`, the runner factors into
 :meth:`JigSawM.plan` (compile one plan layer per subset size) and
 :meth:`JigSawM.execute` (batch-evaluate on a backend, reconstruct
-largest-first); ``run`` chains the two.
+largest-first); ``run`` chains the two.  Planning rides the staged
+compiler pipeline: all layers share one measurement-free body, so the
+multiplied CPM count (sizes 2..5 each contribute a full subset sweep)
+costs one routing of the global layout plus one of the deterministic
+pool — every CPM beyond that is retarget+EPS only (see
+:mod:`repro.compiler.pipeline`).
 """
 
 from __future__ import annotations

@@ -23,11 +23,10 @@ matrix oracle.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
-from repro.compiler.transpile import ExecutableCircuit
 from repro.core.pmf import PMF
 from repro.exceptions import SimulationError
 from repro.noise.model import NoiseModel
@@ -39,6 +38,9 @@ from repro.utils.bits import (
     indices_to_bit_array,
 )
 from repro.utils.random import SeedLike, as_generator, spawn
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.compiler.transpile import ExecutableCircuit
 
 __all__ = [
     "CodeCounts",

@@ -27,9 +27,16 @@ same seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
-from repro.compiler.transpile import ExecutableCircuit
 from repro.core.pmf import PMF
 from repro.exceptions import SimulationError
 from repro.noise.model import NoiseModel
@@ -37,6 +44,9 @@ from repro.noise.sampler import NoisySampler
 from repro.runtime.fingerprint import unitary_body_fingerprint
 from repro.sim.statevector import StatevectorSimulator
 from repro.utils.random import SeedLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.compiler.transpile import ExecutableCircuit
 
 __all__ = [
     "ExecutionRequest",

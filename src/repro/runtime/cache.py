@@ -3,25 +3,36 @@
 Transpilation (placement search + SABRE routing + EPS scoring, times one
 global circuit plus every CPM) dominates the cost of a JigSaw run on a
 simulator and is pure overhead when a sweep or a scheme comparison
-re-plans an identical program.  :class:`CompilationCache` stores
-:class:`~repro.runtime.plan.ExecutionPlan`s keyed by **content** —
-circuit fingerprint, device name, config fingerprint (plus the caller's
-seed salt) — so identical programs stop recompiling no matter which code
-path planned them.
+re-plans an identical program.  :class:`CompilationCache` stores two
+kinds of artifacts, both keyed by **content**:
 
-The cache is a bounded LRU.  Hit/miss counters are public so tests and
+* whole :class:`~repro.runtime.plan.ExecutionPlan`\\ s — circuit
+  fingerprint, device name, config fingerprint (plus the caller's seed
+  salt) — so identical programs stop recompiling no matter which code
+  path planned them; and
+* **per-stage artifacts** of the staged compiler pipeline
+  (:mod:`repro.compiler.pipeline`): routed bodies keyed by
+  :func:`~repro.runtime.fingerprint.routing_fingerprint`, layout pools
+  keyed by placement inputs.  Stage entries have their own namespace and
+  their own hit/miss counters — they never perturb the plan-level
+  ``hits``/``misses`` that sweeps assert on.
+
+Both stores are bounded LRUs.  All counters are public so tests and
 benchmarks can assert reuse instead of guessing at it.
 
 Determinism note: a cached plan replays the compilation of the *first*
 planning call for its key.  Planning is seeded, so sharing a cache across
 equally-seeded sessions is bit-for-bit safe; the seed salt in the default
 key construction keeps differently-seeded sessions from sharing entries.
+Stage entries are stronger: routing is a pure function of its content key
+(the route-once invariant), so sharing routed bodies is always safe.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Iterable, Optional
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.runtime.plan import ExecutionPlan
 
@@ -29,19 +40,35 @@ __all__ = ["CompilationCache"]
 
 
 class CompilationCache:
-    """A bounded LRU cache of execution plans with hit/miss accounting.
+    """A bounded LRU cache of plans and pipeline-stage artifacts.
 
     Args:
         max_entries: maximum plans kept; ``None`` means unbounded and
-            ``0`` disables storage entirely (every lookup misses), which
-            is how benchmarks emulate the uncached legacy path.
+            ``0`` disables storage entirely (every lookup misses, for
+            plans *and* stage artifacts), which is how benchmarks emulate
+            the uncached legacy path.
+        max_stage_entries: maximum per-stage artifacts kept (routed
+            bodies dominate; they are small relative to plans).
     """
 
-    def __init__(self, max_entries: Optional[int] = 256) -> None:
+    def __init__(
+        self,
+        max_entries: Optional[int] = 256,
+        max_stage_entries: Optional[int] = 4096,
+    ) -> None:
         if max_entries is not None and max_entries < 0:
             raise ValueError("max_entries must be >= 0 or None")
+        if max_stage_entries is not None and max_stage_entries < 0:
+            raise ValueError("max_stage_entries must be >= 0 or None")
         self.max_entries = max_entries
+        self.max_stage_entries = max_stage_entries
         self._plans: "OrderedDict[str, ExecutionPlan]" = OrderedDict()
+        self._stage_data: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        self._stage_hits: Dict[str, int] = {}
+        self._stage_misses: Dict[str, int] = {}
+        # Guards both stores: pipelines share a cache across the CPM
+        # compilation thread fan-out (``compile_workers``).
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -50,7 +77,7 @@ class CompilationCache:
     @classmethod
     def disabled(cls) -> "CompilationCache":
         """A cache that stores nothing (still counts its misses)."""
-        return cls(max_entries=0)
+        return cls(max_entries=0, max_stage_entries=0)
 
     @staticmethod
     def make_key(parts: Iterable[str]) -> str:
@@ -68,50 +95,114 @@ class CompilationCache:
         )
 
     # ------------------------------------------------------------------
+    # Plan store
+    # ------------------------------------------------------------------
 
     def get(self, key: str) -> Optional[ExecutionPlan]:
         """The cached plan for ``key``, or ``None`` (counted either way)."""
-        plan = self._plans.get(key)
-        if plan is None:
-            self.misses += 1
-            return None
-        self._plans.move_to_end(key)
-        self.hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
 
     def put(self, key: str, plan: ExecutionPlan) -> None:
         """Store ``plan`` under ``key``, evicting the LRU entry if full."""
         if self.max_entries == 0:
             return
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        if self.max_entries is not None:
-            while len(self._plans) > self.max_entries:
-                self._plans.popitem(last=False)
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._plans) > self.max_entries:
+                    self._plans.popitem(last=False)
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
-        self._plans.clear()
+        """Drop every entry, plans and stage artifacts (counters are kept)."""
+        with self._lock:
+            self._plans.clear()
+            self._stage_data.clear()
+
+    # ------------------------------------------------------------------
+    # Stage store (compiler-pipeline artifacts)
+    # ------------------------------------------------------------------
+
+    def stage_get(self, stage: str, key: str) -> Optional[Any]:
+        """The cached artifact of ``stage`` for ``key`` (counted per stage)."""
+        with self._lock:
+            value = self._stage_data.get((stage, key))
+            if value is None:
+                self._stage_misses[stage] = self._stage_misses.get(stage, 0) + 1
+                return None
+            self._stage_data.move_to_end((stage, key))
+            self._stage_hits[stage] = self._stage_hits.get(stage, 0) + 1
+            return value
+
+    def stage_put(self, stage: str, key: str, value: Any) -> None:
+        """Store a stage artifact (no-op on a disabled cache)."""
+        if self.max_entries == 0 or self.max_stage_entries == 0:
+            return
+        with self._lock:
+            self._stage_data[(stage, key)] = value
+            self._stage_data.move_to_end((stage, key))
+            if self.max_stage_entries is not None:
+                while len(self._stage_data) > self.max_stage_entries:
+                    self._stage_data.popitem(last=False)
+
+    def stage_entries(self, stage: Optional[str] = None) -> int:
+        """Number of stored artifacts, for one stage or all of them."""
+        with self._lock:
+            if stage is None:
+                return len(self._stage_data)
+            return sum(1 for s, _ in self._stage_data if s == stage)
+
+    def stage_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-stage hit/miss/entry counters (JSON-ready)."""
+        with self._lock:
+            stages = sorted(set(self._stage_hits) | set(self._stage_misses))
+            return {
+                stage: {
+                    "hits": self._stage_hits.get(stage, 0),
+                    "misses": self._stage_misses.get(stage, 0),
+                    "entries": sum(1 for s, _ in self._stage_data if s == stage),
+                }
+                for stage in stages
+            }
 
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._plans)
+        """Number of cached *plans* (stage artifacts are counted separately)."""
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._plans
+        with self._lock:
+            return key in self._plans
 
     def stats(self) -> dict:
-        """Hit/miss/size counters (JSON-ready)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "entries": len(self._plans),
-            "max_entries": self.max_entries,
-        }
+        """Hit/miss/size counters, plan-level plus per-stage (JSON-ready).
+
+        Taken under the lock (it is re-entrant), so a snapshot is
+        internally consistent even while compile workers mutate the
+        stores.
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._plans),
+                "max_entries": self.max_entries,
+                "stage_entries": len(self._stage_data),
+                "stages": self.stage_stats(),
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CompilationCache(entries={len(self._plans)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"stage_entries={len(self._stage_data)})"
         )

@@ -15,13 +15,19 @@ from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.circuits.circuit import QuantumCircuit
+    from repro.compiler.layout import Layout
     from repro.compiler.transpile import ExecutableCircuit
+    from repro.devices.device import Device
 
 __all__ = [
     "circuit_fingerprint",
     "unitary_body_fingerprint",
+    "body_fingerprint",
     "config_fingerprint",
+    "device_fingerprint",
     "executable_fingerprint",
+    "layout_fingerprint",
+    "routing_fingerprint",
 ]
 
 
@@ -67,6 +73,25 @@ def unitary_body_fingerprint(circuit: "QuantumCircuit") -> str:
     return _hash(parts)
 
 
+def body_fingerprint(circuit: "QuantumCircuit") -> str:
+    """Content hash of the measurement-free body, as the *router* sees it.
+
+    Unlike :func:`unitary_body_fingerprint` this keeps barriers (they
+    constrain the routing DAG), and unlike :func:`circuit_fingerprint` it
+    ignores measurements and the classical register width — a program and
+    all of its CPMs share this fingerprint, which is what lets the
+    pipeline's Route stage share routed bodies across every measured
+    subset (the route-once invariant).
+    """
+    parts = [f"routed-body|{circuit.num_qubits}"]
+    parts.extend(
+        _instruction_token(ins)
+        for ins in circuit.instructions
+        if not ins.is_measure
+    )
+    return _hash(parts)
+
+
 def config_fingerprint(config, exclude: Sequence[str] = ()) -> str:
     """Content hash of a configuration dataclass (field name/value pairs).
 
@@ -86,6 +111,52 @@ def config_fingerprint(config, exclude: Sequence[str] = ()) -> str:
             continue
         parts.append(f"{f.name}={getattr(config, f.name)!r}")
     return _hash(parts)
+
+
+def device_fingerprint(device: "Device") -> str:
+    """Content hash of a device: name, topology, and full calibration.
+
+    Two ``Device`` objects that share a name but differ in coupling or
+    error rates (e.g. a noise-scaled variant in a sweep) must never share
+    compiled artifacts — routing depends on the distance matrix and EPS
+    on the calibration — so stage-cache keys carry this fingerprint, not
+    the bare name.
+    """
+    cal = device.calibration
+    parts = [
+        "device",
+        device.name,
+        str(device.num_qubits),
+        repr(sorted(device.edges)),
+        cal.p01.tobytes().hex(),
+        cal.p10.tobytes().hex(),
+        cal.crosstalk.tobytes().hex(),
+        cal.gate_error_1q.tobytes().hex(),
+        repr(sorted(cal.gate_error_2q.items())),
+    ]
+    return _hash(parts)
+
+
+def layout_fingerprint(layout: "Layout") -> str:
+    """Content hash of a logical -> physical qubit layout."""
+    parts = ["layout"]
+    parts.extend(f"{logical}->{physical}" for logical, physical in layout.items())
+    return _hash(parts)
+
+
+def routing_fingerprint(
+    device_key: str, body_fingerprint: str, layout: "Layout"
+) -> str:
+    """Content key of one routing problem: device + body + initial layout.
+
+    ``device_key`` is a :func:`device_fingerprint` (callers cache it; the
+    bare device *name* is not enough, see there).  This is the per-stage
+    cache key of the pipeline's Route stage — and, hashed down to 64
+    bits, the seed of the router's tie-break stream, so routing is a pure
+    function of this fingerprint (the route-once invariant: equal keys
+    always yield the identical routed body).
+    """
+    return _hash(["route", device_key, body_fingerprint, layout_fingerprint(layout)])
 
 
 def executable_fingerprint(executable: "ExecutableCircuit") -> str:

@@ -21,12 +21,14 @@ configured size, ascending, and reconstructs largest-first (§4.4.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.compiler.transpile import ExecutableCircuit
 from repro.exceptions import ReconstructionError
 from repro.runtime.backend import ExecutionRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.compiler.transpile import ExecutableCircuit
 
 __all__ = ["PlanLayer", "ExecutionPlan"]
 

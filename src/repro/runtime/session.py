@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.edm import ensemble_of_diverse_mappings
+from repro.compiler.pipeline import CompilerPipeline
 from repro.compiler.transpile import ExecutableCircuit, transpile
 from repro.core.jigsaw import JigSaw, JigSawConfig, JigSawResult
 from repro.core.multilayer import JigSawM, JigSawMConfig, JigSawMResult
@@ -157,6 +158,11 @@ class Session:
         self.backend: Backend = backend or self._default_backend()
         self.cache = CompilationCache() if cache is None else cache
         self._cache_salt = f"session:{seed!r}"
+        # Session-level staged compiler pipeline, bound to the session
+        # cache: the baseline compilation, EDM mappings, and every JigSaw
+        # runner (they receive the same cache) share one routed-body store,
+        # so a (body, layout) pair is routed at most once per session.
+        self.compile_pipeline = CompilerPipeline(device, cache=self.cache)
         # The shared baseline mapping per program (methodology, §5.2: the
         # global mode "is identical to the baseline policy").  Keyed by
         # circuit content, not workload name, and always on — it is a
@@ -184,6 +190,7 @@ class Session:
                 self.device,
                 seed=self._baseline_seed,
                 attempts=self.compile_attempts,
+                pipeline=self.compile_pipeline,
             )
             self._global_executables[key] = executable
         return self._global_executables[key]
@@ -293,6 +300,7 @@ class Session:
             ensemble_size=self.ensemble_size,
             attempts=self.compile_attempts,
             seed=self._edm_seed,
+            pipeline=self.compile_pipeline,
         )
         per_mapping = self.total_trials // len(executables)
         allocations = [per_mapping] * len(executables)
@@ -411,8 +419,22 @@ class Session:
             runner.close()
 
     def cache_stats(self) -> dict:
-        """Plan-cache hit/miss counters (see :class:`CompilationCache`)."""
+        """Plan- and stage-cache counters (see :class:`CompilationCache`)."""
         return self.cache.stats()
+
+    def pipeline_stats(self) -> dict:
+        """Per-stage compiler counters across this session's runners.
+
+        Merges the session pipeline's counters (baseline/EDM compiles)
+        with every scheme runner's, plus the shared stage-cache hit/miss
+        accounting — the replacement for the old process-wide
+        ``transpile_call_count`` global.
+        """
+        counters: Dict[str, int] = dict(self.compile_pipeline.stats.snapshot())
+        for runner in self._runners.values():
+            for name, value in runner.pipeline.stats.snapshot().items():
+                counters[name] = counters.get(name, 0) + value
+        return {"counters": counters, "stages": self.cache.stage_stats()}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

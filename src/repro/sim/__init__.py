@@ -2,6 +2,7 @@
 
 from repro.sim.density_matrix import (
     DensityMatrixSimulator,
+    apply_operator_to_density_matrix,
     depolarizing_kraus,
     expand_operator,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "PauliTrajectorySimulator",
     "DensityMatrixSimulator",
     "apply_gate_to_statevector",
+    "apply_operator_to_density_matrix",
     "marginal_probabilities",
     "expand_operator",
     "depolarizing_kraus",

@@ -18,7 +18,12 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.exceptions import SimulationError
 from repro.utils.bits import index_to_bitstring
 
-__all__ = ["DensityMatrixSimulator", "expand_operator", "depolarizing_kraus"]
+__all__ = [
+    "DensityMatrixSimulator",
+    "expand_operator",
+    "apply_operator_to_density_matrix",
+    "depolarizing_kraus",
+]
 
 _PAULIS = {
     "I": np.eye(2, dtype=complex),
@@ -66,6 +71,42 @@ def expand_operator(
         rows = base[nonzero] | scattered
         full[rows, columns[nonzero]] += amps[nonzero]
     return full
+
+
+def apply_operator_to_density_matrix(
+    rho: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Return ``K rho K^dagger`` for a k-qubit operator ``K``.
+
+    The statevector-style reshape/moveaxis kernel applied twice: once to
+    the row indices (``K rho``) and once, conjugated, to the column
+    indices (``... K^dagger``).  Cost is O(2^k * 4^n) instead of the
+    O(8^n) of embedding ``K`` via :func:`expand_operator` and taking full
+    matrix products — ``expand_operator`` remains as the test oracle.
+
+    Index convention matches the statevector engine: the first qubit in
+    ``qubits`` is the most significant bit of the operator's local index;
+    ``rho``'s element ``(i, j)`` encodes qubit ``q`` of the row as bit
+    ``(i >> q) & 1`` and likewise for the column.
+    """
+    k = len(qubits)
+    if matrix.shape != (1 << k, 1 << k):
+        raise SimulationError("operator dimension does not match qubit count")
+    dim = 1 << num_qubits
+    if rho.shape != (dim, dim):
+        raise SimulationError("density matrix dimension mismatch")
+    tensor = rho.reshape((2,) * (2 * num_qubits))
+    # Row axis of qubit q is (num_qubits - 1 - q); its column axis sits
+    # num_qubits further along.
+    row_axes = [num_qubits - 1 - q for q in qubits]
+    col_axes = [2 * num_qubits - 1 - q for q in qubits]
+    for axes, op in ((row_axes, matrix), (col_axes, matrix.conj())):
+        tensor = np.moveaxis(tensor, axes, range(k))
+        shaped = op @ tensor.reshape(1 << k, -1)
+        tensor = np.moveaxis(
+            shaped.reshape((2,) * (2 * num_qubits)), range(k), axes
+        )
+    return tensor.reshape(dim, dim)
 
 
 def depolarizing_kraus(probability: float, num_qubits: int = 1) -> List[np.ndarray]:
@@ -128,8 +169,9 @@ class DensityMatrixSimulator:
         for ins in circuit.instructions:
             if not ins.is_gate:
                 continue
-            full = expand_operator(ins.gate.matrix(), ins.qubits, n)
-            rho = full @ rho @ full.conj().T
+            rho = apply_operator_to_density_matrix(
+                rho, ins.gate.matrix(), ins.qubits, n
+            )
             error = gate_error_1q if len(ins.qubits) == 1 else gate_error_2q
             if error > 0.0:
                 rho = self._apply_depolarizing(rho, ins.qubits, error, n)
@@ -142,8 +184,7 @@ class DensityMatrixSimulator:
         kraus = depolarizing_kraus(probability, len(qubits))
         out = np.zeros_like(rho)
         for op in kraus:
-            full = expand_operator(op, qubits, num_qubits)
-            out += full @ rho @ full.conj().T
+            out += apply_operator_to_density_matrix(rho, op, qubits, num_qubits)
         return out
 
     # ------------------------------------------------------------------

@@ -17,13 +17,16 @@ State indexing convention: basis index ``i`` encodes qubit ``q`` as bit
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.exceptions import SimulationError
-from repro.utils.bits import index_to_bitstring
+from repro.utils.bits import codes_to_strings
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.pmf import PMF
 
 __all__ = ["StatevectorSimulator", "apply_gate_to_statevector", "marginal_probabilities"]
 
@@ -107,16 +110,20 @@ class StatevectorSimulator:
             raise SimulationError(f"state norm drifted to {total}")
         return probs / total
 
-    def ideal_distribution(
+    def ideal_pmf(
         self, circuit: QuantumCircuit, threshold: float = 1e-12
-    ) -> Dict[str, float]:
-        """Exact outcome PMF over the circuit's classical bits.
+    ) -> "PMF":
+        """Exact outcome distribution as an array-native :class:`PMF`.
 
-        The circuit must contain measurements; the result maps IBM-order
-        bitstrings of length ``len(measured qubits)`` to probabilities.
-        Entries below ``threshold`` are dropped (they are numerical noise for
-        the structured states the benchmarks prepare).
+        The int64-code spine of the data plane: the marginal probability
+        vector is remapped from qubit order to clbit order as one batch of
+        shift/or operations and handed to :meth:`PMF.from_codes` — no
+        bitstring is ever materialised.  Entries below ``threshold`` are
+        dropped (they are numerical noise for the structured states the
+        benchmarks prepare).
         """
+        from repro.core.pmf import PMF
+
         meas_map = circuit.measurement_map
         if not meas_map:
             raise SimulationError("circuit has no measurements")
@@ -130,18 +137,24 @@ class StatevectorSimulator:
         keep_sorted = sorted(qubits)
         marg = marginal_probabilities(probs, keep_sorted, circuit.num_qubits)
         # Remap marginal bit j (qubit keep_sorted[j]) onto its clbit.
-        k = len(keep_sorted)
         qubit_to_margbit = {q: j for j, q in enumerate(keep_sorted)}
-        out: Dict[str, float] = {}
-        for idx in np.flatnonzero(marg > threshold):
-            clbit_index = 0
-            for q, c in meas_map.items():
-                bit = (int(idx) >> qubit_to_margbit[q]) & 1
-                clbit_index |= bit << c
-            key = index_to_bitstring(clbit_index, k)
-            out[key] = out.get(key, 0.0) + float(marg[idx])
-        norm = sum(out.values())
-        return {key: value / norm for key, value in out.items()}
+        indices = np.flatnonzero(marg > threshold)
+        codes = np.zeros(indices.size, dtype=np.int64)
+        for q, c in meas_map.items():
+            codes |= ((indices >> qubit_to_margbit[q]) & 1) << c
+        return PMF.from_codes(
+            codes, marg[indices], len(keep_sorted), normalize=True
+        )
+
+    def ideal_distribution(
+        self, circuit: QuantumCircuit, threshold: float = 1e-12
+    ) -> Dict[str, float]:
+        """Exact outcome PMF over the circuit's classical bits.
+
+        String-keyed edge view of :meth:`ideal_pmf`: maps IBM-order
+        bitstrings of length ``len(measured qubits)`` to probabilities.
+        """
+        return self.ideal_pmf(circuit, threshold).as_dict()
 
     def expectation_diagonal(
         self, circuit: QuantumCircuit, diagonal: np.ndarray
@@ -159,12 +172,16 @@ class StatevectorSimulator:
         shots: int,
         rng: Optional[np.random.Generator] = None,
     ) -> Dict[str, int]:
-        """Sample ``shots`` noise-free outcomes from the ideal distribution."""
+        """Sample ``shots`` noise-free outcomes from the ideal distribution.
+
+        Draws ride the PMF's code/prob arrays directly; strings are
+        rendered only for the returned counts dict.
+        """
         from repro.utils.random import as_generator
 
         rng = as_generator(rng)
-        dist = self.ideal_distribution(circuit)
-        keys = list(dist.keys())
-        probs = np.array([dist[k] for k in keys])
-        draws = rng.multinomial(shots, probs / probs.sum())
-        return {k: int(c) for k, c in zip(keys, draws) if c > 0}
+        pmf = self.ideal_pmf(circuit)
+        draws = rng.multinomial(shots, pmf.probs / pmf.probs.sum())
+        observed = np.flatnonzero(draws)
+        keys = codes_to_strings(pmf.codes[observed], pmf.num_bits)
+        return {k: int(c) for k, c in zip(keys, draws[observed])}

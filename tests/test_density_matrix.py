@@ -8,6 +8,7 @@ from repro.exceptions import SimulationError
 from repro.sim import (
     DensityMatrixSimulator,
     StatevectorSimulator,
+    apply_operator_to_density_matrix,
     depolarizing_kraus,
     expand_operator,
 )
@@ -44,6 +45,48 @@ class TestExpandOperator:
     def test_dimension_check(self):
         with pytest.raises(SimulationError):
             expand_operator(np.eye(2), (0, 1), 2)
+
+
+class TestApplyOperatorKernel:
+    """The fast reshape/moveaxis kernel against the expand_operator oracle."""
+
+    def _random_rho(self, rng, n):
+        raw = rng.normal(size=(1 << n, 1 << n)) + 1j * rng.normal(
+            size=(1 << n, 1 << n)
+        )
+        rho = raw @ raw.conj().T
+        return rho / np.trace(rho)
+
+    @pytest.mark.parametrize("qubits", [(0,), (2,), (0, 1), (3, 1), (2, 0)])
+    def test_matches_oracle_on_random_operators(self, qubits):
+        rng = np.random.default_rng(7)
+        n = 4
+        rho = self._random_rho(rng, n)
+        k = len(qubits)
+        op = rng.normal(size=(1 << k, 1 << k)) + 1j * rng.normal(
+            size=(1 << k, 1 << k)
+        )
+        full = expand_operator(op, qubits, n)
+        want = full @ rho @ full.conj().T
+        got = apply_operator_to_density_matrix(rho, op, qubits, n)
+        assert np.allclose(got, want, atol=1e-12)
+
+    def test_matches_oracle_on_gates(self):
+        rng = np.random.default_rng(3)
+        rho = self._random_rho(rng, 3)
+        for name, qubits in [("h", (1,)), ("cx", (0, 2)), ("swap", (2, 1))]:
+            op = gate_matrix(name)
+            full = expand_operator(op, qubits, 3)
+            want = full @ rho @ full.conj().T
+            got = apply_operator_to_density_matrix(rho, op, qubits, 3)
+            assert np.allclose(got, want, atol=1e-12), name
+
+    def test_dimension_checks(self):
+        rho = np.eye(4, dtype=complex) / 4
+        with pytest.raises(SimulationError):
+            apply_operator_to_density_matrix(rho, np.eye(2), (0, 1), 2)
+        with pytest.raises(SimulationError):
+            apply_operator_to_density_matrix(np.eye(3), np.eye(2), (0,), 2)
 
 
 class TestDepolarizingKraus:

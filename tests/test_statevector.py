@@ -180,3 +180,32 @@ class TestApplyGateFunction:
         state[0] = 1.0
         with pytest.raises(SimulationError):
             apply_gate_to_statevector(state, gate_matrix("cx"), (0,), 2)
+
+
+class TestIdealPmf:
+    """The int64-code spine behind ideal_distribution/sample."""
+
+    def test_matches_string_view(self, sim):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2).measure_all()
+        pmf = sim.ideal_pmf(qc)
+        dist = sim.ideal_distribution(qc)
+        assert pmf.as_dict() == dist
+        assert pmf.num_bits == 3
+        assert np.isclose(pmf.probs.sum(), 1.0)
+
+    def test_partial_measurement_clbit_order(self, sim):
+        # Measure qubits (2, 0) into clbits (1, 0): outcome string is
+        # "q2 q0" in IBM order.
+        qc = QuantumCircuit(3).x(2).measure(0, 0).measure(2, 1)
+        pmf = sim.ideal_pmf(qc)
+        assert pmf.as_dict() == {"10": 1.0}
+
+    def test_codes_sorted_and_deduplicated(self, sim):
+        qc = QuantumCircuit(2).h(0).h(1).measure_all()
+        pmf = sim.ideal_pmf(qc)
+        assert list(pmf.codes) == sorted(set(pmf.codes))
+        assert len(pmf.codes) == 4
+
+    def test_requires_measurements(self, sim):
+        with pytest.raises(SimulationError):
+            sim.ideal_pmf(QuantumCircuit(2).h(0))

@@ -69,3 +69,18 @@ try:
     ]
 except ImportError:  # pragma: no cover - during incremental development
     pass
+
+try:
+    from repro.service import (  # noqa: F401
+        JobSpec,
+        MitigationService,
+        ResultStore,
+    )
+
+    __all__ += [
+        "JobSpec",
+        "MitigationService",
+        "ResultStore",
+    ]
+except ImportError:  # pragma: no cover - during incremental development
+    pass

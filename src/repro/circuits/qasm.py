@@ -2,16 +2,28 @@
 
 Supports the gate set of :mod:`repro.circuits.gates` plus ``measure`` and
 ``barrier``.  The importer accepts the exporter's output (round-trip safe)
-and the common single-register subset of OpenQASM 2.0 emitted by other
-tools, which is enough to move the paper's benchmarks in and out of the
-library.
+and the flat-circuit subset of OpenQASM 2.0 emitted by other tools —
+QASMBench-style files in particular (Li et al., "QASMBench: A Low-Level
+QASM Benchmark Suite for NISQ Evaluation and Simulation", 2022):
+
+* ``//`` line comments and ``/* ... */`` block comments anywhere;
+* blank lines, ``include`` lines, and statements split across lines
+  (the text is parsed per ``;``-terminated statement, not per line);
+* arbitrary register names, multiple ``qreg``/``creg`` declarations
+  (registers concatenate into one index space in declaration order);
+* register-broadcast forms: ``barrier q;``, ``measure q -> c;``, and
+  single-argument gate broadcast (``h q;``).
+
+Custom ``gate``/``opaque`` definitions and classical control (``if``,
+``reset``) are outside the subset and raise a clear
+:class:`~repro.exceptions.CircuitError` instead of misparsing.
 """
 
 from __future__ import annotations
 
 import math
 import re
-from typing import List, Tuple
+from typing import List
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.exceptions import CircuitError
@@ -19,10 +31,6 @@ from repro.exceptions import CircuitError
 __all__ = ["to_qasm", "from_qasm"]
 
 _HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
-
-_QARG = re.compile(r"q\[(\d+)\]")
-_CARG = re.compile(r"c\[(\d+)\]")
-
 
 def to_qasm(circuit: QuantumCircuit) -> str:
     """Serialise ``circuit`` to an OpenQASM 2.0 string."""
@@ -84,49 +92,132 @@ def _split_args(arglist: str) -> List[str]:
     return [a for a in (part.strip() for part in arglist.split(",")) if a]
 
 
+def _strip_comments(text: str) -> str:
+    """Remove ``/* ... */`` block comments and ``//`` line comments."""
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+_REG_DECL = re.compile(r"^(qreg|creg)\s+([A-Za-z_]\w*)\s*\[\s*(\d+)\s*\]$")
+_REG_ARG = re.compile(r"^([A-Za-z_]\w*)(?:\s*\[\s*(\d+)\s*\])?$")
+_UNSUPPORTED = {
+    "gate": "custom gate definitions",
+    "opaque": "opaque gate declarations",
+    "if": "classically-controlled statements",
+    "reset": "reset statements",
+}
+
+
+class _Registers:
+    """Named registers concatenated into one flat index space."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.offsets: dict = {}
+        self.sizes: dict = {}
+        self.total = 0
+
+    def declare(self, name: str, size: int) -> None:
+        if name in self.offsets:
+            raise CircuitError(f"duplicate {self.kind} declaration: {name!r}")
+        self.offsets[name] = self.total
+        self.sizes[name] = size
+        self.total += size
+
+    def resolve(self, arg: str, statement: str) -> List[int]:
+        """Flat indices for one argument: ``name[i]`` or a bare ``name``
+        (broadcast: every index of the register, in order)."""
+        match = _REG_ARG.fullmatch(arg.strip())
+        if not match or match.group(1) not in self.offsets:
+            raise CircuitError(
+                f"unknown {self.kind} argument {arg!r} in: {statement!r}"
+            )
+        name, index = match.group(1), match.group(2)
+        offset, size = self.offsets[name], self.sizes[name]
+        if index is None:
+            return list(range(offset, offset + size))
+        if int(index) >= size:
+            raise CircuitError(
+                f"{self.kind} index out of range in: {statement!r}"
+            )
+        return [offset + int(index)]
+
+
 def from_qasm(text: str) -> QuantumCircuit:
-    """Parse an OpenQASM 2.0 string produced by :func:`to_qasm`."""
-    num_qubits = 0
-    num_clbits = 0
-    body: List[Tuple[str, str]] = []
-    for raw_line in text.splitlines():
-        line = raw_line.split("//")[0].strip()
-        if not line or line.startswith(("OPENQASM", "include")):
+    """Parse the flat-circuit OpenQASM 2.0 subset (see the module docs)."""
+    cleaned = _strip_comments(text)
+    for keyword, what in _UNSUPPORTED.items():
+        if re.search(rf"(^|[;\s]){keyword}[\s(]", cleaned):
+            raise CircuitError(
+                f"{what} are not supported by the flat-circuit QASM subset"
+            )
+    fragments = cleaned.split(";")
+    if fragments[-1].strip():
+        raise CircuitError(f"missing semicolon after: {fragments[-1].strip()!r}")
+    statements = [
+        " ".join(fragment.split()) for fragment in fragments[:-1]
+    ]
+    statements = [s for s in statements if s]
+
+    qregs = _Registers("qubit")
+    cregs = _Registers("clbit")
+    body: List[str] = []
+    for statement in statements:
+        if statement.startswith(("OPENQASM", "include")):
             continue
-        if not line.endswith(";"):
-            raise CircuitError(f"missing semicolon: {raw_line!r}")
-        line = line[:-1].strip()
-        if line.startswith("qreg"):
-            num_qubits = int(re.search(r"\[(\d+)\]", line).group(1))
-        elif line.startswith("creg"):
-            num_clbits = int(re.search(r"\[(\d+)\]", line).group(1))
-        else:
-            body.append((raw_line, line))
-    if num_qubits == 0:
+        decl = _REG_DECL.fullmatch(statement)
+        if decl:
+            kind, name, size = decl.group(1), decl.group(2), int(decl.group(3))
+            (qregs if kind == "qreg" else cregs).declare(name, size)
+            continue
+        body.append(statement)
+    if qregs.total == 0:
         raise CircuitError("QASM text declares no qreg")
 
-    circuit = QuantumCircuit(num_qubits, num_clbits or num_qubits)
-    for raw_line, line in body:
-        if line.startswith("measure"):
-            qmatch = _QARG.search(line)
-            cmatch = _CARG.search(line)
-            if not qmatch or not cmatch:
-                raise CircuitError(f"bad measure statement: {raw_line!r}")
-            circuit.measure(int(qmatch.group(1)), int(cmatch.group(1)))
+    circuit = QuantumCircuit(qregs.total, cregs.total or qregs.total)
+    for statement in body:
+        if statement.startswith("measure"):
+            match = re.fullmatch(r"measure\s+(.+?)\s*->\s*(.+)", statement)
+            if not match:
+                raise CircuitError(f"bad measure statement: {statement!r}")
+            qubits = qregs.resolve(match.group(1), statement)
+            clbits = cregs.resolve(match.group(2), statement)
+            if len(qubits) != len(clbits):
+                raise CircuitError(
+                    f"measure arity mismatch in: {statement!r}"
+                )
+            for qubit, clbit in zip(qubits, clbits):
+                circuit.measure(qubit, clbit)
             continue
-        if line.startswith("barrier"):
-            qubits = [int(m) for m in _QARG.findall(line)]
+        if statement.startswith("barrier"):
+            args = _split_args(statement[len("barrier"):])
+            qubits = [
+                index
+                for arg in (args or list(qregs.offsets))
+                for index in qregs.resolve(arg, statement)
+            ]
             circuit.barrier(*qubits)
             continue
-        match = re.fullmatch(r"(\w+)(?:\(([^)]*)\))?\s+(.*)", line)
+        match = re.fullmatch(r"([A-Za-z_]\w*)(?:\(([^)]*)\))?\s+(.*)", statement)
         if not match:
-            raise CircuitError(f"cannot parse statement: {raw_line!r}")
+            raise CircuitError(f"cannot parse statement: {statement!r}")
         name, params_text, args_text = match.groups()
         params = tuple(
             _parse_angle(p) for p in _split_args(params_text or "")
         )
-        qubits = [int(m) for m in _QARG.findall(args_text)]
         from repro.circuits.gates import Gate  # local import avoids cycle
 
-        circuit.apply_gate(Gate(name, params), *qubits)
+        targets = [qregs.resolve(arg, statement) for arg in _split_args(args_text)]
+        if all(len(t) == 1 for t in targets):
+            circuit.apply_gate(Gate(name, params), *(t[0] for t in targets))
+        elif len(targets) == 1:
+            # Single-argument register broadcast: ``h q;`` applies to
+            # every qubit of the register, in order.
+            for qubit in targets[0]:
+                circuit.apply_gate(Gate(name, params), qubit)
+        else:
+            raise CircuitError(
+                f"register broadcast over multiple arguments is not "
+                f"supported: {statement!r}"
+            )
     return circuit

@@ -1,54 +1,44 @@
-"""Command-line interface: run JigSaw and the paper's experiments.
+"""Command-line interface: run JigSaw, the paper's experiments, and jobs.
 
 Usage (after ``pip install -e .``)::
 
     python -m repro run --workload GHZ-10 --device toronto --trials 65536
     python -m repro compare --workload QAOA-10\\ p2 --device paris
+    python -m repro serve --jobs jobs.json --store results.jsonl
     python -m repro devices
     python -m repro scalability
 
 ``run`` executes the JigSaw pipeline on one workload and reports PST/IST/
 fidelity before and after reconstruction; ``compare`` additionally runs
-EDM and JigSaw-M; ``devices`` prints the device library's calibration
-statistics; ``scalability`` prints the Table 7 cost model.
+EDM and JigSaw-M; ``serve`` drives the multi-tenant
+:class:`~repro.service.MitigationService` over a JSON job file;
+``devices`` prints the device library's calibration statistics;
+``scalability`` prints the Table 7 cost model.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.core import table7_rows
-from repro.devices import (
-    Device,
-    google_sycamore,
-    ibmq_manhattan,
-    ibmq_paris,
-    ibmq_toronto,
-)
-from repro.exceptions import ReproError
+from repro.core import PMF, table7_rows
+from repro.devices import DEVICE_FACTORIES, Device, device_by_name
+from repro.exceptions import AdmissionError, ReproError
 from repro.experiments import format_table
+from repro.metrics.success import probability_of_successful_trial
 from repro.runtime import Session
+from repro.service import JobSpec, MitigationService, ResultStore
 from repro.workloads import workload_by_name
 
 __all__ = ["main", "build_parser"]
 
-_DEVICES = {
-    "toronto": ibmq_toronto,
-    "paris": ibmq_paris,
-    "manhattan": ibmq_manhattan,
-    "sycamore": google_sycamore,
-}
+_DEVICES = DEVICE_FACTORIES
 
 
 def _device(name: str) -> Device:
-    try:
-        return _DEVICES[name]()
-    except KeyError:
-        raise ReproError(
-            f"unknown device {name!r}; options: {sorted(_DEVICES)}"
-        ) from None
+    return device_by_name(name)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +90,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="CPM candidate-layout pool size (see 'run')",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="drive the multi-tenant job service over a JSON job file",
+    )
+    serve.add_argument(
+        "--jobs", required=True,
+        help="path to a JSON file: a list of job specs (or {'jobs': [...]}); "
+        "each spec is e.g. {'tenant': 'a', 'workload': 'GHZ-8', "
+        "'device': 'toronto', 'scheme': 'jigsaw', 'total_trials': 4096, "
+        "'seed': 0}",
+    )
+    serve.add_argument(
+        "--store", default=None,
+        help="JSONL result-store path: memoizes results across invocations",
+    )
+    serve.add_argument(
+        "--exec-workers", type=int, default=None,
+        help="worker count for the service's sharded execution "
+        "(bit-for-bit identical to serial at any count)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="jobs drained per batch (the cross-job coalescing window)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=256,
+        help="queue capacity (admission rejects beyond it)",
+    )
+    serve.add_argument(
+        "--fair-share", type=float, default=0.5,
+        help="fraction of the queue one tenant may occupy",
+    )
+
     sub.add_parser("devices", help="print device calibration statistics")
     sub.add_parser("scalability", help="print the Table 7 cost model")
     return parser
@@ -108,14 +131,16 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args: argparse.Namespace) -> str:
     device = _device(args.device)
     workload = workload_by_name(args.workload)
-    session = Session(
+    # The context manager guarantees sharded worker pools are released
+    # even when a run raises mid-way.
+    with Session(
         device, seed=args.seed, total_trials=args.trials,
         exact=not args.sampled, compile_workers=args.workers,
         workers=args.exec_workers, cpm_attempts=args.cpm_attempts,
-    )
-    result = session.run(session.plan(workload, scheme="jigsaw"))
-    before = session.evaluate(workload, result.global_pmf)
-    after = session.evaluate(workload, result.output_pmf)
+    ) as session:
+        result = session.run(session.plan(workload, scheme="jigsaw"))
+        before = session.evaluate(workload, result.global_pmf)
+        after = session.evaluate(workload, result.output_pmf)
     rows = [
         ["global (baseline)", before.pst, before.ist, before.fidelity],
         ["JigSaw output", after.pst, after.ist, after.fidelity],
@@ -136,29 +161,31 @@ def _cmd_run(args: argparse.Namespace) -> str:
 def _cmd_compare(args: argparse.Namespace) -> str:
     device = _device(args.device)
     workload = workload_by_name(args.workload)
-    session = Session(
+    with Session(
         device, seed=args.seed, total_trials=args.trials,
         exact=not args.sampled, workers=args.exec_workers,
         cpm_attempts=args.cpm_attempts,
-    )
-    rows: List[List[object]] = []
-    base = None
-    for scheme in ("baseline", "edm", "jigsaw", "jigsaw_m"):
-        metrics = session.evaluate(workload, session.run_scheme(scheme, workload))
-        if base is None:
-            base = metrics
-        rows.append(
-            [
-                scheme,
-                metrics.pst,
-                metrics.pst / base.pst if base.pst else float("inf"),
-                metrics.ist,
-                metrics.fidelity,
-                metrics.arg,
-            ]
-        )
-    stats = session.cache_stats()
-    compiler = session.pipeline_stats()["counters"]
+    ) as session:
+        rows: List[List[object]] = []
+        base = None
+        for scheme in ("baseline", "edm", "jigsaw", "jigsaw_m"):
+            metrics = session.evaluate(
+                workload, session.run_scheme(scheme, workload)
+            )
+            if base is None:
+                base = metrics
+            rows.append(
+                [
+                    scheme,
+                    metrics.pst,
+                    metrics.pst / base.pst if base.pst else float("inf"),
+                    metrics.ist,
+                    metrics.fidelity,
+                    metrics.arg,
+                ]
+            )
+        stats = session.cache_stats()
+        compiler = session.pipeline_stats()["counters"]
     return format_table(
         ["Scheme", "PST", "Rel PST", "IST", "Fidelity", "ARG (%)"],
         rows,
@@ -169,6 +196,77 @@ def _cmd_compare(args: argparse.Namespace) -> str:
         f"{compiler.get('retargets', 0)} retargeted schedules "
         f"({compiler.get('route_hits', 0)} route-cache hits)"
     )
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    with open(args.jobs) as handle:
+        document = json.load(handle)
+    entries = document["jobs"] if isinstance(document, dict) else document
+    if not isinstance(entries, list) or not entries:
+        raise ReproError(
+            f"{args.jobs}: expected a non-empty JSON list of job specs "
+            "(or an object with a 'jobs' list)"
+        )
+
+    store = ResultStore(path=args.store) if args.store else None
+    with MitigationService(
+        store=store,
+        capacity=args.capacity,
+        fair_share=args.fair_share,
+        max_batch=args.max_batch,
+        workers=args.exec_workers,
+    ) as service:
+        jobs, rejections = [], []
+        for index, entry in enumerate(entries):
+            try:
+                jobs.append(service.submit(JobSpec.from_dict(entry)))
+            except AdmissionError as exc:
+                rejections.append((index, str(exc)))
+        service.drain()
+
+        rows: List[List[object]] = []
+        for job in jobs:
+            row = job.describe()
+            pst: object = "-"
+            if (
+                job.result is not None
+                and "output_pmf" in job.result
+                and job.spec.workload is not None
+            ):
+                pst = probability_of_successful_trial(
+                    PMF.from_payload(job.result["output_pmf"]),
+                    workload_by_name(job.spec.workload).correct_outcomes,
+                )
+            rows.append(
+                [
+                    row["job_id"], row["tenant"], row["workload"],
+                    row["scheme"], row["status"], row["source"] or "-", pst,
+                ]
+            )
+        stats = service.service_stats()
+        table = format_table(
+            ["Job", "Tenant", "Workload", "Scheme", "Status", "Source", "PST"],
+            rows,
+            title=f"Service run over {args.jobs}",
+        )
+        footer_lines = [
+            "",
+            f"jobs:    {stats['jobs']['submitted']} submitted, "
+            f"{stats['jobs']['executed']} executed, "
+            f"{stats['jobs']['memoized']} memoized, "
+            f"{stats['jobs']['failed']} failed, "
+            f"{len(rejections)} rejected",
+            f"backend: {stats['backend']['requests']} requests -> "
+            f"{stats['backend']['channel_evals']} channel evals "
+            f"({stats['backend']['coalesced_requests']} coalesced), "
+            f"{stats['backend']['statevector_evals']} statevectors",
+            f"store:   {stats['store']['hits']} hits / "
+            f"{stats['store']['misses']} misses"
+            + (f" @ {stats['store']['path']}" if stats['store']['path'] else ""),
+        ]
+        for index, reason in rejections:
+            footer_lines.append(f"rejected jobs[{index}]: {reason}")
+        return table + "\n".join(footer_lines)
 
 
 def _cmd_devices() -> str:
@@ -223,6 +321,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_cmd_run(args))
         elif args.command == "compare":
             print(_cmd_compare(args))
+        elif args.command == "serve":
+            print(_cmd_serve(args))
         elif args.command == "devices":
             print(_cmd_devices())
         elif args.command == "scalability":

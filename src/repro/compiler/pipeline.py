@@ -430,13 +430,6 @@ class CompilerPipeline:
         self.device_key = device_fingerprint(device)
         self.cache = cache if cache is not None else CompilationCache()
         self.stats = stats if stats is not None else PipelineStats()
-        # Per-key in-flight locks: under the CPM compilation thread
-        # fan-out, concurrent misses on one routing key must not each run
-        # SABRE — the second thread waits and replays the first's result,
-        # keeping the route-once invariant (and the route_calls ==
-        # stage-entries accounting) true at any worker count.
-        self._inflight: Dict[str, threading.Lock] = {}
-        self._inflight_guard = threading.Lock()
 
     def matches_device(self, device: Device) -> bool:
         """Whether this pipeline can compile for ``device`` (by content)."""
@@ -462,41 +455,20 @@ class CompilerPipeline:
         self.stats.bump(name, by)
         _AGGREGATE.bump(name, by)
 
-    def _key_lock(self, key: str) -> threading.Lock:
-        with self._inflight_guard:
-            lock = self._inflight.get(key)
-            if lock is None:
-                lock = self._inflight[key] = threading.Lock()
-            return lock
-
-    def _release_key(self, key: str) -> None:
-        with self._inflight_guard:
-            self._inflight.pop(key, None)
-
     def _stage_cached(self, stage: str, key: str, hit_counter: str, compute):
-        """Double-checked, per-key-locked stage-store lookup.
+        """Per-key-locked stage-store lookup: compute at most once per key.
 
-        Fast path: a plain cached read.  On a miss, the per-key lock
-        makes concurrent callers compute once and replay — and the
-        ``finally`` guarantees a failing ``compute`` (e.g. an invalid
-        layout) can't leak its in-flight lock entry.
+        Delegates to :meth:`CompilationCache.stage_get_or_compute`, whose
+        per-key in-flight locks make concurrent misses under the CPM
+        compilation thread fan-out run the compute once — the second
+        thread waits and replays the first's result, keeping the
+        route-once invariant (and the route_calls == stage-entries
+        accounting) true at any worker count.
         """
-        cached = self.cache.stage_get(stage, key)
-        if cached is not None:
+        value, hit = self.cache.stage_get_or_compute(stage, key, compute)
+        if hit:
             self._bump(hit_counter)
-            return cached
-        lock = self._key_lock(key)
-        try:
-            with lock:
-                cached = self.cache.stage_get(stage, key)
-                if cached is not None:
-                    self._bump(hit_counter)
-                    return cached
-                value = compute()
-                self.cache.stage_put(stage, key, value)
-                return value
-        finally:
-            self._release_key(key)
+        return value
 
     # ------------------------------------------------------------------
     # Entry points

@@ -12,6 +12,11 @@ from repro.core.multilayer import (
     JigSawMResult,
     ordered_reconstruction,
 )
+from repro.core.payload import (
+    PAYLOAD_VERSION,
+    check_payload_version,
+    stamp_payload,
+)
 from repro.core.pmf import PMF, Marginal
 from repro.core.reconstruction import (
     bayesian_reconstruction,
@@ -42,6 +47,9 @@ from repro.core.trials import (
 __all__ = [
     "PMF",
     "Marginal",
+    "PAYLOAD_VERSION",
+    "check_payload_version",
+    "stamp_payload",
     "bayesian_update",
     "bayesian_reconstruction",
     "bayesian_reconstruction_round",

@@ -31,6 +31,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.cpm_compile import compile_cpm
 from repro.compiler.pipeline import CompilerPipeline
 from repro.compiler.transpile import ExecutableCircuit, transpile
+from repro.core.payload import PAYLOAD_VERSION
 from repro.core.pmf import PMF, Marginal
 from repro.core.reconstruction import (
     DEFAULT_MAX_ROUNDS,
@@ -154,10 +155,14 @@ class JigSawResult:
         Distributions are serialized in the native array form —
         ``{codes, probs, num_bits}`` (see :meth:`PMF.to_payload`) — so a
         round-trip through JSON and :meth:`PMF.from_payload` never renders
-        a bitstring.
+        a bitstring.  The payload carries a ``payload_version`` (see
+        :mod:`repro.core.payload`) so persisted results — e.g. the service
+        :class:`~repro.service.store.ResultStore`'s on-disk records — can
+        evolve without silent misreads.
         """
         return {
             "scheme": "jigsaw",
+            "payload_version": PAYLOAD_VERSION,
             "output_pmf": self.output_pmf.to_payload(),
             "global_pmf": self.global_pmf.to_payload(),
             "marginals": [
@@ -252,6 +257,27 @@ class JigSaw:
             )
             self._resolved_backend_key = key
         return self._resolved_backend
+
+    def execution_backend(self) -> Backend:
+        """The backend :meth:`execute` would use right now (public view).
+
+        The service layer uses this to collect a plan's requests and the
+        runner's (serial) local backend, then splice many jobs' batches
+        into one merged execution — spawning each job's seed streams from
+        its own backend exactly as a solo :meth:`execute` would.
+        """
+        return self._resolve_backend()
+
+    def reconstruct(self, plan: ExecutionPlan, pmfs: List[PMF]) -> JigSawResult:
+        """Build the result from a plan's already-executed batch PMFs.
+
+        ``pmfs`` must be the PMFs of ``plan.requests()`` in batch order
+        (the global distribution first).  This is the execution tail of
+        :meth:`execute` without the backend call — callers that execute a
+        plan's batch elsewhere (e.g. the service layer's cross-job merged
+        batches) use it to finish the run identically to :meth:`execute`.
+        """
+        return self._reconstruct(plan, list(pmfs))
 
     def close(self) -> None:
         """Release the resolved backend's worker pool, if it has one."""

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.transpile import ExecutableCircuit
 from repro.core.jigsaw import JigSaw, JigSawConfig, measured_positions_map
+from repro.core.payload import PAYLOAD_VERSION
 from repro.core.pmf import PMF, Marginal
 from repro.core.reconstruction import bayesian_reconstruction
 from repro.core.subsets import sliding_window_subsets
@@ -102,14 +103,19 @@ class JigSawMResult:
         """JSON-ready result payload; distributions in native array form.
 
         Mirrors :meth:`~repro.core.jigsaw.JigSawResult.to_dict`: every PMF
-        is carried as ``{codes, probs, num_bits}``.
+        is carried as ``{codes, probs, num_bits}``, and the payload is
+        stamped with the current ``payload_version``.  Subset sizes are
+        **string** keys: a payload must survive a JSON round-trip
+        byte-identically (the service's on-disk result store relies on
+        it), and JSON object keys are always strings.
         """
         return {
             "scheme": "jigsaw_m",
+            "payload_version": PAYLOAD_VERSION,
             "output_pmf": self.output_pmf.to_payload(),
             "global_pmf": self.global_pmf.to_payload(),
             "marginals_by_size": {
-                size: [
+                str(size): [
                     {"qubits": list(m.qubits), "pmf": m.pmf.to_payload()}
                     for m in marginals
                 ]

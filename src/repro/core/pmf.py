@@ -35,6 +35,7 @@ from typing import (
 
 import numpy as np
 
+from repro.core.payload import check_payload_version
 from repro.exceptions import PMFError
 from repro.utils.bits import (
     MAX_CODE_BITS,
@@ -197,7 +198,13 @@ class PMF(Mapping[str, float]):
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "PMF":
-        """Rebuild a PMF from :meth:`to_payload` output."""
+        """Rebuild a PMF from :meth:`to_payload` output.
+
+        Accepts an optional ``payload_version`` field (result payloads and
+        the service's on-disk store stamp one; see
+        :mod:`repro.core.payload`) and refuses unknown future versions.
+        """
+        check_payload_version(payload, what="PMF payload")
         return cls.from_codes(
             np.asarray(payload["codes"], dtype=np.int64),
             np.asarray(payload["probs"], dtype=np.float64),

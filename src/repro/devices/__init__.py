@@ -3,6 +3,8 @@
 from repro.devices.calibration import Calibration, ReadoutStats, synthesize_calibration
 from repro.devices.device import Device
 from repro.devices.library import (
+    DEVICE_FACTORIES,
+    device_by_name,
     google_sycamore,
     ibmq_manhattan,
     ibmq_paris,
@@ -28,6 +30,8 @@ __all__ = [
     "ibmq_paris",
     "ibmq_manhattan",
     "google_sycamore",
+    "DEVICE_FACTORIES",
+    "device_by_name",
     "falcon27",
     "hummingbird65",
     "sycamore_grid",

@@ -23,11 +23,19 @@ summary statistics (used in robustness tests).
 from __future__ import annotations
 
 from repro.devices.calibration import synthesize_calibration
+from repro.exceptions import DeviceError
 from repro.devices.device import Device
 from repro.devices.topology import falcon27, hummingbird65, sycamore_grid
 from repro.utils.random import SeedLike
 
-__all__ = ["ibmq_toronto", "ibmq_paris", "ibmq_manhattan", "google_sycamore"]
+__all__ = [
+    "ibmq_toronto",
+    "ibmq_paris",
+    "ibmq_manhattan",
+    "google_sycamore",
+    "DEVICE_FACTORIES",
+    "device_by_name",
+]
 
 
 def ibmq_toronto(seed: SeedLike = 27001) -> Device:
@@ -113,3 +121,25 @@ def google_sycamore(seed: SeedLike = 53001) -> Device:
         seed=seed,
     )
     return Device("google_sycamore", graph, calibration)
+
+
+#: The library's devices by short name — the single registry behind the
+#: CLI's ``--device`` choices and the service layer's
+#: :class:`~repro.service.job.JobSpec` device resolution.
+DEVICE_FACTORIES = {
+    "toronto": ibmq_toronto,
+    "paris": ibmq_paris,
+    "manhattan": ibmq_manhattan,
+    "sycamore": google_sycamore,
+}
+
+
+def device_by_name(name: str) -> Device:
+    """Instantiate a library device by its short name (default seed)."""
+    try:
+        factory = DEVICE_FACTORIES[name]
+    except KeyError:
+        raise DeviceError(
+            f"unknown device {name!r}; options: {sorted(DEVICE_FACTORIES)}"
+        ) from None
+    return factory()

@@ -54,3 +54,16 @@ class MitigationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment is configured inconsistently."""
+
+
+class PayloadError(ReproError):
+    """Raised for malformed or incompatible serialized result payloads."""
+
+
+class ServiceError(ReproError):
+    """Raised for invalid job-service requests or service misuse."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when the job service rejects a submission (backpressure or
+    a tenant exceeding its fair share of the pending queue)."""

@@ -85,31 +85,45 @@ def run_main_results(
     workloads = list(workloads) if workloads is not None else paper_suite()
     rows: List[MainResultRow] = []
     for device in devices:
-        runner = Session(
+        with Session(
             device, seed=seed, total_trials=total_trials, exact=exact
-        )
-        for workload in workloads:
-            baseline_pmf = runner.run_baseline(workload)
-            edm_pmf = runner.run_edm(workload)
-            jigsaw_pmf = runner.run_jigsaw(workload).output_pmf
-            if include_no_recompile:
-                jigsaw_nr_pmf = runner.run_jigsaw(
-                    workload, recompile=False
-                ).output_pmf
-            else:
-                jigsaw_nr_pmf = jigsaw_pmf
-            jigsaw_m_pmf = runner.run_jigsaw_m(workload).output_pmf
-            rows.append(
-                MainResultRow(
-                    device=device.name,
-                    workload=workload.name,
-                    baseline=runner.evaluate(workload, baseline_pmf),
-                    edm=runner.evaluate(workload, edm_pmf),
-                    jigsaw=runner.evaluate(workload, jigsaw_pmf),
-                    jigsaw_nr=runner.evaluate(workload, jigsaw_nr_pmf),
-                    jigsaw_m=runner.evaluate(workload, jigsaw_m_pmf),
-                )
+        ) as runner:
+            rows.extend(
+                _device_rows(runner, device, workloads, include_no_recompile)
             )
+    return rows
+
+
+def _device_rows(
+    runner: Session,
+    device: Device,
+    workloads: List[Workload],
+    include_no_recompile: bool,
+) -> List[MainResultRow]:
+    """All scheme comparisons of one device's session."""
+    rows: List[MainResultRow] = []
+    for workload in workloads:
+        baseline_pmf = runner.run_baseline(workload)
+        edm_pmf = runner.run_edm(workload)
+        jigsaw_pmf = runner.run_jigsaw(workload).output_pmf
+        if include_no_recompile:
+            jigsaw_nr_pmf = runner.run_jigsaw(
+                workload, recompile=False
+            ).output_pmf
+        else:
+            jigsaw_nr_pmf = jigsaw_pmf
+        jigsaw_m_pmf = runner.run_jigsaw_m(workload).output_pmf
+        rows.append(
+            MainResultRow(
+                device=device.name,
+                workload=workload.name,
+                baseline=runner.evaluate(workload, baseline_pmf),
+                edm=runner.evaluate(workload, edm_pmf),
+                jigsaw=runner.evaluate(workload, jigsaw_pmf),
+                jigsaw_nr=runner.evaluate(workload, jigsaw_nr_pmf),
+                jigsaw_m=runner.evaluate(workload, jigsaw_m_pmf),
+            )
+        )
     return rows
 
 

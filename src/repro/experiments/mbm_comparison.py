@@ -54,40 +54,41 @@ def run_figure14(
     )
     rows: List[MbmRow] = []
     for device in devices:
-        runner = Session(
+        with Session(
             device, seed=seed, total_trials=total_trials, exact=exact
-        )
-        for name in workload_names:
-            workload = workload_by_name(name)
-            correct = workload.correct_outcomes
+        ) as runner:
+            for name in workload_names:
+                workload = workload_by_name(name)
+                correct = workload.correct_outcomes
 
-            baseline_pst = probability_of_successful_trial(
-                runner.run_baseline(workload), correct
-            )
-            mbm_pst = probability_of_successful_trial(
-                runner.run_mbm(workload), correct
-            )
-            jigsaw_result = runner.run_jigsaw(workload)
-            jigsaw_pst = probability_of_successful_trial(
-                jigsaw_result.output_pmf, correct
-            )
-            jigsaw_mbm_pst = probability_of_successful_trial(
-                jigsaw_with_mbm(jigsaw_result, runner.noise_model), correct
-            )
-            jigsawm_result = runner.run_jigsaw_m(workload)
-            jigsawm_mbm_pst = probability_of_successful_trial(
-                jigsawm_with_mbm(jigsawm_result, runner.noise_model), correct
-            )
-            rows.append(
-                MbmRow(
-                    device=device.name,
-                    workload=name,
-                    mbm=relative(mbm_pst, baseline_pst),
-                    jigsaw=relative(jigsaw_pst, baseline_pst),
-                    jigsaw_mbm=relative(jigsaw_mbm_pst, baseline_pst),
-                    jigsawm_mbm=relative(jigsawm_mbm_pst, baseline_pst),
+                baseline_pst = probability_of_successful_trial(
+                    runner.run_baseline(workload), correct
                 )
-            )
+                mbm_pst = probability_of_successful_trial(
+                    runner.run_mbm(workload), correct
+                )
+                jigsaw_result = runner.run_jigsaw(workload)
+                jigsaw_pst = probability_of_successful_trial(
+                    jigsaw_result.output_pmf, correct
+                )
+                jigsaw_mbm_pst = probability_of_successful_trial(
+                    jigsaw_with_mbm(jigsaw_result, runner.noise_model), correct
+                )
+                jigsawm_result = runner.run_jigsaw_m(workload)
+                jigsawm_mbm_pst = probability_of_successful_trial(
+                    jigsawm_with_mbm(jigsawm_result, runner.noise_model),
+                    correct,
+                )
+                rows.append(
+                    MbmRow(
+                        device=device.name,
+                        workload=name,
+                        mbm=relative(mbm_pst, baseline_pst),
+                        jigsaw=relative(jigsaw_pst, baseline_pst),
+                        jigsaw_mbm=relative(jigsaw_mbm_pst, baseline_pst),
+                        jigsawm_mbm=relative(jigsawm_mbm_pst, baseline_pst),
+                    )
+                )
     return rows
 
 

@@ -51,27 +51,27 @@ def run_table5(
     """Compute Table 5 rows for the given devices."""
     rows: List[ArgRow] = []
     for device in devices:
-        runner = Session(
+        with Session(
             device, seed=seed, total_trials=total_trials, exact=exact
-        )
-        for name in workload_names:
-            workload = workload_by_name(name)
-            metrics = {
-                scheme: runner.evaluate(
-                    workload, runner.run_scheme(scheme, workload)
+        ) as runner:
+            for name in workload_names:
+                workload = workload_by_name(name)
+                metrics = {
+                    scheme: runner.evaluate(
+                        workload, runner.run_scheme(scheme, workload)
+                    )
+                    for scheme in ("baseline", "edm", "jigsaw", "jigsaw_m")
+                }
+                rows.append(
+                    ArgRow(
+                        device=device.name,
+                        workload=name,
+                        baseline=metrics["baseline"].arg,
+                        edm=metrics["edm"].arg,
+                        jigsaw=metrics["jigsaw"].arg,
+                        jigsaw_m=metrics["jigsaw_m"].arg,
+                    )
                 )
-                for scheme in ("baseline", "edm", "jigsaw", "jigsaw_m")
-            }
-            rows.append(
-                ArgRow(
-                    device=device.name,
-                    workload=name,
-                    baseline=metrics["baseline"].arg,
-                    edm=metrics["edm"].arg,
-                    jigsaw=metrics["jigsaw"].arg,
-                    jigsaw_m=metrics["jigsaw_m"].arg,
-                )
-            )
     return rows
 
 

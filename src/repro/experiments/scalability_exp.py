@@ -64,8 +64,8 @@ def table6_observed_outcomes(
     workload = workload_by_name(workload_name)
     maximum = 1 << workload.num_outcome_bits
     for device in devices:
-        runner = Session(device, seed=rng, exact=True)
-        executable = runner.global_executable(workload)
+        with Session(device, seed=rng, exact=True) as runner:
+            executable = runner.global_executable(workload)
         sampler = NoisySampler(NoiseModel.from_device(device), seed=rng)
         counts = sampler.run(executable, trials)
         rows.append(ObservedOutcomes(device.name, len(counts), maximum))
@@ -109,15 +109,15 @@ def figure13_epsilon_sweep(
     """Observed global-PMF entries and epsilon at growing trial counts."""
     device = device or ibmq_paris()
     rng = as_generator(seed)
-    runner = Session(device, seed=rng, exact=True)
-    sampler = NoisySampler(NoiseModel.from_device(device), seed=rng)
-    points: List[EpsilonPoint] = []
-    for name in workload_names:
-        workload = workload_by_name(name)
-        executable = runner.global_executable(workload)
-        for trials in trial_ladder:
-            counts = sampler.run(executable, trials)
-            points.append(EpsilonPoint(name, trials, len(counts)))
+    with Session(device, seed=rng, exact=True) as runner:
+        sampler = NoisySampler(NoiseModel.from_device(device), seed=rng)
+        points: List[EpsilonPoint] = []
+        for name in workload_names:
+            workload = workload_by_name(name)
+            executable = runner.global_executable(workload)
+            for trials in trial_ladder:
+                counts = sampler.run(executable, trials)
+                points.append(EpsilonPoint(name, trials, len(counts)))
     return points
 
 

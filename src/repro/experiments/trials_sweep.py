@@ -53,18 +53,18 @@ def run_trials_sweep(
     """Sampled baseline PST at each rung of the trial ladder."""
     device = device or ibmq_paris()
     rng = as_generator(seed)
-    runner = Session(device, seed=rng, exact=True)
-    sampler = NoisySampler(NoiseModel.from_device(device), seed=rng)
-    points: List[TrialsPoint] = []
-    for name in workload_names:
-        workload = workload_by_name(name)
-        executable = runner.global_executable(workload)
-        for trials in trial_ladder:
-            counts = sampler.run(executable, trials)
-            pst = probability_of_successful_trial(
-                counts, workload.correct_outcomes
-            )
-            points.append(TrialsPoint(name, trials, pst))
+    with Session(device, seed=rng, exact=True) as runner:
+        sampler = NoisySampler(NoiseModel.from_device(device), seed=rng)
+        points: List[TrialsPoint] = []
+        for name in workload_names:
+            workload = workload_by_name(name)
+            executable = runner.global_executable(workload)
+            for trials in trial_ladder:
+                counts = sampler.run(executable, trials)
+                pst = probability_of_successful_trial(
+                    counts, workload.correct_outcomes
+                )
+                points.append(TrialsPoint(name, trials, pst))
     return points
 
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.runtime.plan import ExecutionPlan
 
@@ -69,6 +69,13 @@ class CompilationCache:
         # Guards both stores: pipelines share a cache across the CPM
         # compilation thread fan-out (``compile_workers``).
         self._lock = threading.RLock()
+        # Per-(stage, key) in-flight locks for stage_get_or_compute: a
+        # concurrent miss storm on one key runs the compute once; peers
+        # block on the key lock and replay the stored value.  Entries are
+        # dropped once the compute settles, so the dict stays bounded by
+        # the number of keys currently being computed.
+        self._inflight: Dict[Tuple[str, str], threading.Lock] = {}
+        self._inflight_guard = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -151,6 +158,52 @@ class CompilationCache:
             if self.max_stage_entries is not None:
                 while len(self._stage_data) > self.max_stage_entries:
                     self._stage_data.popitem(last=False)
+
+    def stage_get_or_compute(
+        self, stage: str, key: str, compute: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """Look a stage artifact up, computing it at most once on a miss.
+
+        Returns ``(value, hit)``.  The fast path is a plain
+        :meth:`stage_get`.  On a miss, a per-``(stage, key)`` lock makes
+        concurrent callers run ``compute`` exactly once — the others block
+        and replay the stored value — so e.g. the CPM compilation thread
+        fan-out can never route one body twice (the route-once invariant
+        holds at any worker count).  A failing ``compute`` propagates and
+        releases the key, so a later caller retries cleanly.
+
+        On a disabled cache (``max_entries == 0`` or
+        ``max_stage_entries == 0``) nothing is ever stored, so every call
+        computes — concurrent callers of one key still serialize, keeping
+        "at most one in-flight compute per key" true even in the
+        cache-disabled benchmark emulation.
+
+        Counter discipline: each call counts exactly **one** lookup (the
+        fast-path :meth:`stage_get`); the double-check inside the key lock
+        is an uncounted peek.  ``hits + misses`` therefore equals the
+        number of lookups under any interleaving, and the number of
+        ``compute`` runs never exceeds the misses.
+        """
+        pair = (stage, key)
+        cached = self.stage_get(stage, key)
+        if cached is not None:
+            return cached, True
+        with self._inflight_guard:
+            lock = self._inflight.get(pair)
+            if lock is None:
+                lock = self._inflight[pair] = threading.Lock()
+        try:
+            with lock:
+                with self._lock:
+                    cached = self._stage_data.get(pair)
+                if cached is not None:
+                    return cached, True
+                value = compute()
+                self.stage_put(stage, key, value)
+                return value, False
+        finally:
+            with self._inflight_guard:
+                self._inflight.pop(pair, None)
 
     def stage_entries(self, stage: Optional[str] = None) -> int:
         """Number of stored artifacts, for one stage or all of them."""

@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.devices.device import Device
 
 __all__ = [
+    "content_hash",
     "circuit_fingerprint",
     "unitary_body_fingerprint",
     "body_fingerprint",
@@ -37,6 +38,16 @@ def _hash(parts) -> str:
         digest.update(part.encode("utf-8"))
         digest.update(b"\x00")
     return digest.hexdigest()
+
+
+def content_hash(parts: Sequence[str]) -> str:
+    """Hex SHA-256 over a part sequence — the shared key constructor.
+
+    Public for composite content keys built outside this module (e.g. the
+    service layer's job fingerprints), so every cache key in the system
+    hashes the same way.
+    """
+    return _hash(parts)
 
 
 def _instruction_token(instruction) -> str:

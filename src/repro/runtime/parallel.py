@@ -146,6 +146,7 @@ class ShardedBackend:
         self.groups_evaluated = 0
         self.statevector_evals = 0
         self.channel_evals = 0
+        self.spliced_parts = 0
 
     # ------------------------------------------------------------------
 
@@ -166,12 +167,16 @@ class ShardedBackend:
         requests: Sequence[ExecutionRequest],
         groups: Sequence[List[int]],
         streams: Sequence[object],
+        samplers: Sequence[NoisySampler],
     ) -> List[tuple]:
+        """One worker payload per group; the leader's sampler supplies the
+        noise model and chunk size (``samplers`` is aligned per request —
+        spliced batches carry one sampler per job)."""
         exact = self.inner.deterministic
-        sampler = self.inner.sampler
         payloads = []
         for group in groups:
             leader = requests[group[0]]
+            sampler = samplers[group[0]]
             trials = [requests[index].trials for index in group]
             if not exact:
                 for allocation in trials:
@@ -195,15 +200,81 @@ class ShardedBackend:
         requests = list(requests)
         if not requests:
             return []
-        self.batches += 1
-        self.requests_seen += len(requests)
-        self.statevector_evals += self.inner.share_statevectors(requests)
         # Seed streams are spawned per request index *before* dispatch —
         # the whole determinism story.  Exact mode returns Nones and
         # leaves the sampler's spawn counter untouched.
         streams = self.inner.request_streams(len(requests))
+        return self._execute_prepared(
+            requests, streams, [self.inner.sampler] * len(requests)
+        )
+
+    def execute_spliced(
+        self,
+        parts: Sequence[Tuple[_LocalBackend, Sequence[ExecutionRequest]]],
+    ) -> List[List[PMF]]:
+        """Execute several independently-seeded batches as **one** batch.
+
+        This is the cross-job submission path of the service layer
+        (:mod:`repro.service`): each part is one job's ``(inner local
+        backend, requests)`` pair.  Every part spawns its seed streams
+        from *its own* backend, exactly as a solo ``execute`` of just
+        that part would — so a part's draws are independent of which
+        other parts share the merged batch — while statevector sharing,
+        sharding, and (in exact mode) coalescing by executable
+        fingerprint all operate across the whole splice.  Returns one
+        PMF list per part, in part order.
+
+        Preconditions (the service enforces them by grouping jobs by
+        device fingerprint and mode): every part's backend must share
+        this backend's mode (exact vs sampling), and in sampling mode all
+        parts must share one noise model by content.  Exact-mode
+        coalescing across parts is bit-for-bit safe (evaluation is
+        content-pure and RNG-free); forcing ``coalesce=True`` on a
+        sampling backend merges seed streams across parts and therefore
+        breaks solo parity — leave it on the default for spliced use.
+        """
+        prepared: List[Tuple[_LocalBackend, List[ExecutionRequest]]] = []
+        for inner, requests in parts:
+            if not isinstance(inner, _LocalBackend):
+                raise SimulationError(
+                    "execute_spliced takes local-backend parts; got "
+                    f"{type(inner).__name__}"
+                )
+            if inner.deterministic != self.inner.deterministic:
+                raise SimulationError(
+                    "spliced parts must all share the backend mode "
+                    "(exact vs sampling)"
+                )
+            prepared.append((inner, list(requests)))
+        all_requests: List[ExecutionRequest] = []
+        all_streams: List[object] = []
+        all_samplers: List[NoisySampler] = []
+        bounds = []
+        for inner, requests in prepared:
+            start = len(all_requests)
+            all_streams.extend(inner.request_streams(len(requests)))
+            all_requests.extend(requests)
+            all_samplers.extend([inner.sampler] * len(requests))
+            bounds.append((start, len(all_requests)))
+        self.spliced_parts += len(prepared)
+        if not all_requests:
+            return [[] for _ in prepared]
+        results = self._execute_prepared(all_requests, all_streams, all_samplers)
+        return [results[start:stop] for start, stop in bounds]
+
+    def _execute_prepared(
+        self,
+        requests: List[ExecutionRequest],
+        streams: Sequence[object],
+        samplers: Sequence[NoisySampler],
+    ) -> List[PMF]:
+        """Shared tail of ``execute``/``execute_spliced``: group, fan out,
+        rebuild PMFs in batch order."""
+        self.batches += 1
+        self.requests_seen += len(requests)
+        self.statevector_evals += self.inner.share_statevectors(requests)
         groups = self._group_indices(requests)
-        payloads = self._payloads(requests, groups, streams)
+        payloads = self._payloads(requests, groups, streams, samplers)
         self.groups_evaluated += len(groups)
         self.channel_evals += len(groups)
 
@@ -270,6 +341,7 @@ class ShardedBackend:
             "coalesced_requests": self.requests_seen - self.groups_evaluated,
             "statevector_evals": self.statevector_evals,
             "channel_evals": self.channel_evals,
+            "spliced_parts": self.spliced_parts,
             "workers": self.workers,
             "executor": self.executor,
             "coalesce": self.coalesce,

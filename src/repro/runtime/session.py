@@ -30,8 +30,8 @@ identical outputs under the same seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -62,7 +62,7 @@ from repro.runtime.plan import ExecutionPlan
 from repro.utils.random import SeedLike, as_generator, spawn
 from repro.workloads.workload import Workload
 
-__all__ = ["Session", "Metrics", "SCHEME_NAMES"]
+__all__ = ["Session", "Metrics", "PreparedSchemeRun", "SCHEME_NAMES"]
 
 SCHEME_NAMES = (
     "baseline",
@@ -92,6 +92,32 @@ class Metrics:
             "fidelity": self.fidelity,
             "arg": self.arg,
         }
+
+
+@dataclass
+class PreparedSchemeRun:
+    """A scheme run split at the execution seam: requests + a finisher.
+
+    Produced by :meth:`Session.prepare_scheme`.  ``backend`` is the
+    engine whose seed streams the requests draw from — executing
+    ``requests`` on it and handing the PMFs (in request order) to
+    ``finish`` is *exactly* what ``Session.run_scheme`` does, so any
+    caller that executes the requests elsewhere with the same per-request
+    streams (the service layer's cross-job merged batches) reproduces the
+    solo result bit for bit.
+    """
+
+    scheme: str
+    workload: Workload
+    backend: Backend
+    requests: List[ExecutionRequest]
+    #: PMFs (request order) -> the scheme result: a :class:`PMF` for the
+    #: distribution schemes, a JigSaw(M)Result for the plan-based ones.
+    finish: Callable[[List[PMF]], object] = field(repr=False)
+
+    def output_pmf(self, result: object) -> PMF:
+        """Project a finished result onto its output distribution."""
+        return result.output_pmf if hasattr(result, "output_pmf") else result
 
 
 class Session:
@@ -195,9 +221,6 @@ class Session:
             self._global_executables[key] = executable
         return self._global_executables[key]
 
-    def _pmf(self, executable: ExecutableCircuit, trials: int) -> PMF:
-        return self.backend.execute([ExecutionRequest(executable, trials)])[0]
-
     def _jigsaw_config(self, recompile: bool) -> JigSawConfig:
         return JigSawConfig(
             recompile_cpms=recompile,
@@ -277,54 +300,125 @@ class Session:
             global_executable=global_executable,
         )
 
+    def runner_for(self, plan: ExecutionPlan) -> JigSaw:
+        """The scheme runner that executes ``plan`` in this session.
+
+        Public so callers that split execution from reconstruction (the
+        service layer's cross-job merged batches) reach the exact runner
+        — and therefore the exact seed streams — that :meth:`run` uses.
+        """
+        if plan.scheme == "jigsaw_m":
+            return self._jigsawm_runner()
+        recompile = bool(getattr(plan.config, "recompile_cpms", True))
+        return self._jigsaw_runner(recompile=recompile)
+
     def run(self, plan: ExecutionPlan) -> Union[JigSawResult, JigSawMResult]:
         """Batch-execute a plan on this session's backend and reconstruct."""
-        if plan.scheme == "jigsaw_m":
-            return self._jigsawm_runner().execute(plan)
-        recompile = bool(getattr(plan.config, "recompile_cpms", True))
-        return self._jigsaw_runner(recompile=recompile).execute(plan)
+        return self.runner_for(plan).execute(plan)
 
     # ------------------------------------------------------------------
     # Schemes
     # ------------------------------------------------------------------
 
-    def run_baseline(self, workload: Workload) -> PMF:
-        """All trials on the noise-aware mapping, all qubits measured."""
-        return self._pmf(self.global_executable(workload), self.total_trials)
+    def prepare_scheme(
+        self, scheme: str, workload: Workload
+    ) -> PreparedSchemeRun:
+        """Compile a scheme run down to its execution seam.
 
-    def run_edm(self, workload: Workload) -> PMF:
-        """Ensemble of Diverse Mappings: merge histograms of 4 mappings."""
-        executables = ensemble_of_diverse_mappings(
-            workload.circuit,
-            self.device,
-            ensemble_size=self.ensemble_size,
-            attempts=self.compile_attempts,
-            seed=self._edm_seed,
-            pipeline=self.compile_pipeline,
-        )
-        per_mapping = self.total_trials // len(executables)
-        allocations = [per_mapping] * len(executables)
-        # Fold the integer-division remainder into the first mapping so
-        # the whole budget is spent.
-        allocations[0] += self.total_trials - per_mapping * len(executables)
-        pmfs = self.backend.execute(
-            [
-                ExecutionRequest(executable, trials, tag=f"edm[{index}]")
-                for index, (executable, trials) in enumerate(
-                    zip(executables, allocations)
+        Everything *before* the backend call happens here (baseline/EDM
+        compilation, JigSaw planning through the cache); everything
+        *after* it is captured in the returned ``finish`` callback.  The
+        ``run_*`` methods execute the requests on the prepared backend
+        and finish — the service layer instead splices many prepared
+        runs into one merged batch (spawning each one's seed streams from
+        its own backend), which is why the two paths cannot drift.
+        """
+        if scheme == "baseline":
+            executable = self.global_executable(workload)
+            return PreparedSchemeRun(
+                scheme=scheme,
+                workload=workload,
+                backend=self.backend,
+                requests=[ExecutionRequest(executable, self.total_trials)],
+                finish=lambda pmfs: pmfs[0],
+            )
+        if scheme == "mbm":
+            if workload.num_outcome_bits > MAX_MBM_QUBITS:
+                raise ExperimentError(
+                    f"MBM limited to {MAX_MBM_QUBITS}-bit outputs"
                 )
-            ]
-        )
-        # Merging histograms (§5.3) means pooling *counts*, so each
-        # mapping's normalized PMF is weighted by its trial allocation —
-        # the first mapping carries the folded remainder and weighs
-        # proportionally more, not equal to its starved peers.  The merge
-        # is one group-sum over the pooled code supports; PMF.from_codes
-        # collapses the duplicate codes.
+            executable = self.global_executable(workload)
+            return PreparedSchemeRun(
+                scheme=scheme,
+                workload=workload,
+                backend=self.backend,
+                requests=[ExecutionRequest(executable, self.total_trials)],
+                finish=lambda pmfs: mitigate_executable_pmf(
+                    pmfs[0], executable, self.noise_model
+                ),
+            )
+        if scheme == "edm":
+            executables = ensemble_of_diverse_mappings(
+                workload.circuit,
+                self.device,
+                ensemble_size=self.ensemble_size,
+                attempts=self.compile_attempts,
+                seed=self._edm_seed,
+                pipeline=self.compile_pipeline,
+            )
+            per_mapping = self.total_trials // len(executables)
+            allocations = [per_mapping] * len(executables)
+            # Fold the integer-division remainder into the first mapping
+            # so the whole budget is spent.
+            allocations[0] += self.total_trials - per_mapping * len(executables)
+            return PreparedSchemeRun(
+                scheme=scheme,
+                workload=workload,
+                backend=self.backend,
+                requests=[
+                    ExecutionRequest(executable, trials, tag=f"edm[{index}]")
+                    for index, (executable, trials) in enumerate(
+                        zip(executables, allocations)
+                    )
+                ],
+                finish=lambda pmfs: self._pool_edm(pmfs, allocations),
+            )
+        if scheme in {"jigsaw", "jigsaw_nr", "jigsaw_m", "jigsaw_mbm"}:
+            plan = self.plan(
+                workload, scheme="jigsaw" if scheme == "jigsaw_mbm" else scheme
+            )
+            runner = self.runner_for(plan)
+            if scheme == "jigsaw_mbm":
+                finish = lambda pmfs: jigsaw_with_mbm(  # noqa: E731
+                    runner.reconstruct(plan, pmfs), self.noise_model
+                )
+            else:
+                finish = lambda pmfs: runner.reconstruct(plan, pmfs)  # noqa: E731
+            return PreparedSchemeRun(
+                scheme=scheme,
+                workload=workload,
+                backend=runner.execution_backend(),
+                requests=plan.requests(),
+                finish=finish,
+            )
+        raise ExperimentError(f"unknown scheme {scheme!r}; known: {SCHEME_NAMES}")
+
+    @staticmethod
+    def _pool_edm(pmfs: Sequence[PMF], allocations: Sequence[int]) -> PMF:
+        """Merge EDM mapping histograms, weighted by trial allocation.
+
+        Merging histograms (§5.3) means pooling *counts*, so each
+        mapping's normalized PMF is weighted by its trial allocation —
+        the first mapping carries the folded remainder and weighs
+        proportionally more, not equal to its starved peers.  The merge
+        is one group-sum over the pooled code supports; PMF.from_codes
+        collapses the duplicate codes.
+        """
+        total = sum(allocations)
         pooled_codes = np.concatenate([pmf.codes for pmf in pmfs])
         pooled_mass = np.concatenate(
             [
-                pmf.probs * (trials / self.total_trials)
+                pmf.probs * (trials / total)
                 for pmf, trials in zip(pmfs, allocations)
             ]
         )
@@ -332,61 +426,41 @@ class Session:
             pooled_codes, pooled_mass, pmfs[0].num_bits, normalize=True
         )
 
+    def _run_prepared(self, prepared: PreparedSchemeRun) -> object:
+        """Execute a prepared run on its own backend and finish it."""
+        return prepared.finish(prepared.backend.execute(prepared.requests))
+
+    def run_baseline(self, workload: Workload) -> PMF:
+        """All trials on the noise-aware mapping, all qubits measured."""
+        return self._run_prepared(self.prepare_scheme("baseline", workload))
+
+    def run_edm(self, workload: Workload) -> PMF:
+        """Ensemble of Diverse Mappings: merge histograms of 4 mappings."""
+        return self._run_prepared(self.prepare_scheme("edm", workload))
+
     def run_jigsaw(
         self, workload: Workload, recompile: bool = True
     ) -> JigSawResult:
         """JigSaw with (default) or without CPM recompilation."""
-        runner = self._jigsaw_runner(recompile)
-        plan = runner.plan(
-            workload.circuit,
-            total_trials=self.total_trials,
-            global_executable=self.global_executable(workload),
-        )
-        return runner.execute(plan)
+        scheme = "jigsaw" if recompile else "jigsaw_nr"
+        return self._run_prepared(self.prepare_scheme(scheme, workload))
 
     def run_jigsaw_m(self, workload: Workload) -> JigSawMResult:
         """Multi-layer JigSaw (subset sizes 2..5)."""
-        runner = self._jigsawm_runner()
-        plan = runner.plan(
-            workload.circuit,
-            total_trials=self.total_trials,
-            global_executable=self.global_executable(workload),
-        )
-        return runner.execute(plan)
+        return self._run_prepared(self.prepare_scheme("jigsaw_m", workload))
 
     def run_mbm(self, workload: Workload) -> PMF:
         """IBM matrix-based mitigation applied to the baseline output."""
-        if workload.num_outcome_bits > MAX_MBM_QUBITS:
-            raise ExperimentError(
-                f"MBM limited to {MAX_MBM_QUBITS}-bit outputs"
-            )
-        baseline_pmf = self.run_baseline(workload)
-        return mitigate_executable_pmf(
-            baseline_pmf, self.global_executable(workload), self.noise_model
-        )
+        return self._run_prepared(self.prepare_scheme("mbm", workload))
 
     def run_jigsaw_mbm(self, workload: Workload) -> PMF:
         """JigSaw + MBM composition (Fig. 14)."""
-        result = self.run_jigsaw(workload)
-        return jigsaw_with_mbm(result, self.noise_model)
+        return self._run_prepared(self.prepare_scheme("jigsaw_mbm", workload))
 
     def run_scheme(self, scheme: str, workload: Workload) -> PMF:
         """Dispatch by scheme name; returns the final output PMF."""
-        if scheme == "baseline":
-            return self.run_baseline(workload)
-        if scheme == "edm":
-            return self.run_edm(workload)
-        if scheme == "jigsaw":
-            return self.run_jigsaw(workload).output_pmf
-        if scheme == "jigsaw_nr":
-            return self.run_jigsaw(workload, recompile=False).output_pmf
-        if scheme == "jigsaw_m":
-            return self.run_jigsaw_m(workload).output_pmf
-        if scheme == "mbm":
-            return self.run_mbm(workload)
-        if scheme == "jigsaw_mbm":
-            return self.run_jigsaw_mbm(workload)
-        raise ExperimentError(f"unknown scheme {scheme!r}; known: {SCHEME_NAMES}")
+        prepared = self.prepare_scheme(scheme, workload)
+        return prepared.output_pmf(self._run_prepared(prepared))
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -417,6 +491,40 @@ class Session:
             self.backend.close()
         for runner in self._runners.values():
             runner.close()
+
+    def __enter__(self) -> "Session":
+        """Sessions are context managers: ``with Session(...) as s: ...``.
+
+        ``__exit__`` delegates to :meth:`close`, so `ShardedBackend`
+        worker pools can never leak on error paths; the session itself
+        stays usable afterwards (pools re-materialise lazily).
+        """
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def execution_stats(self) -> dict:
+        """Cumulative backend work counters across this session's engines.
+
+        Merges the session backend's counters (baseline/EDM/MBM
+        executions) with every scheme runner's resolved backend —
+        ``channel_evals`` is the number the paper's cost model (and the
+        service-throughput benchmark) cares about: one noisy-channel
+        evaluation per executed circuit.
+        """
+        totals: Dict[str, int] = {}
+        backends = [self.backend] + [
+            runner._resolved_backend
+            for runner in self._runners.values()
+            if runner._resolved_backend is not None
+        ]
+        for backend in backends:
+            stats = backend.stats() if hasattr(backend, "stats") else {}
+            for name in ("statevector_evals", "channel_evals", "requests"):
+                if name in stats:
+                    totals[name] = totals.get(name, 0) + int(stats[name])
+        return totals
 
     def cache_stats(self) -> dict:
         """Plan- and stage-cache counters (see :class:`CompilationCache`)."""

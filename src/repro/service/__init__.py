@@ -1,0 +1,39 @@
+"""The multi-tenant job service: batching, coalescing, memoization.
+
+This package is the serving layer over the runtime API:
+
+``job``      :class:`JobSpec`/:class:`Job` — serializable,
+             content-fingerprinted requests;
+``queue``    :class:`FairShareQueue` — bounded priority admission with
+             per-tenant fair share and backpressure;
+``store``    :class:`ResultStore` — fingerprint-keyed memoization,
+             in-memory LRU + on-disk JSONL;
+``service``  :class:`MitigationService` — the worker loop that drains
+             jobs, groups them by device, compiles through the shared
+             stage cache, coalesces content-identical executables across
+             jobs, executes one merged batch, and fans results back.
+
+See the "Service layer" section of ``docs/ARCHITECTURE.md``.
+"""
+
+from repro.service.job import (
+    SERVICE_SCHEMES,
+    Job,
+    JobSpec,
+    JobStatus,
+    job_fingerprint,
+)
+from repro.service.queue import FairShareQueue
+from repro.service.service import MitigationService
+from repro.service.store import ResultStore
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "JobStatus",
+    "SERVICE_SCHEMES",
+    "job_fingerprint",
+    "FairShareQueue",
+    "MitigationService",
+    "ResultStore",
+]

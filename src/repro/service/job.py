@@ -1,0 +1,264 @@
+"""Jobs: the unit of work the mitigation service schedules.
+
+A :class:`JobSpec` is a *serializable request* — tenant, program, device,
+scheme, budget, seed — with no live objects, so specs can travel through
+JSON job files, queues, and wire protocols.  The service resolves a spec
+against its device/workload registries into a :class:`Job`, whose
+**content fingerprint** (:func:`job_fingerprint`) keys the result store:
+two specs with equal fingerprints are guaranteed to produce bit-for-bit
+equal results (every input that can influence the output participates in
+the hash), which is what makes memoization and cross-job deduplication
+safe.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qasm import from_qasm
+from repro.exceptions import ServiceError
+from repro.runtime.fingerprint import circuit_fingerprint, content_hash
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "JobSpec",
+    "JobStatus",
+    "Job",
+    "job_fingerprint",
+    "resolve_spec_circuit",
+    "spec_circuit",
+    "SERVICE_SCHEMES",
+]
+
+#: Schemes the service can run (every scheme a `Session` compares).
+SERVICE_SCHEMES = (
+    "baseline",
+    "edm",
+    "jigsaw",
+    "jigsaw_nr",
+    "jigsaw_m",
+    "mbm",
+    "jigsaw_mbm",
+)
+
+
+class JobStatus(str, enum.Enum):
+    """Lifecycle of a job inside the service.
+
+    ``QUEUED -> RUNNING -> DONE | FAILED``; a submission the admission
+    control refuses never enters the queue (the submit call raises
+    :class:`~repro.exceptions.AdmissionError` instead), and a job whose
+    fingerprint is already in the result store jumps straight to ``DONE``
+    with ``source == "memoized"``.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One mitigation request, as data.
+
+    Attributes:
+        tenant: fair-share accounting identity (free-form string).
+        workload: suite name (``"GHZ-8"``, or anything registered via
+            :func:`repro.workloads.register_workload`).  Exactly one of
+            ``workload`` / ``qasm`` must be set.
+        qasm: inline OpenQASM 2.0 text for ad-hoc programs.
+        device: device short name (see
+            :data:`repro.devices.DEVICE_FACTORIES`).
+        scheme: one of :data:`SERVICE_SCHEMES`.
+        total_trials: trial budget of the run.
+        seed: the job's root seed — results are bit-for-bit those of
+            ``Session(device, seed=seed, ...)`` run solo.
+        exact: closed-form noisy distributions vs sampled trials.
+        priority: queue priority (higher drains first among pending).
+    """
+
+    tenant: str
+    workload: Optional[str] = None
+    qasm: Optional[str] = None
+    device: str = "toronto"
+    scheme: str = "jigsaw"
+    total_trials: int = 32_768
+    seed: int = 0
+    exact: bool = True
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ServiceError("a job needs a tenant")
+        if (self.workload is None) == (self.qasm is None):
+            raise ServiceError(
+                "a job needs exactly one of 'workload' (a suite name) or "
+                "'qasm' (inline OpenQASM text)"
+            )
+        if self.scheme not in SERVICE_SCHEMES:
+            raise ServiceError(
+                f"unknown scheme {self.scheme!r}; known: {SERVICE_SCHEMES}"
+            )
+        if self.total_trials <= 0:
+            raise ServiceError("total_trials must be positive")
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready spec (the `repro serve --jobs` file entry format)."""
+        payload: Dict[str, Any] = {
+            "tenant": self.tenant,
+            "device": self.device,
+            "scheme": self.scheme,
+            "total_trials": self.total_trials,
+            "seed": self.seed,
+            "exact": self.exact,
+            "priority": self.priority,
+        }
+        if self.workload is not None:
+            payload["workload"] = self.workload
+        if self.qasm is not None:
+            payload["qasm"] = self.qasm
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobSpec":
+        """Build a spec from a JSON job entry (unknown keys rejected)."""
+        known = {
+            "tenant", "workload", "qasm", "device", "scheme",
+            "total_trials", "seed", "exact", "priority",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ServiceError(
+                f"unknown job-spec fields: {sorted(unknown)}; known: "
+                f"{sorted(known)}"
+            )
+        return cls(**dict(payload))
+
+    def with_tenant(self, tenant: str) -> "JobSpec":
+        return replace(self, tenant=tenant)
+
+
+def job_fingerprint(spec: JobSpec, circuit: QuantumCircuit, device_key: str,
+                    config_salt: str) -> str:
+    """Content key of a job: everything that can influence its result.
+
+    * the resolved **circuit content** (not the workload name — renaming
+      a registered import must not defeat memoization, same rule as the
+      compilation cache);
+    * the **device fingerprint** (name + topology + calibration, so a
+      recalibrated device never serves stale results);
+    * scheme, budget, seed, and mode;
+    * the service's compiler-knob salt (``config_salt``), because
+      attempts/subset knobs change compiled artifacts.
+
+    Tenant and priority are deliberately excluded: they affect *when* a
+    job runs, never *what* it computes.
+    """
+    return content_hash(
+        (
+            "job",
+            spec.scheme,
+            circuit_fingerprint(circuit),
+            device_key,
+            f"trials={spec.total_trials}",
+            f"seed={spec.seed}",
+            f"exact={spec.exact}",
+            config_salt,
+        )
+    )
+
+
+_job_ids = itertools.count(1)
+_job_ids_lock = threading.Lock()
+
+
+def _next_job_id() -> str:
+    with _job_ids_lock:
+        return f"job-{next(_job_ids)}"
+
+
+@dataclass
+class Job:
+    """A spec admitted into the service, with its lifecycle state.
+
+    ``result`` is the JSON-ready payload of the finished run (the scheme
+    result's ``to_dict()``, stamped with ``payload_version``); ``source``
+    records how it was produced: ``"executed"`` (ran on the backend) or
+    ``"memoized"`` (served from the result store).
+    """
+
+    spec: JobSpec
+    workload: Optional[Workload] = field(default=None, repr=False)
+    fingerprint: str = ""
+    job_id: str = field(default_factory=_next_job_id)
+    status: JobStatus = JobStatus.QUEUED
+    result: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    error: Optional[str] = None
+    source: Optional[str] = None
+    #: Admission sequence number (FIFO tie-break within a priority).
+    sequence: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.status in (JobStatus.DONE, JobStatus.FAILED)
+
+    def describe(self) -> Dict[str, Any]:
+        """One JSON-ready status row (no result payload)."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.spec.tenant,
+            "workload": self.spec.workload or "<qasm>",
+            "device": self.spec.device,
+            "scheme": self.spec.scheme,
+            "status": self.status.value,
+            "source": self.source,
+            "error": self.error,
+        }
+
+
+def spec_circuit(spec: JobSpec) -> QuantumCircuit:
+    """Just the circuit a spec names — cheap, no ideal-state simulation.
+
+    This is all :func:`job_fingerprint` needs, so the submit path (and
+    in particular a memoized resubmission) never pays the statevector
+    simulation that :func:`resolve_spec_circuit`'s default
+    correct-outcome computation performs for inline-QASM specs.
+    """
+    if spec.workload is not None:
+        from repro.workloads.suite import workload_by_name
+
+        return workload_by_name(spec.workload).circuit
+    circuit = from_qasm(spec.qasm)
+    if not circuit.num_measurements:
+        circuit.measure_all()
+    return circuit
+
+
+def resolve_spec_circuit(spec: JobSpec) -> Workload:
+    """The full workload a spec names (suite lookup or inline-QASM import).
+
+    For inline QASM this computes the default correct-outcome set (the
+    modal ideal outcomes) — an ideal-state simulation — so callers that
+    only need content identity should use :func:`spec_circuit` instead.
+    """
+    if spec.workload is not None:
+        from repro.workloads.suite import workload_by_name
+
+        return workload_by_name(spec.workload)
+    from repro.workloads.suite import modal_outcomes
+
+    circuit = spec_circuit(spec)
+    return Workload(
+        name=f"qasm-{circuit_fingerprint(circuit)[:12]}",
+        circuit=circuit,
+        correct_outcomes=modal_outcomes(circuit),
+        metadata={"source": "inline-qasm"},
+    )

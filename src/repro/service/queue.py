@@ -1,0 +1,138 @@
+"""Bounded priority queue with per-tenant fair-share admission.
+
+Admission control happens at ``push`` time, where backpressure belongs in
+a serving system: a full queue or a tenant over its fair share is
+rejected *immediately* (with :class:`~repro.exceptions.AdmissionError`),
+not accepted and starved.  Two rules:
+
+* **Backpressure** — at most ``capacity`` jobs pending, globally.
+* **Fair share** — one tenant may hold at most
+  ``max(1, ceil(capacity * fair_share))`` of the pending slots, so a
+  burst from one tenant can never occupy the whole queue: the remaining
+  slots stay available to everyone else.
+
+Drain order is priority-descending, FIFO within a priority.  Note that
+drain order affects *latency only*: job results are a pure function of
+each job's own seed stream (see :mod:`repro.service.service`), so
+reordering the queue can never change what any job computes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+from typing import Dict, List, Optional
+
+from repro.exceptions import AdmissionError, ServiceError
+from repro.service.job import Job
+
+__all__ = ["FairShareQueue"]
+
+
+class FairShareQueue:
+    """A thread-safe bounded priority queue of :class:`Job`s.
+
+    Args:
+        capacity: maximum pending jobs (admission rejects beyond it).
+        fair_share: fraction of ``capacity`` one tenant may occupy,
+            in ``(0, 1]``; the per-tenant cap is
+            ``max(1, ceil(capacity * fair_share))``.
+    """
+
+    def __init__(self, capacity: int = 256, fair_share: float = 0.5) -> None:
+        if capacity < 1:
+            raise ServiceError("queue capacity must be >= 1")
+        if not 0.0 < fair_share <= 1.0:
+            raise ServiceError("fair_share must be in (0, 1]")
+        self.capacity = capacity
+        self.fair_share = fair_share
+        self.tenant_cap = max(1, math.ceil(capacity * fair_share))
+        self._heap: List[tuple] = []
+        self._pending_by_tenant: Dict[str, int] = {}
+        self._sequence = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        #: Cumulative admission counters (see :meth:`stats`).
+        self.admitted = 0
+        self.rejected_full = 0
+        self.rejected_fair_share = 0
+
+    # ------------------------------------------------------------------
+
+    def push(self, job: Job) -> Job:
+        """Admit ``job`` or raise :class:`AdmissionError` (counted)."""
+        tenant = job.spec.tenant
+        with self._lock:
+            if len(self._heap) >= self.capacity:
+                self.rejected_full += 1
+                raise AdmissionError(
+                    f"queue full ({self.capacity} pending); retry later"
+                )
+            held = self._pending_by_tenant.get(tenant, 0)
+            if held >= self.tenant_cap:
+                self.rejected_fair_share += 1
+                raise AdmissionError(
+                    f"tenant {tenant!r} holds {held} of its "
+                    f"{self.tenant_cap} fair-share slots; retry later"
+                )
+            self._sequence += 1
+            job.sequence = self._sequence
+            heapq.heappush(
+                self._heap, (-job.spec.priority, job.sequence, job)
+            )
+            self._pending_by_tenant[tenant] = held + 1
+            self.admitted += 1
+            self._not_empty.notify()
+            return job
+
+    def pop_batch(
+        self, max_jobs: int, timeout: Optional[float] = None
+    ) -> List[Job]:
+        """Up to ``max_jobs`` jobs in drain order; blocks until at least
+        one is available (or the timeout lapses — then an empty list)."""
+        if max_jobs < 1:
+            raise ServiceError("max_jobs must be >= 1")
+        with self._not_empty:
+            if not self._heap and timeout != 0:
+                self._not_empty.wait(timeout)
+            batch: List[Job] = []
+            while self._heap and len(batch) < max_jobs:
+                _, _, job = heapq.heappop(self._heap)
+                tenant = job.spec.tenant
+                remaining = self._pending_by_tenant.get(tenant, 1) - 1
+                if remaining > 0:
+                    self._pending_by_tenant[tenant] = remaining
+                else:
+                    self._pending_by_tenant.pop(tenant, None)
+                batch.append(job)
+            return batch
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def pending_by_tenant(self) -> Dict[str, int]:
+        """Pending-slot usage per tenant (a snapshot)."""
+        with self._lock:
+            return dict(self._pending_by_tenant)
+
+    def stats(self) -> dict:
+        """Admission/backpressure counters (JSON-ready)."""
+        with self._lock:
+            return {
+                "pending": len(self._heap),
+                "capacity": self.capacity,
+                "tenant_cap": self.tenant_cap,
+                "admitted": self.admitted,
+                "rejected_full": self.rejected_full,
+                "rejected_fair_share": self.rejected_fair_share,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FairShareQueue(pending={len(self)}, capacity={self.capacity}, "
+            f"tenant_cap={self.tenant_cap})"
+        )

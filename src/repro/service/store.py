@@ -1,0 +1,177 @@
+"""The result store: fingerprint-keyed memoization of finished jobs.
+
+Results are keyed by :func:`~repro.service.job.job_fingerprint` — a
+content hash over everything that can influence the output — so a stored
+payload can be served for *any* later job with the same fingerprint, from
+any tenant, with bit-for-bit fidelity (determinism is the contract that
+makes this cache correct, not merely fast).
+
+Two tiers:
+
+* **memory** — a bounded LRU of payload dicts (eviction only drops the
+  fast path; a disk-backed entry is reloadable).
+* **disk** — an append-only JSONL journal (one
+  ``{"fingerprint", "payload_version", "payload"}`` record per line,
+  distributions in PR 3's ``{codes, probs, num_bits}`` array form via
+  ``PMF.to_payload``).  Append-only keeps writes atomic-enough under one
+  writer: a torn final line (crash mid-append) is detected and ignored at
+  load, everything before it survives.  Records are versioned
+  (:mod:`repro.core.payload`); a journal written by a newer library
+  refuses to load instead of misreading.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.payload import PAYLOAD_VERSION, check_payload_version
+from repro.exceptions import PayloadError, ServiceError
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """In-memory LRU + optional on-disk JSONL store of result payloads.
+
+    Args:
+        max_entries: memory-tier bound; ``None`` means unbounded.
+        path: JSONL journal path.  When set, every ``put`` appends a
+            record and construction replays the journal (later records
+            win, so re-putting a fingerprint is an update).
+    """
+
+    def __init__(
+        self, max_entries: Optional[int] = 1024, path: Optional[str] = None
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ServiceError("max_entries must be >= 1 or None")
+        self.max_entries = max_entries
+        self.path = path
+        self._data: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.loaded = 0
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    # ------------------------------------------------------------------
+
+    def _load(self, path: str) -> None:
+        """Replay the JSONL journal into the memory tier (later wins)."""
+        with open(path) as handle:
+            lines = handle.readlines()
+        for line_number, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                # A torn *final* line is a crash artifact of an
+                # interrupted append; mid-file corruption is a real error.
+                if line_number == len(lines):
+                    break
+                raise PayloadError(
+                    f"{path}:{line_number}: corrupt store record: {exc}"
+                ) from exc
+            check_payload_version(record, what=f"{path}:{line_number}")
+            fingerprint = record.get("fingerprint")
+            payload = record.get("payload")
+            if not isinstance(fingerprint, str) or not isinstance(
+                payload, dict
+            ):
+                raise PayloadError(
+                    f"{path}:{line_number}: store record needs "
+                    "'fingerprint' and 'payload'"
+                )
+            self._remember(fingerprint, payload)
+            self.loaded += 1
+
+    def _remember(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        self._data[fingerprint] = payload
+        self._data.move_to_end(fingerprint)
+        if self.max_entries is not None:
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``fingerprint``, or ``None`` (counted).
+
+        Returns a deep copy: a caller mutating its result must never be
+        able to corrupt the canonical entry that later jobs with the same
+        fingerprint are served from (the bit-for-bit memoization
+        contract).
+        """
+        with self._lock:
+            payload = self._data.get(fingerprint)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(fingerprint)
+            self.hits += 1
+            return json.loads(json.dumps(payload))
+
+    def put(self, fingerprint: str, payload: Mapping[str, Any]) -> None:
+        """Store ``payload`` under ``fingerprint`` (and journal it).
+
+        The payload is canonicalised through a JSON round-trip before it
+        is remembered, so the memory tier holds exactly what a journal
+        reload would — anything JSON cannot represent faithfully (int
+        dict keys, tuples) is caught at put time, not on the first
+        process restart — and the stored entry shares no structure with
+        the caller's dict.
+        """
+        record = dict(payload)
+        record.setdefault("payload_version", PAYLOAD_VERSION)
+        check_payload_version(record, what="result payload")
+        line = json.dumps(record, sort_keys=True)
+        canonical = json.loads(line)
+        with self._lock:
+            self._remember(fingerprint, canonical)
+            if self.path is not None:
+                journal_line = json.dumps(
+                    {
+                        "fingerprint": fingerprint,
+                        "payload_version": canonical["payload_version"],
+                        "payload": canonical,
+                    },
+                    sort_keys=True,
+                )
+                with open(self.path, "a") as handle:
+                    handle.write(journal_line + "\n")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._data
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters (JSON-ready)."""
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "loaded": self.loaded,
+                "path": self.path,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultStore(entries={len(self)}, hits={self.hits}, "
+            f"misses={self.misses}, path={self.path!r})"
+        )

@@ -10,7 +10,10 @@ from repro.workloads.qaoa import (
 from repro.workloads.standard import bv, ghz, graycode, ising
 from repro.workloads.suite import (
     PAPER_SUITE_NAMES,
+    from_qasm_file,
     paper_suite,
+    register_workload,
+    registered_workloads,
     small_suite,
     workload_by_name,
 )
@@ -32,4 +35,7 @@ __all__ = [
     "small_suite",
     "workload_by_name",
     "PAPER_SUITE_NAMES",
+    "from_qasm_file",
+    "register_workload",
+    "registered_workloads",
 ]

@@ -84,3 +84,99 @@ class TestMain:
         captured = capsys.readouterr()
         assert code == 1
         assert "error:" in captured.err
+
+
+class TestServe:
+    def _jobs_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "jobs.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"tenant": "alice", "workload": "GHZ-4",
+                     "total_trials": 1024, "seed": 0},
+                    {"tenant": "bob", "workload": "GHZ-4",
+                     "total_trials": 2048, "seed": 0},
+                    {"tenant": "bob", "workload": "BV-4",
+                     "scheme": "baseline", "total_trials": 1024},
+                    {"tenant": "alice", "workload": "GHZ-4",
+                     "total_trials": 1024, "seed": 0},
+                ]
+            )
+        )
+        return path
+
+    def test_serve_smoke(self, tmp_path, capsys):
+        code = main(["serve", "--jobs", str(self._jobs_file(tmp_path))])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Service run over" in out
+        assert "executed" in out and "memoized" in out
+        assert "channel evals" in out
+
+    def test_serve_memoizes_across_invocations(self, tmp_path, capsys):
+        jobs = str(self._jobs_file(tmp_path))
+        store = str(tmp_path / "store.jsonl")
+        assert main(["serve", "--jobs", jobs, "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert "3 executed" in first
+        assert main(["serve", "--jobs", jobs, "--store", store]) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 4 memoized" in second
+
+    def test_serve_reports_rejections(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "jobs.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"tenant": "greedy", "workload": "GHZ-4",
+                     "total_trials": 1024, "seed": s}
+                    for s in range(4)
+                ]
+            )
+        )
+        code = main(
+            ["serve", "--jobs", str(path), "--capacity", "2",
+             "--fair-share", "1.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 rejected" in out and "queue full" in out
+
+    def test_serve_rejects_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text("[]")
+        assert main(["serve", "--jobs", str(path)]) == 1
+        assert "non-empty" in capsys.readouterr().err
+
+    def test_serve_subprocess_hard_timeout(self, tmp_path):
+        """The end-to-end smoke the CI workflow mirrors: drive the real
+        process (submit -> drain/poll -> fetch) under a hard timeout."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(
+            json.dumps(
+                [{"tenant": "ci", "workload": "GHZ-4", "total_trials": 1024}]
+            )
+        )
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--jobs", str(jobs)],
+            capture_output=True,
+            text=True,
+            timeout=120,  # the hard timeout: a hung service fails loudly
+            env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "done" in completed.stdout

@@ -79,3 +79,147 @@ class TestImport:
         text = "OPENQASM 2.0;\nqreg q[1]; // register\nx q[0]; // flip\n"
         qc = from_qasm(text)
         assert qc.count_ops()["x"] == 1
+
+
+class TestQasmBenchStyle:
+    """QASMBench-style files (Li et al., ACM TQC 2022): comments,
+    includes, blank lines, broadcasts, arbitrary register names."""
+
+    def test_block_comments_and_blank_lines(self):
+        text = """
+        /* QASMBench header
+           spanning lines */
+        OPENQASM 2.0;
+        include "qelib1.inc";
+
+        qreg q[2];  // two qubits
+        creg c[2];
+
+        h q[0]; /* inline */ cx q[0],q[1];
+        measure q[0] -> c[0];
+        measure q[1] -> c[1];
+        """
+        circuit = from_qasm(text)
+        assert circuit.num_qubits == 2
+        assert len(circuit.measurements) == 2
+
+    def test_bare_register_barrier(self):
+        circuit = from_qasm(
+            "OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\nh q[0];\nbarrier q;\n"
+            "measure q[0] -> c[0];\n"
+        )
+        barrier = [i for i in circuit.instructions if i.kind == "barrier"]
+        assert len(barrier) == 1 and barrier[0].qubits == (0, 1, 2)
+
+    def test_register_broadcast_measure(self):
+        circuit = from_qasm(
+            "OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\nh q[0];\n"
+            "measure q -> c;\n"
+        )
+        assert circuit.measurement_map == {0: 0, 1: 1, 2: 2}
+
+    def test_single_arg_gate_broadcast(self):
+        circuit = from_qasm(
+            "OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\nh q;\nmeasure q -> c;\n"
+        )
+        gates = [i for i in circuit.instructions if i.is_gate]
+        assert [g.qubits for g in gates] == [(0,), (1,), (2,)]
+
+    def test_arbitrary_register_names_concatenate(self):
+        circuit = from_qasm(
+            "OPENQASM 2.0;\nqreg data[2];\nqreg anc[1];\ncreg out[3];\n"
+            "h data[0];\ncx data[0],anc[0];\n"
+            "measure data[0] -> out[0];\nmeasure anc[0] -> out[2];\n"
+        )
+        assert circuit.num_qubits == 3
+        # anc[0] is the third flat qubit (after data's two).
+        cx = [i for i in circuit.instructions if i.is_gate][1]
+        assert cx.qubits == (0, 2)
+        assert circuit.measurement_map == {0: 0, 2: 2}
+
+    def test_statement_split_across_lines(self):
+        circuit = from_qasm(
+            "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\n"
+            "cx\n  q[0],\n  q[1];\nmeasure q -> c;\n"
+        )
+        assert [i for i in circuit.instructions if i.is_gate][0].qubits == (0, 1)
+
+    def test_gate_definitions_rejected_clearly(self):
+        with pytest.raises(CircuitError, match="gate definitions"):
+            from_qasm(
+                "OPENQASM 2.0;\nqreg q[1];\n"
+                "gate mygate a { h a; }\nmygate q[0];\n"
+            )
+
+    def test_classical_control_rejected_clearly(self):
+        with pytest.raises(CircuitError, match="classically-controlled"):
+            from_qasm(
+                "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\n"
+                "measure q[0] -> c[0];\nif (c == 1) x q[0];\n"
+            )
+
+    def test_duplicate_register_rejected(self):
+        with pytest.raises(CircuitError, match="duplicate"):
+            from_qasm("OPENQASM 2.0;\nqreg q[2];\nqreg q[3];\n")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(CircuitError, match="out of range"):
+            from_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[5];\n")
+
+
+class TestFromQasmFile:
+    def test_import_registers_in_suite(self, tmp_path):
+        from repro.workloads import from_qasm_file, workload_by_name
+        from repro.workloads.suite import _REGISTERED
+
+        path = tmp_path / "ghz3_ext.qasm"
+        path.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[3];\ncreg c[3];\n"
+            "h q[0];\ncx q[0],q[1];\ncx q[1],q[2];\nbarrier q;\n"
+            "measure q -> c;\n"
+        )
+        try:
+            workload = from_qasm_file(str(path))
+            assert workload.name == "ghz3_ext"
+            # Modal ideal outcomes of a GHZ state: the two end states.
+            assert workload.correct_outcomes == ("000", "111")
+            assert workload_by_name("ghz3_ext") is workload
+        finally:
+            _REGISTERED.pop("ghz3_ext", None)
+
+    def test_measureless_file_gets_measure_all(self, tmp_path):
+        from repro.workloads import from_qasm_file
+
+        path = tmp_path / "unmeasured.qasm"
+        path.write_text("OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n")
+        workload = from_qasm_file(str(path), register=False)
+        assert workload.circuit.num_measurements == 2
+
+    def test_cannot_shadow_builtin_names(self, tmp_path):
+        from repro.exceptions import WorkloadError
+        from repro.workloads import from_qasm_file
+
+        path = tmp_path / "fake.qasm"
+        path.write_text(
+            "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\nmeasure q -> c;\n"
+        )
+        with pytest.raises(WorkloadError, match="shadows a built-in"):
+            from_qasm_file(str(path), name="GHZ-4")
+
+    def test_runs_through_jigsaw_session(self, tmp_path):
+        from repro.devices import ibmq_toronto
+        from repro.runtime import Session
+        from repro.workloads import from_qasm_file
+
+        path = tmp_path / "ext.qasm"
+        path.write_text(
+            "OPENQASM 2.0;\nqreg q[4];\ncreg c[4];\n"
+            "h q[0];\ncx q[0],q[1];\ncx q[1],q[2];\ncx q[2],q[3];\n"
+            "measure q -> c;\n"
+        )
+        workload = from_qasm_file(str(path), register=False)
+        with Session(ibmq_toronto(), seed=0, total_trials=1024) as session:
+            result = session.run(session.plan(workload, scheme="jigsaw"))
+            metrics = session.evaluate(workload, result.output_pmf)
+        assert 0.0 < metrics.pst <= 1.0

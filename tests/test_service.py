@@ -1,0 +1,443 @@
+"""The multi-tenant job service: determinism, admission, memoization.
+
+The load-bearing claim (ISSUE acceptance criteria): for fixed seeds, a
+result fetched from :class:`MitigationService` is **bit-for-bit** equal
+to a solo ``Session.run`` of the same spec — for every scheme, across
+arrival orders, batch compositions, and execution worker counts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.devices import ibmq_toronto
+from repro.exceptions import AdmissionError, ServiceError
+from repro.runtime import Session
+from repro.service import (
+    FairShareQueue,
+    Job,
+    JobSpec,
+    JobStatus,
+    MitigationService,
+    ResultStore,
+)
+from repro.service.job import job_fingerprint, resolve_spec_circuit
+from repro.workloads import workload_by_name
+
+
+def solo_payload(spec: JobSpec, service: MitigationService) -> dict:
+    """The payload a solo, equally-parameterised session produces."""
+    with Session(
+        ibmq_toronto(),
+        seed=spec.seed,
+        total_trials=spec.total_trials,
+        exact=spec.exact,
+        compile_attempts=service.compile_attempts,
+        cpm_attempts=service.cpm_attempts,
+        ensemble_size=service.ensemble_size,
+    ) as session:
+        workload = workload_by_name(spec.workload)
+        prepared = session.prepare_scheme(spec.scheme, workload)
+        result = session._run_prepared(prepared)
+        return MitigationService._payload(spec, result)
+
+
+class TestJobSpec:
+    def test_roundtrip(self):
+        spec = JobSpec(tenant="a", workload="GHZ-4", seed=3, priority=2)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ServiceError, match="unknown job-spec fields"):
+            JobSpec.from_dict({"tenant": "a", "workload": "GHZ-4", "nope": 1})
+
+    def test_needs_workload_or_qasm(self):
+        with pytest.raises(ServiceError, match="exactly one"):
+            JobSpec(tenant="a")
+        with pytest.raises(ServiceError, match="exactly one"):
+            JobSpec(tenant="a", workload="GHZ-4", qasm="OPENQASM 2.0;")
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ServiceError, match="unknown scheme"):
+            JobSpec(tenant="a", workload="GHZ-4", scheme="magic")
+
+    def test_fingerprint_ignores_tenant_and_priority(self):
+        base = JobSpec(tenant="a", workload="GHZ-4", priority=0)
+        other = JobSpec(tenant="b", workload="GHZ-4", priority=9)
+        circuit = resolve_spec_circuit(base).circuit
+        assert job_fingerprint(base, circuit, "dev", "salt") == job_fingerprint(
+            other, circuit, "dev", "salt"
+        )
+
+    def test_fingerprint_depends_on_seed_and_trials(self):
+        base = JobSpec(tenant="a", workload="GHZ-4")
+        circuit = resolve_spec_circuit(base).circuit
+        fp = job_fingerprint(base, circuit, "dev", "salt")
+        for variant in (
+            JobSpec(tenant="a", workload="GHZ-4", seed=1),
+            JobSpec(tenant="a", workload="GHZ-4", total_trials=4096),
+            JobSpec(tenant="a", workload="GHZ-4", exact=False),
+        ):
+            assert job_fingerprint(variant, circuit, "dev", "salt") != fp
+
+
+class TestFairShareQueue:
+    def _job(self, tenant: str, priority: int = 0) -> Job:
+        return Job(
+            spec=JobSpec(tenant=tenant, workload="GHZ-4", priority=priority)
+        )
+
+    def test_priority_then_fifo_order(self):
+        queue = FairShareQueue(capacity=8, fair_share=1.0)
+        first = queue.push(self._job("a", priority=0))
+        urgent = queue.push(self._job("a", priority=5))
+        second = queue.push(self._job("a", priority=0))
+        drained = queue.pop_batch(8)
+        assert [j.job_id for j in drained] == [
+            urgent.job_id, first.job_id, second.job_id
+        ]
+
+    def test_backpressure_when_full(self):
+        queue = FairShareQueue(capacity=2, fair_share=1.0)
+        queue.push(self._job("a"))
+        queue.push(self._job("b"))
+        with pytest.raises(AdmissionError, match="queue full"):
+            queue.push(self._job("c"))
+        assert queue.stats()["rejected_full"] == 1
+
+    def test_fair_share_caps_one_tenant(self):
+        queue = FairShareQueue(capacity=4, fair_share=0.5)
+        queue.push(self._job("greedy"))
+        queue.push(self._job("greedy"))
+        with pytest.raises(AdmissionError, match="fair-share"):
+            queue.push(self._job("greedy"))
+        # Other tenants still fit: the greedy tenant never fills the queue.
+        queue.push(self._job("patient"))
+        assert queue.stats()["rejected_fair_share"] == 1
+        assert queue.pending_by_tenant() == {"greedy": 2, "patient": 1}
+
+    def test_pop_releases_fair_share_slots(self):
+        queue = FairShareQueue(capacity=4, fair_share=0.5)
+        queue.push(self._job("a"))
+        queue.push(self._job("a"))
+        queue.pop_batch(1)
+        queue.push(self._job("a"))  # slot freed; no AdmissionError
+        assert len(queue) == 2
+
+
+class TestResultStore:
+    def test_roundtrip_and_counters(self):
+        store = ResultStore()
+        assert store.get("fp") is None
+        store.put("fp", {"scheme": "jigsaw", "x": [1, 2]})
+        payload = store.get("fp")
+        assert payload["x"] == [1, 2]
+        assert payload["payload_version"] == 1
+        assert store.stats()["hits"] == 1 and store.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        store = ResultStore(max_entries=2)
+        store.put("a", {"v": 1})
+        store.put("b", {"v": 2})
+        assert store.get("a")["v"] == 1  # refresh a
+        store.put("c", {"v": 3})  # evicts b (LRU)
+        assert "b" not in store and "a" in store and "c" in store
+        assert store.stats()["evictions"] == 1
+
+    def test_disk_roundtrip(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        store = ResultStore(path=path)
+        store.put("fp1", {"scheme": "baseline", "v": 1})
+        store.put("fp2", {"scheme": "jigsaw", "v": 2})
+        store.put("fp1", {"scheme": "baseline", "v": 10})  # update wins
+
+        reloaded = ResultStore(path=path)
+        assert reloaded.get("fp1")["v"] == 10
+        assert reloaded.get("fp2")["v"] == 2
+        assert reloaded.stats()["loaded"] == 3
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        store = ResultStore(path=path)
+        store.put("fp1", {"v": 1})
+        with open(path, "a") as handle:
+            handle.write('{"fingerprint": "fp2", "payl')  # crash artifact
+        reloaded = ResultStore(path=path)
+        assert reloaded.get("fp1")["v"] == 1
+        assert "fp2" not in reloaded
+
+    def test_refuses_future_payload_version(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        with open(path, "w") as handle:
+            handle.write(
+                '{"fingerprint": "fp", "payload_version": 99, "payload": {}}\n'
+            )
+        from repro.exceptions import PayloadError
+
+        with pytest.raises(PayloadError, match="payload_version 99"):
+            ResultStore(path=path)
+
+
+@pytest.fixture(scope="module")
+def exact_specs():
+    """A small multi-tenant mix: overlapping programs, varied budgets."""
+    return [
+        JobSpec(tenant="alice", workload="GHZ-4", total_trials=2048, seed=0),
+        JobSpec(tenant="bob", workload="GHZ-4", total_trials=4096, seed=0),
+        JobSpec(tenant="bob", workload="BV-4", total_trials=2048, seed=0,
+                scheme="baseline"),
+        JobSpec(tenant="carol", workload="BV-4", total_trials=2048, seed=3,
+                scheme="jigsaw_m"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def solo_payloads(exact_specs):
+    service = MitigationService()  # only for knob defaults
+    return [solo_payload(spec, service) for spec in exact_specs]
+
+
+class TestServiceDeterminism:
+    def run_service(self, specs, **kwargs):
+        with MitigationService(**kwargs) as service:
+            jobs = [service.submit(spec) for spec in specs]
+            service.drain()
+            for job in jobs:
+                assert job.status is JobStatus.DONE, job.error
+            return [job.result for job in jobs]
+
+    def test_matches_solo_sessions(self, exact_specs, solo_payloads):
+        assert self.run_service(exact_specs) == solo_payloads
+
+    def test_arrival_order_irrelevant(self, exact_specs, solo_payloads):
+        reordered = list(reversed(exact_specs))
+        results = self.run_service(reordered)
+        assert results == list(reversed(solo_payloads))
+
+    def test_batch_composition_irrelevant(self, exact_specs, solo_payloads):
+        # max_batch=1: every job executes alone — same results as one
+        # merged batch of everything.
+        assert (
+            self.run_service(exact_specs, max_batch=1) == solo_payloads
+        )
+
+    def test_worker_count_irrelevant(self, exact_specs, solo_payloads):
+        assert self.run_service(exact_specs, workers=4) == solo_payloads
+
+    def test_sampled_mode_matches_solo(self):
+        specs = [
+            JobSpec(tenant="a", workload="GHZ-4", total_trials=1024,
+                    seed=5, exact=False),
+            JobSpec(tenant="b", workload="BV-4", total_trials=1024,
+                    seed=5, exact=False, scheme="baseline"),
+        ]
+        with MitigationService(workers=3) as service:
+            solos = [solo_payload(spec, service) for spec in specs]
+        assert self.run_service(specs, workers=3) == solos
+        # And merged vs per-job batches agree in sampled mode too.
+        assert self.run_service(specs, max_batch=1) == solos
+
+    def test_all_schemes_match_solo(self):
+        specs = [
+            JobSpec(tenant="t", workload="BV-4", total_trials=1024,
+                    seed=2, scheme=scheme)
+            for scheme in (
+                "baseline", "edm", "jigsaw", "jigsaw_nr", "jigsaw_m",
+                "mbm", "jigsaw_mbm",
+            )
+        ]
+        with MitigationService() as service:
+            solos = [solo_payload(spec, service) for spec in specs]
+        assert self.run_service(specs) == solos
+
+
+class TestServiceBehaviour:
+    def test_memoization_within_and_across_drains(self):
+        spec = JobSpec(tenant="a", workload="GHZ-4", total_trials=1024)
+        with MitigationService() as service:
+            first = service.submit(spec)
+            duplicate = service.submit(spec.with_tenant("b"))
+            service.drain()
+            assert first.source == "executed"
+            assert duplicate.source == "memoized"
+            assert duplicate.result == first.result
+            # Resubmission after the drain returns instantly, no queueing.
+            instant = service.submit(spec)
+            assert instant.status is JobStatus.DONE
+            assert instant.source == "memoized"
+            stats = service.service_stats()["jobs"]
+            assert stats["executed"] == 1 and stats["memoized"] == 2
+
+    def test_cross_job_coalescing_reduces_executions(self):
+        # Three tenants, identical program content -> one evaluation per
+        # unique executable, not one per job.
+        specs = [
+            JobSpec(tenant=t, workload="GHZ-4", total_trials=n, seed=0)
+            for t, n in (("a", 1024), ("b", 2048), ("c", 4096))
+        ]
+        with MitigationService() as service:
+            for spec in specs:
+                service.submit(spec)
+            service.drain()
+            backend = service.service_stats()["backend"]
+            assert backend["spliced_parts"] == 3
+            assert backend["requests"] == 3 * backend["channel_evals"]
+            assert backend["coalesced_requests"] == backend["requests"] - backend["channel_evals"]
+
+    def test_payloads_survive_json_roundtrip_byte_identically(self):
+        # The disk store round-trips payloads through JSON; every scheme's
+        # payload must come back equal (notably: no int dict keys, which
+        # JSON silently turns into strings).
+        import json
+
+        specs = [
+            JobSpec(tenant="a", workload="BV-4", total_trials=1024,
+                    scheme=scheme)
+            for scheme in ("baseline", "jigsaw", "jigsaw_m")
+        ]
+        with MitigationService() as service:
+            jobs = [service.submit(spec) for spec in specs]
+            service.drain()
+            for job in jobs:
+                assert job.status is JobStatus.DONE, job.error
+                assert json.loads(json.dumps(job.result)) == job.result
+
+    def test_disk_store_survives_service_restart(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        spec = JobSpec(tenant="a", workload="BV-4", total_trials=1024)
+        with MitigationService(store=ResultStore(path=path)) as service:
+            job = service.submit(spec)
+            service.drain()
+            executed_payload = job.result
+        with MitigationService(store=ResultStore(path=path)) as service:
+            job = service.submit(spec)
+            assert job.status is JobStatus.DONE
+            assert job.source == "memoized"
+            assert job.result == executed_payload
+
+    def test_failed_job_reports_error(self):
+        # MBM on an 18-bit output exceeds MAX_MBM_QUBITS (16); the check
+        # fires at preparation, before any compilation happens.
+        spec = JobSpec(tenant="a", workload="GHZ-18", scheme="mbm",
+                       total_trials=1024)
+        with MitigationService() as service:
+            job = service.submit(spec)
+            service.drain()
+            assert job.status is JobStatus.FAILED
+            assert "MBM" in job.error
+            with pytest.raises(ServiceError, match="failed"):
+                service.result(job)
+
+    def test_store_failure_costs_memoization_not_results(self, tmp_path):
+        # A store that cannot persist must not fail jobs or kill the
+        # worker — the computed result still reaches the caller.
+        store = ResultStore(path=str(tmp_path / "store.jsonl"))
+        store.path = str(tmp_path / "no-such-dir" / "store.jsonl")
+        with MitigationService(store=store) as service:
+            job = service.submit(
+                JobSpec(tenant="a", workload="GHZ-4", total_trials=1024)
+            )
+            service.drain()
+            assert job.status is JobStatus.DONE, job.error
+            assert service.service_stats()["jobs"]["store_errors"] == 1
+
+    def test_memoized_result_is_isolated_from_caller_mutation(self):
+        spec = JobSpec(tenant="a", workload="GHZ-4", total_trials=1024)
+        with MitigationService() as service:
+            first = service.submit(spec)
+            service.drain()
+            pristine = service.submit(spec.with_tenant("b")).result
+            # Vandalise the served copy; the store entry must not notice.
+            pristine["output_pmf"]["probs"][0] = 123.0
+            again = service.submit(spec.with_tenant("c")).result
+            assert again["output_pmf"]["probs"][0] != 123.0
+            assert again == first.result
+
+    def test_unknown_device_rejected_at_submit(self):
+        with MitigationService() as service:
+            with pytest.raises(ServiceError, match="unknown device"):
+                service.submit(
+                    JobSpec(tenant="a", workload="GHZ-4", device="nope")
+                )
+
+    def test_inline_qasm_job(self):
+        qasm = (
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[3];\ncreg c[3];\n"
+            "h q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n"
+            "measure q -> c;\n"
+        )
+        spec = JobSpec(tenant="a", qasm=qasm, total_trials=1024)
+        with MitigationService() as service:
+            job = service.submit(spec)
+            service.drain()
+            assert job.status is JobStatus.DONE, job.error
+            assert job.result["scheme"] == "jigsaw"
+
+    def test_service_smoke_submit_poll_fetch(self):
+        """The worker-loop smoke: submit -> poll -> fetch, hard timeout."""
+        with MitigationService() as service:
+            service.start()
+            job = service.submit(
+                JobSpec(tenant="a", workload="GHZ-4", total_trials=1024)
+            )
+            deadline = time.monotonic() + 60.0
+            while not job.done and time.monotonic() < deadline:
+                time.sleep(0.01)
+            settled = service.wait(job.job_id, timeout=60.0)
+            assert settled.status is JobStatus.DONE, settled.error
+            payload = service.result(job.job_id)
+            assert payload["scheme"] == "jigsaw"
+            service.stop()
+
+    def test_drain_refused_while_worker_runs(self):
+        with MitigationService() as service:
+            service.start()
+            with pytest.raises(ServiceError, match="worker thread"):
+                service.drain()
+
+    def test_wait_timeout(self):
+        with MitigationService() as service:
+            job = service.submit(
+                JobSpec(tenant="a", workload="GHZ-4", total_trials=1024)
+            )
+            with pytest.raises(ServiceError, match="timed out"):
+                service.wait(job, timeout=0.01)
+
+    def test_concurrent_submitters_one_worker(self):
+        """Many submitting threads, one worker loop: all jobs settle and
+        every result matches its fingerprint-identical peers."""
+        with MitigationService(capacity=64, fair_share=1.0) as service:
+            service.start()
+            jobs, errors = [], []
+            lock = threading.Lock()
+
+            def submit(tenant):
+                try:
+                    job = service.submit(
+                        JobSpec(tenant=tenant, workload="GHZ-4",
+                                total_trials=1024, seed=0)
+                    )
+                    with lock:
+                        jobs.append(job)
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    with lock:
+                        errors.append(exc)
+
+            threads = [
+                threading.Thread(target=submit, args=(f"t{i}",))
+                for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            for job in jobs:
+                service.wait(job, timeout=120.0)
+            payloads = {id(j): j.result for j in jobs}
+            reference = jobs[0].result
+            assert all(p == reference for p in payloads.values())

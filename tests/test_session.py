@@ -239,3 +239,73 @@ class TestMetricsEvaluation:
             workload, session.run_jigsaw(workload).output_pmf
         )
         assert jig.pst > base.pst
+
+
+class TestSessionContextManager:
+    def test_enter_returns_session_and_exit_closes(self, device):
+        with Session(device, seed=0, workers=2) as session:
+            assert isinstance(session, Session)
+            session.run(session.plan(ghz(6), scheme="jigsaw"))
+            runner = session._runners[("jigsaw", True)]
+            # The sharded runner backend materialised a pool during run.
+            backend = runner._resolved_backend
+            assert backend is not None and backend._pool is not None
+        # __exit__ -> close(): every pool released.
+        assert backend._pool is None
+
+    def test_exit_closes_on_error_paths(self, device):
+        backend = None
+        with pytest.raises(ExperimentError):
+            with Session(device, seed=0, workers=2) as session:
+                session.run(session.plan(ghz(6), scheme="jigsaw"))
+                backend = session._runners[("jigsaw", True)]._resolved_backend
+                assert backend._pool is not None
+                raise ExperimentError("boom")
+        assert backend._pool is None
+
+    def test_session_usable_after_close(self, device):
+        with Session(device, seed=0) as session:
+            first = session.run_scheme("baseline", ghz(6))
+        # Pools re-materialise lazily; the session still works.
+        again = session.run_scheme("baseline", ghz(6))
+        assert first.as_dict() == again.as_dict()
+
+
+class TestPayloadVersioning:
+    def test_results_are_stamped(self, device):
+        from repro.core import PAYLOAD_VERSION
+
+        with Session(device, seed=0, total_trials=1024) as session:
+            jig = session.run(session.plan(ghz(6), scheme="jigsaw"))
+            jig_m = session.run(session.plan(ghz(6), scheme="jigsaw_m"))
+        assert jig.to_dict()["payload_version"] == PAYLOAD_VERSION
+        assert jig_m.to_dict()["payload_version"] == PAYLOAD_VERSION
+
+    def test_pmf_payload_roundtrip_with_version(self, device):
+        from repro.core import PMF
+
+        with Session(device, seed=0, total_trials=1024) as session:
+            pmf = session.run_scheme("baseline", ghz(6))
+        payload = pmf.to_payload()
+        payload["payload_version"] = 1
+        assert PMF.from_payload(payload).as_dict() == pmf.as_dict()
+
+    def test_pmf_payload_rejects_future_version(self):
+        from repro.core import PMF
+        from repro.exceptions import PayloadError
+
+        payload = {"codes": [0], "probs": [1.0], "num_bits": 1,
+                   "payload_version": 99}
+        with pytest.raises(PayloadError, match="payload_version 99"):
+            PMF.from_payload(payload)
+
+    def test_check_payload_version_contract(self):
+        from repro.core import check_payload_version
+        from repro.exceptions import PayloadError
+
+        assert check_payload_version({}) == 1  # missing -> legacy v1
+        assert check_payload_version({"payload_version": 1}) == 1
+        for bad in ({"payload_version": 0}, {"payload_version": "1"},
+                    {"payload_version": True}):
+            with pytest.raises(PayloadError):
+                check_payload_version(bad)

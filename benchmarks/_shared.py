@@ -9,8 +9,9 @@ the regenerated paper tables survive the run.
 from __future__ import annotations
 
 import functools
+import json
 import os
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from repro.devices import ibmq_manhattan, ibmq_paris, ibmq_toronto
 from repro.experiments.main_results import MainResultRow, run_main_results
@@ -61,3 +62,19 @@ def save_result(name: str, text: str) -> None:
     with open(path, "w") as handle:
         handle.write(text + "\n")
     print("\n" + text)
+
+
+def save_bench_json(name: str, payload: Dict[str, Any]) -> str:
+    """Persist machine-readable benchmark numbers as BENCH_<name>.json.
+
+    The JSON twin of :func:`save_result`: the same run that renders the
+    human table dumps its raw counts (eval counts, throughput ratios,
+    wall clock) so CI and regression tooling can diff them without
+    parsing text.  Returns the written path.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

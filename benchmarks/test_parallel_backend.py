@@ -20,6 +20,7 @@ from __future__ import annotations
 import os
 import time
 
+from _shared import save_bench_json
 from repro.core import JigSaw, JigSawConfig
 from repro.devices import ibmq_toronto
 from repro.noise.model import NoiseModel
@@ -112,6 +113,19 @@ def test_coalescing_reduces_evaluations():
     print(
         f"\nwall clock: serial {serial_seconds:.4f}s, "
         f"sharded {sharded_seconds:.4f}s"
+    )
+    save_bench_json(
+        "parallel_backend",
+        {
+            "workloads": list(WORKLOAD_NAMES),
+            "trial_budgets": list(TRIAL_BUDGETS),
+            "requests": total_requests,
+            "serial_statevector_evals": serial_backend.statevector_evals,
+            "serial_channel_evals": serial_backend.channel_evals,
+            "sharded_statevector_evals": stats["statevector_evals"],
+            "sharded_channel_evals": stats["channel_evals"],
+            "coalesced_requests": stats["coalesced_requests"],
+        },
     )
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(

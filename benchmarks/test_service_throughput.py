@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import time
 
+from _shared import save_bench_json
 from repro.devices import ibmq_toronto
 from repro.runtime import Session
 from repro.service import JobSpec, MitigationService
@@ -93,6 +94,23 @@ def test_service_halves_backend_executions():
     )
 
     reduction = sequential_evals / service_evals
+    save_bench_json(
+        "service_throughput",
+        {
+            "jobs": len(specs),
+            "tenants": list(TENANT_BUDGETS),
+            "catalog": list(CATALOG),
+            "sequential_channel_evals": sequential_evals,
+            "service_channel_evals": service_evals,
+            "reduction": reduction,
+            "asserted_min_reduction": 2.0,
+            "requests": requests,
+            "coalesced_requests": stats["backend"]["coalesced_requests"],
+            "statevector_evals": stats["backend"]["statevector_evals"],
+            "jobs_memoized": stats["jobs"]["memoized"],
+            "jobs_executed": stats["jobs"]["executed"],
+        },
+    )
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(
         os.path.join(RESULTS_DIR, "service_throughput.txt"), "w"

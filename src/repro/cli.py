@@ -30,6 +30,11 @@ from repro.experiments import format_table
 from repro.metrics.success import probability_of_successful_trial
 from repro.runtime import Session
 from repro.service import JobSpec, MitigationService, ResultStore
+from repro.service.tier import (
+    SegmentedResultStore,
+    ServiceSupervisor,
+    migrate_journal,
+)
 from repro.workloads import workload_by_name
 
 __all__ = ["main", "build_parser"]
@@ -122,6 +127,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--fair-share", type=float, default=0.5,
         help="fraction of the queue one tenant may occupy",
     )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="run the concurrent serving tier with N drain workers "
+        "(results stay bit-for-bit identical to --workers omitted)",
+    )
+    serve.add_argument(
+        "--store-dir", default=None,
+        help="segmented result-store directory (the serving tier's "
+        "sharded journal; alternative to --store)",
+    )
+    serve.add_argument(
+        "--stats-json", default=None,
+        help="write the tier/service stats snapshot as JSON to this path "
+        "('-' for stdout)",
+    )
+
+    store = sub.add_parser("store", help="result-store maintenance")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    compact = store_sub.add_parser(
+        "compact",
+        help="migrate a legacy JSONL journal to segments, or compact a "
+        "segmented store in place",
+    )
+    compact.add_argument(
+        "--journal", default=None,
+        help="legacy single-file JSONL journal to migrate (read-only)",
+    )
+    compact.add_argument(
+        "--into", default=None,
+        help="segmented store directory the migration writes "
+        "(required with --journal)",
+    )
+    compact.add_argument(
+        "--dir", dest="store_dir", default=None,
+        help="existing segmented store directory to compact in place",
+    )
 
     sub.add_parser("devices", help="print device calibration statistics")
     sub.add_parser("scalability", help="print the Table 7 cost model")
@@ -198,9 +239,22 @@ def _cmd_compare(args: argparse.Namespace) -> str:
     )
 
 
+def _serve_store(args: argparse.Namespace):
+    if args.store and args.store_dir:
+        raise ReproError("--store and --store-dir are mutually exclusive")
+    if args.store_dir:
+        return SegmentedResultStore(root=args.store_dir)
+    return ResultStore(path=args.store) if args.store else None
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
-    with open(args.jobs) as handle:
-        document = json.load(handle)
+    try:
+        with open(args.jobs) as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read jobs file {args.jobs}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{args.jobs}: invalid JSON ({exc})") from exc
     entries = document["jobs"] if isinstance(document, dict) else document
     if not isinstance(entries, list) or not entries:
         raise ReproError(
@@ -208,65 +262,138 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             "(or an object with a 'jobs' list)"
         )
 
-    store = ResultStore(path=args.store) if args.store else None
-    with MitigationService(
-        store=store,
-        capacity=args.capacity,
-        fair_share=args.fair_share,
-        max_batch=args.max_batch,
-        workers=args.exec_workers,
-    ) as service:
-        jobs, rejections = [], []
-        for index, entry in enumerate(entries):
-            try:
-                jobs.append(service.submit(JobSpec.from_dict(entry)))
-            except AdmissionError as exc:
-                rejections.append((index, str(exc)))
-        service.drain()
-
-        rows: List[List[object]] = []
-        for job in jobs:
-            row = job.describe()
-            pst: object = "-"
-            if (
-                job.result is not None
-                and "output_pmf" in job.result
-                and job.spec.workload is not None
-            ):
-                pst = probability_of_successful_trial(
-                    PMF.from_payload(job.result["output_pmf"]),
-                    workload_by_name(job.spec.workload).correct_outcomes,
-                )
-            rows.append(
-                [
-                    row["job_id"], row["tenant"], row["workload"],
-                    row["scheme"], row["status"], row["source"] or "-", pst,
-                ]
-            )
-        stats = service.service_stats()
-        table = format_table(
-            ["Job", "Tenant", "Workload", "Scheme", "Status", "Source", "PST"],
-            rows,
-            title=f"Service run over {args.jobs}",
+    store = _serve_store(args)
+    if args.workers:
+        # The concurrent serving tier: N drain workers, graceful drain.
+        supervisor = ServiceSupervisor(
+            store=store,
+            workers=args.workers,
+            capacity=args.capacity,
+            fair_share=args.fair_share,
+            max_batch=args.max_batch,
+            backend_workers=args.exec_workers,
         )
-        footer_lines = [
-            "",
-            f"jobs:    {stats['jobs']['submitted']} submitted, "
-            f"{stats['jobs']['executed']} executed, "
-            f"{stats['jobs']['memoized']} memoized, "
-            f"{stats['jobs']['failed']} failed, "
-            f"{len(rejections)} rejected",
-            f"backend: {stats['backend']['requests']} requests -> "
-            f"{stats['backend']['channel_evals']} channel evals "
-            f"({stats['backend']['coalesced_requests']} coalesced), "
-            f"{stats['backend']['statevector_evals']} statevectors",
-            f"store:   {stats['store']['hits']} hits / "
-            f"{stats['store']['misses']} misses"
-            + (f" @ {stats['store']['path']}" if stats['store']['path'] else ""),
-        ]
-        for index, reason in rejections:
-            footer_lines.append(f"rejected jobs[{index}]: {reason}")
-        return table + "\n".join(footer_lines)
+        supervisor.start()
+        try:
+            jobs, rejections = _serve_submit(supervisor, entries)
+            supervisor.stop(drain=True)
+            stats = supervisor.tier_stats()
+            backend = {
+                name: sum(
+                    worker["engine"]["backend"][name]
+                    for worker in stats["workers"]
+                )
+                for name in (
+                    "requests", "channel_evals", "coalesced_requests",
+                    "statevector_evals",
+                )
+            }
+        finally:
+            supervisor.close()
+    else:
+        with MitigationService(
+            store=store,
+            capacity=args.capacity,
+            fair_share=args.fair_share,
+            max_batch=args.max_batch,
+            workers=args.exec_workers,
+        ) as service:
+            jobs, rejections = _serve_submit(service, entries)
+            service.drain()
+            stats = service.service_stats()
+            backend = stats["backend"]
+
+    if args.stats_json:
+        payload = json.dumps(stats, indent=2, sort_keys=True)
+        if args.stats_json == "-":
+            print(payload)
+        else:
+            with open(args.stats_json, "w") as handle:
+                handle.write(payload + "\n")
+
+    rows: List[List[object]] = []
+    for job in jobs:
+        row = job.describe()
+        pst: object = "-"
+        if (
+            job.result is not None
+            and "output_pmf" in job.result
+            and job.spec.workload is not None
+        ):
+            pst = probability_of_successful_trial(
+                PMF.from_payload(job.result["output_pmf"]),
+                workload_by_name(job.spec.workload).correct_outcomes,
+            )
+        rows.append(
+            [
+                row["job_id"], row["tenant"], row["workload"],
+                row["scheme"], row["status"], row["source"] or "-", pst,
+            ]
+        )
+    table = format_table(
+        ["Job", "Tenant", "Workload", "Scheme", "Status", "Source", "PST"],
+        rows,
+        title=f"Service run over {args.jobs}",
+    )
+    store_stats = stats["store"]
+    store_where = store_stats.get("path") or store_stats.get("root")
+    footer_lines = [
+        "",
+        f"jobs:    {stats['jobs']['submitted']} submitted, "
+        f"{stats['jobs']['executed']} executed, "
+        f"{stats['jobs']['memoized']} memoized, "
+        f"{stats['jobs']['failed']} failed, "
+        f"{len(rejections)} rejected",
+        f"backend: {backend['requests']} requests -> "
+        f"{backend['channel_evals']} channel evals "
+        f"({backend['coalesced_requests']} coalesced), "
+        f"{backend['statevector_evals']} statevectors",
+        f"store:   {store_stats['hits']} hits / "
+        f"{store_stats['misses']} misses"
+        + (f" @ {store_where}" if store_where else ""),
+    ]
+    if args.workers:
+        footer_lines.append(
+            f"tier:    {args.workers} workers, "
+            f"{stats['jobs']['retried']} retries, "
+            f"{stats['latency']['worker_crashes']} crashes"
+        )
+    for index, reason in rejections:
+        footer_lines.append(f"rejected jobs[{index}]: {reason}")
+    return table + "\n".join(footer_lines)
+
+
+def _serve_submit(front, entries):
+    """Submit every job entry; returns (jobs, [(index, reason)])."""
+    jobs, rejections = [], []
+    for index, entry in enumerate(entries):
+        try:
+            jobs.append(front.submit(JobSpec.from_dict(entry)))
+        except AdmissionError as exc:
+            rejections.append((index, str(exc)))
+    return jobs, rejections
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> str:
+    if args.journal:
+        if not args.into:
+            raise ReproError("--journal needs --into (the segment directory)")
+        summary = migrate_journal(args.journal, args.into)
+        return (
+            f"migrated {summary['records_read']} records "
+            f"({summary['records_live']} live) from {summary['legacy_path']} "
+            f"into {summary['root']} ({summary['shards']} shards)"
+        )
+    if args.store_dir:
+        store = SegmentedResultStore(root=args.store_dir, max_entries=None)
+        store.compact()
+        shards = store.stats()["shards"]
+        live = sum(shard["live"] for shard in shards.values())
+        return (
+            f"compacted {args.store_dir}: {live} live records across "
+            f"{len(shards)} shards, 1 segment each"
+        )
+    raise ReproError("store compact needs --journal/--into or --dir")
 
 
 def _cmd_devices() -> str:
@@ -323,6 +450,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_cmd_compare(args))
         elif args.command == "serve":
             print(_cmd_serve(args))
+        elif args.command == "store":
+            print(_cmd_store_compact(args))
         elif args.command == "devices":
             print(_cmd_devices())
         elif args.command == "scalability":

@@ -1,0 +1,443 @@
+"""The batch-execution engine: the splice-and-reconstruct core.
+
+PR 5's :class:`~repro.service.service.MitigationService` interleaved
+three concerns in one class: the *front end* (submission, admission,
+waiting), the *registries* (devices, per-device stage caches), and the
+*batch engine* (group a drained batch by device lane, plan every job
+through a per-job equally-parameterised ``Session``, splice everything
+into one merged ``ShardedBackend`` batch, reconstruct, store).  The
+serving tier (:mod:`repro.service.tier`) runs **many concurrent drain
+workers**, each of which needs its own engine — its own backend pool,
+its own work counters — while sharing the registries and the result
+store.  This module is that split:
+
+``DeviceRegistry``
+    Thread-safe name -> :class:`~repro.devices.device.Device` resolution
+    plus the **shared per-device stage caches** — one
+    :class:`~repro.runtime.cache.CompilationCache` per device
+    fingerprint, shared by every engine so the route-once store works
+    across workers exactly as it did across jobs.
+
+``ExecutionEngine``
+    One drain lane's executor: owns a private pool of
+    :class:`~repro.runtime.parallel.ShardedBackend`\\ s (one per
+    ``(device, mode)``) and processes batches through the determinism
+    seam.  Results are reported through a :class:`BatchSink` — the
+    front end decides what "finished" and "failed" mean (the tier's
+    sink, for instance, turns retryable failures into re-queues instead
+    of terminal failures).
+
+The determinism contract is unchanged from PR 5: every job gets its own
+``Session`` seeded from its spec, and the spliced execution spawns each
+job's per-request seed streams from that job's own backend — so payloads
+are bit-for-bit equal to solo ``Session.run`` regardless of batch
+composition, arrival order, worker count, or *which engine* ran the job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Protocol, Tuple
+
+from repro.core.payload import PAYLOAD_VERSION
+from repro.core.pmf import PMF
+from repro.devices.device import Device
+from repro.devices.library import DEVICE_FACTORIES
+from repro.exceptions import ServiceError
+from repro.noise.model import NoiseModel
+from repro.noise.sampler import NoisySampler
+from repro.runtime.backend import local_backend
+from repro.runtime.cache import CompilationCache
+from repro.runtime.fingerprint import device_fingerprint
+from repro.runtime.parallel import ShardedBackend
+from repro.runtime.session import Session
+from repro.service.job import Job, JobSpec, JobStatus, resolve_spec_circuit
+
+__all__ = [
+    "BatchSink",
+    "DeviceRegistry",
+    "ExecutionEngine",
+    "compiler_salt",
+]
+
+
+def compiler_salt(
+    compile_attempts: int, cpm_attempts: int, ensemble_size: int
+) -> str:
+    """The knob salt folded into every job fingerprint.
+
+    Two services (or tiers) with different compiler knobs must never
+    share stored results; the format is stable because it participates
+    in fingerprints persisted by disk stores.
+    """
+    return (
+        f"attempts={compile_attempts}|cpm={cpm_attempts}"
+        f"|ensemble={ensemble_size}"
+    )
+
+
+class BatchSink(Protocol):
+    """Where an engine reports batch outcomes.
+
+    ``finish``/``fail`` settle a job; ``retryable`` marks failures the
+    front end may re-queue (the merged batch failing as a whole, a
+    backstop-caught defect) versus deterministic per-job failures (bad
+    scheme inputs fail identically on every attempt).  ``store_error``
+    records a store that could not persist a payload — memoization lost,
+    result delivered anyway.
+    """
+
+    def finish(self, job: Job, payload: Dict[str, Any], source: str) -> None:
+        ...  # pragma: no cover - protocol
+
+    def fail(self, job: Job, error: str, retryable: bool) -> None:
+        ...  # pragma: no cover - protocol
+
+    def store_error(self, job: Job) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class DeviceRegistry:
+    """Thread-safe device resolution + shared per-device stage caches.
+
+    One registry is shared by every engine of a deployment, so:
+
+    * a device (and its fingerprint) is materialised once, and
+    * all drain workers compile through **one** stage cache per device —
+      the route-once store spans workers, which is where the tier's
+      cross-worker compilation reuse comes from.
+    """
+
+    def __init__(self, factories: Optional[Mapping[str, Any]] = None) -> None:
+        self._factories = dict(
+            DEVICE_FACTORIES if factories is None else factories
+        )
+        self._devices: Dict[str, Device] = {}
+        self._device_keys: Dict[str, str] = {}
+        self._caches: Dict[str, CompilationCache] = {}
+        self._lock = threading.RLock()
+
+    def device(self, name: str) -> Device:
+        """Resolve a device short name (memoised; factories run once)."""
+        with self._lock:
+            device = self._devices.get(name)
+            if device is None:
+                entry = self._factories.get(name)
+                if entry is None:
+                    raise ServiceError(
+                        f"unknown device {name!r}; options: "
+                        f"{sorted(self._factories)}"
+                    )
+                device = entry() if callable(entry) else entry
+                self._devices[name] = device
+                self._device_keys[name] = device_fingerprint(device)
+            return device
+
+    def device_key(self, name: str) -> str:
+        """The content fingerprint of a device short name."""
+        self.device(name)
+        with self._lock:
+            return self._device_keys[name]
+
+    def cache_for(self, device_key: str) -> CompilationCache:
+        """The shared compilation cache of one device fingerprint."""
+        with self._lock:
+            cache = self._caches.get(device_key)
+            if cache is None:
+                cache = self._caches[device_key] = CompilationCache()
+            return cache
+
+    def compiler_stats(self) -> Dict[str, int]:
+        """Plan/stage cache counters summed across devices (JSON-ready)."""
+        with self._lock:
+            caches = list(self._caches.values())
+        return {
+            "plan_hits": sum(c.hits for c in caches),
+            "plan_misses": sum(c.misses for c in caches),
+            "stage_entries": sum(c.stage_entries() for c in caches),
+        }
+
+
+class ExecutionEngine:
+    """One drain lane's splice-execution core.
+
+    Args:
+        registry: shared device registry (devices + stage caches).
+        store: shared result store (``get``/``put`` keyed by job
+            fingerprint; ``put`` receives the device fingerprint as the
+            ``shard`` routing hint).
+        compile_attempts / cpm_attempts / ensemble_size: compiler knobs
+            applied to every job's session.
+        workers / executor: fan-out of this engine's **private**
+            :class:`ShardedBackend` pool (one backend per device+mode
+            lane).  Engines never share backends, so concurrent drain
+            workers never contend on a pool.
+        timers: optional ``observe(stage, seconds)`` callback for the
+            tier's latency histograms (stages: ``prepare``, ``execute``,
+            ``finish``).
+    """
+
+    def __init__(
+        self,
+        registry: DeviceRegistry,
+        store,
+        compile_attempts: int = 4,
+        cpm_attempts: int = 3,
+        ensemble_size: int = 4,
+        workers: Optional[int] = None,
+        executor: str = "thread",
+        timers: Optional[Any] = None,
+    ) -> None:
+        self.registry = registry
+        self.store = store
+        self.compile_attempts = compile_attempts
+        self.cpm_attempts = cpm_attempts
+        self.ensemble_size = ensemble_size
+        self.workers = workers
+        self.executor = executor
+        self.timers = timers
+        self.config_salt = compiler_salt(
+            compile_attempts, cpm_attempts, ensemble_size
+        )
+        self._executors: Dict[Tuple[str, bool], ShardedBackend] = {}
+        self._lock = threading.RLock()
+        #: Cumulative engine counters (the sink owns job-level ones).
+        self.batches = 0
+        self.memoized = 0
+        self.executed = 0
+
+    # ------------------------------------------------------------------
+
+    def _executor_for(self, device: Device, exact: bool) -> ShardedBackend:
+        """The spliced-batch executor of one (device, mode) lane.
+
+        Its inner backend only supplies the mode and a representative
+        sampler — spliced parts bring their own seed streams — so one
+        executor (and its worker pool, and its work counters) serves
+        every batch of the lane.
+        """
+        key = (device_fingerprint(device), exact)
+        with self._lock:
+            executor = self._executors.get(key)
+            if executor is None:
+                sampler = NoisySampler(NoiseModel.from_device(device), seed=0)
+                executor = ShardedBackend(
+                    local_backend(sampler, exact),
+                    workers=self.workers,
+                    executor=self.executor,
+                )
+                self._executors[key] = executor
+            return executor
+
+    def _observe(self, stage: str, seconds: float) -> None:
+        if self.timers is not None:
+            self.timers.observe(stage, seconds)
+
+    # ------------------------------------------------------------------
+    # Batch processing
+    # ------------------------------------------------------------------
+
+    def process_batch(self, jobs: List[Job], sink: BatchSink) -> None:
+        """Run a batch; a defect can fail its jobs but never the caller.
+
+        Per-job failures are handled inside :meth:`_process_batch`; this
+        backstop catches anything unexpected that escapes it (an I/O
+        error from the result store, a bug) and fails the batch's
+        unsettled jobs loudly — marked retryable, because an environment
+        hiccup is exactly what the tier's retry path is for.
+        """
+        self.batches += 1
+        try:
+            self._process_batch(jobs, sink)
+        except Exception as exc:  # noqa: BLE001 - the worker must survive
+            for job in jobs:
+                if not job.done:
+                    sink.fail(job, f"service error: {exc!r}", retryable=True)
+
+    def _process_batch(self, jobs: List[Job], sink: BatchSink) -> None:
+        """Run one drained batch: memoize, group, splice, fan out."""
+        ready: List[Job] = []
+        followers: Dict[str, List[Job]] = {}
+        primaries: Dict[str, Job] = {}
+        for job in jobs:
+            # Late memoization: an identical job may have finished while
+            # this one sat in the queue.
+            cached = self.store.get(job.fingerprint)
+            if cached is not None:
+                with self._lock:
+                    self.memoized += 1
+                sink.finish(job, cached, source="memoized")
+                continue
+            # Within-batch duplicates ride their primary's execution.
+            primary = primaries.get(job.fingerprint)
+            if primary is not None:
+                followers.setdefault(primary.job_id, []).append(job)
+                continue
+            primaries[job.fingerprint] = job
+            ready.append(job)
+
+        groups: Dict[Tuple[str, bool], List[Job]] = {}
+        for job in ready:
+            key = (self.registry.device_key(job.spec.device), job.spec.exact)
+            groups.setdefault(key, []).append(job)
+        for (device_key, exact), group in sorted(
+            groups.items(), key=lambda item: item[0]
+        ):
+            self._process_group(group, device_key, exact, sink)
+
+        for primary in primaries.values():
+            for job in followers.get(primary.job_id, []):
+                if primary.status is JobStatus.DONE:
+                    with self._lock:
+                        self.memoized += 1
+                    sink.finish(job, primary.result, source="memoized")
+                else:
+                    sink.fail(
+                        job,
+                        primary.error or "primary job failed",
+                        retryable=False,
+                    )
+
+    def _process_group(
+        self, jobs: List[Job], device_key: str, exact: bool, sink: BatchSink
+    ) -> None:
+        """Plan every job of one (device, mode) lane, splice, reconstruct."""
+        sessions: List[Session] = []
+        prepared_jobs: List[tuple] = []
+        device: Optional[Device] = None
+        try:
+            prepare_start = time.perf_counter()
+            for job in jobs:
+                job.status = JobStatus.RUNNING
+                try:
+                    if job.workload is None:
+                        job.workload = resolve_spec_circuit(job.spec)
+                    device = self.registry.device(job.spec.device)
+                    session = Session(
+                        device,
+                        seed=job.spec.seed,
+                        total_trials=job.spec.total_trials,
+                        exact=job.spec.exact,
+                        compile_attempts=self.compile_attempts,
+                        cpm_attempts=self.cpm_attempts,
+                        ensemble_size=self.ensemble_size,
+                        cache=self.registry.cache_for(device_key),
+                    )
+                    sessions.append(session)
+                    prepared = session.prepare_scheme(
+                        job.spec.scheme, job.workload
+                    )
+                except Exception as exc:
+                    # ReproError is the expected shape (bad scheme inputs,
+                    # MBM width, ...); anything else is a defect — either
+                    # way it fails this job deterministically (retrying
+                    # replays the same inputs), never its groupmates.
+                    sink.fail(job, str(exc) or repr(exc), retryable=False)
+                    continue
+                prepared_jobs.append((job, prepared))
+            self._observe("prepare", time.perf_counter() - prepare_start)
+            if not prepared_jobs:
+                return
+            executor = self._executor_for(device, exact)
+            execute_start = time.perf_counter()
+            try:
+                pmf_lists = executor.execute_spliced(
+                    [
+                        (prepared.backend, prepared.requests)
+                        for _, prepared in prepared_jobs
+                    ]
+                )
+            except Exception as exc:
+                # The merged batch is all-or-nothing: a backend-level
+                # failure fails every job it carried — retryable, because
+                # re-running the jobs re-derives every input.
+                for job, _ in prepared_jobs:
+                    self._observe(
+                        "execute", time.perf_counter() - execute_start
+                    )
+                    sink.fail(
+                        job, f"batch execution failed: {exc}", retryable=True
+                    )
+                return
+            self._observe("execute", time.perf_counter() - execute_start)
+            finish_start = time.perf_counter()
+            for (job, prepared), pmfs in zip(prepared_jobs, pmf_lists):
+                try:
+                    result = prepared.finish(list(pmfs))
+                    payload = self._payload(job.spec, result)
+                except Exception as exc:
+                    sink.fail(job, str(exc) or repr(exc), retryable=False)
+                    continue
+                try:
+                    self.store.put(job.fingerprint, payload, shard=device_key)
+                except Exception:
+                    # A store that cannot persist (full disk, bad path)
+                    # costs memoization, never the computed result.
+                    sink.store_error(job)
+                with self._lock:
+                    self.executed += 1
+                sink.finish(job, payload, source="executed")
+            self._observe("finish", time.perf_counter() - finish_start)
+        finally:
+            for session in sessions:
+                session.close()
+
+    @staticmethod
+    def _payload(spec: JobSpec, result: object) -> Dict[str, Any]:
+        """The JSON-ready payload of a finished scheme result.
+
+        Plan-based results serialize through their own ``to_dict`` (left
+        byte-identical to a solo run's, including its ``scheme`` tag);
+        distribution schemes wrap the output PMF.
+        """
+        if isinstance(result, PMF):
+            return {
+                "scheme": spec.scheme,
+                "payload_version": PAYLOAD_VERSION,
+                "output_pmf": result.to_payload(),
+                "total_trials": spec.total_trials,
+            }
+        return result.to_dict()
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def backend_stats(self) -> Dict[str, int]:
+        """Work counters summed over this engine's backend pool."""
+        counter_names = (
+            "batches",
+            "requests",
+            "groups",
+            "coalesced_requests",
+            "statevector_evals",
+            "channel_evals",
+            "spliced_parts",
+        )
+        totals: Dict[str, int] = {name: 0 for name in counter_names}
+        with self._lock:
+            executors = list(self._executors.values())
+        for executor in executors:
+            stats = executor.stats()
+            for name in counter_names:
+                totals[name] += int(stats[name])
+        return totals
+
+    def stats(self) -> Dict[str, Any]:
+        """Engine counters + backend totals (JSON-ready)."""
+        with self._lock:
+            counters = {
+                "batches": self.batches,
+                "memoized": self.memoized,
+                "executed": self.executed,
+            }
+        counters["backend"] = self.backend_stats()
+        return counters
+
+    def close(self) -> None:
+        """Release every backend worker pool this engine created."""
+        with self._lock:
+            executors = list(self._executors.values())
+        for executor in executors:
+            executor.close()

@@ -205,6 +205,8 @@ class Job:
     source: Optional[str] = None
     #: Admission sequence number (FIFO tie-break within a priority).
     sequence: int = 0
+    #: Execution attempts so far (the serving tier's retry accounting).
+    attempts: int = 0
 
     @property
     def done(self) -> bool:

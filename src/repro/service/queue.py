@@ -38,21 +38,37 @@ class FairShareQueue:
         fair_share: fraction of ``capacity`` one tenant may occupy,
             in ``(0, 1]``; the per-tenant cap is
             ``max(1, ceil(capacity * fair_share))``.
+        lanes: independent drain lanes (the serving tier gives each drain
+            worker its own lane under ``placement="round_robin"``).
+            Admission accounting — capacity, fair share, counters — is
+            **global** across lanes; only the drain order is per-lane, so
+            a flooding tenant is capped by the whole queue's fair share no
+            matter how its jobs spread over lanes.
     """
 
-    def __init__(self, capacity: int = 256, fair_share: float = 0.5) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        fair_share: float = 0.5,
+        lanes: int = 1,
+    ) -> None:
         if capacity < 1:
             raise ServiceError("queue capacity must be >= 1")
         if not 0.0 < fair_share <= 1.0:
             raise ServiceError("fair_share must be in (0, 1]")
+        if lanes < 1:
+            raise ServiceError("lanes must be >= 1")
         self.capacity = capacity
         self.fair_share = fair_share
+        self.lanes = lanes
         self.tenant_cap = max(1, math.ceil(capacity * fair_share))
-        self._heap: List[tuple] = []
+        self._heaps: List[List[tuple]] = [[] for _ in range(lanes)]
         self._pending_by_tenant: Dict[str, int] = {}
         self._sequence = 0
         self._lock = threading.Lock()
-        self._not_empty = threading.Condition(self._lock)
+        self._not_empty = [
+            threading.Condition(self._lock) for _ in range(lanes)
+        ]
         #: Cumulative admission counters (see :meth:`stats`).
         self.admitted = 0
         self.rejected_full = 0
@@ -60,45 +76,58 @@ class FairShareQueue:
 
     # ------------------------------------------------------------------
 
-    def push(self, job: Job) -> Job:
-        """Admit ``job`` or raise :class:`AdmissionError` (counted)."""
+    def push(self, job: Job, lane: int = 0, force: bool = False) -> Job:
+        """Admit ``job`` or raise :class:`AdmissionError` (counted).
+
+        ``force`` skips the capacity and fair-share checks (it still
+        counts the pending slot): the retry path re-queues a job that was
+        already admitted once, and a full queue must never lose it.
+        """
         tenant = job.spec.tenant
         with self._lock:
-            if len(self._heap) >= self.capacity:
-                self.rejected_full += 1
-                raise AdmissionError(
-                    f"queue full ({self.capacity} pending); retry later"
-                )
-            held = self._pending_by_tenant.get(tenant, 0)
-            if held >= self.tenant_cap:
-                self.rejected_fair_share += 1
-                raise AdmissionError(
-                    f"tenant {tenant!r} holds {held} of its "
-                    f"{self.tenant_cap} fair-share slots; retry later"
-                )
+            pending = sum(len(heap) for heap in self._heaps)
+            if not force:
+                if pending >= self.capacity:
+                    self.rejected_full += 1
+                    raise AdmissionError(
+                        f"queue full ({self.capacity} pending); retry later"
+                    )
+                held = self._pending_by_tenant.get(tenant, 0)
+                if held >= self.tenant_cap:
+                    self.rejected_fair_share += 1
+                    raise AdmissionError(
+                        f"tenant {tenant!r} holds {held} of its "
+                        f"{self.tenant_cap} fair-share slots; retry later"
+                    )
             self._sequence += 1
             job.sequence = self._sequence
             heapq.heappush(
-                self._heap, (-job.spec.priority, job.sequence, job)
+                self._heaps[lane], (-job.spec.priority, job.sequence, job)
             )
-            self._pending_by_tenant[tenant] = held + 1
+            self._pending_by_tenant[tenant] = (
+                self._pending_by_tenant.get(tenant, 0) + 1
+            )
             self.admitted += 1
-            self._not_empty.notify()
+            self._not_empty[lane].notify()
             return job
 
     def pop_batch(
-        self, max_jobs: int, timeout: Optional[float] = None
+        self,
+        max_jobs: int,
+        timeout: Optional[float] = None,
+        lane: int = 0,
     ) -> List[Job]:
         """Up to ``max_jobs`` jobs in drain order; blocks until at least
         one is available (or the timeout lapses — then an empty list)."""
         if max_jobs < 1:
             raise ServiceError("max_jobs must be >= 1")
-        with self._not_empty:
-            if not self._heap and timeout != 0:
-                self._not_empty.wait(timeout)
+        heap = self._heaps[lane]
+        with self._not_empty[lane]:
+            if not heap and timeout != 0:
+                self._not_empty[lane].wait(timeout)
             batch: List[Job] = []
-            while self._heap and len(batch) < max_jobs:
-                _, _, job = heapq.heappop(self._heap)
+            while heap and len(batch) < max_jobs:
+                _, _, job = heapq.heappop(heap)
                 tenant = job.spec.tenant
                 remaining = self._pending_by_tenant.get(tenant, 1) - 1
                 if remaining > 0:
@@ -112,7 +141,7 @@ class FairShareQueue:
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._heap)
+            return sum(len(heap) for heap in self._heaps)
 
     def pending_by_tenant(self) -> Dict[str, int]:
         """Pending-slot usage per tenant (a snapshot)."""
@@ -123,7 +152,8 @@ class FairShareQueue:
         """Admission/backpressure counters (JSON-ready)."""
         with self._lock:
             return {
-                "pending": len(self._heap),
+                "pending": sum(len(heap) for heap in self._heaps),
+                "pending_per_lane": [len(heap) for heap in self._heaps],
                 "capacity": self.capacity,
                 "tenant_cap": self.tenant_cap,
                 "admitted": self.admitted,

@@ -1,11 +1,10 @@
 """The mitigation service: multiplex many tenants' jobs over one runtime.
 
-:class:`MitigationService` is the serving layer the ROADMAP's
-production north star calls for.  A solo :class:`~repro.runtime.Session`
-owns its device, cache, and backend alone; the service multiplexes a
-*stream* of jobs over shared infrastructure, exploiting VarSaw's
-observation that the big savings live in deduplicating shared structure
-**across** requests:
+:class:`MitigationService` is the single-drain serving layer from PR 5.
+A solo :class:`~repro.runtime.Session` owns its device, cache, and
+backend alone; the service multiplexes a *stream* of jobs over shared
+infrastructure, exploiting VarSaw's observation that the big savings
+live in deduplicating shared structure **across** requests:
 
 * **Shared stage cache** (per device): every job's compilation rides the
   route-once store, so the second job over a program pays retarget+EPS
@@ -19,6 +18,11 @@ observation that the big savings live in deduplicating shared structure
   resubmitted identical job returns instantly, across tenants and — with
   a disk-backed store — across process restarts.
 
+The batch-processing core lives in
+:class:`~repro.service.engine.ExecutionEngine` (shared with the
+concurrent serving tier, :mod:`repro.service.tier`); this class is the
+thin single-worker front end: one queue, one engine, one drain loop.
+
 The determinism boundary that makes all of this safe: every job gets its
 **own** equally-parameterised ``Session`` seeded from its spec, and the
 spliced execution spawns each job's per-request seed streams from that
@@ -31,28 +35,11 @@ invariant the tests assert.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
-from repro.core.payload import PAYLOAD_VERSION
-from repro.core.pmf import PMF
-from repro.devices.device import Device
-from repro.devices.library import DEVICE_FACTORIES
-from repro.exceptions import ReproError, ServiceError
-from repro.noise.model import NoiseModel
-from repro.noise.sampler import NoisySampler
-from repro.runtime.backend import local_backend
-from repro.runtime.cache import CompilationCache
-from repro.runtime.fingerprint import device_fingerprint
-from repro.runtime.parallel import ShardedBackend
-from repro.runtime.session import Session
-from repro.service.job import (
-    Job,
-    JobSpec,
-    JobStatus,
-    job_fingerprint,
-    resolve_spec_circuit,
-    spec_circuit,
-)
+from repro.exceptions import ServiceError
+from repro.service.engine import DeviceRegistry, ExecutionEngine
+from repro.service.job import Job, JobSpec, JobStatus, job_fingerprint, spec_circuit
 from repro.service.queue import FairShareQueue
 from repro.service.store import ResultStore
 
@@ -80,6 +67,9 @@ class MitigationService:
         compile_attempts / cpm_attempts / ensemble_size: compiler knobs
             applied to every job's session (they participate in the job
             fingerprint, so stores never mix results across knob sets).
+        registry: shared :class:`DeviceRegistry`; defaults to a private
+            one built from ``devices``.  The serving tier passes one
+            registry to many engines so stage caches span workers.
     """
 
     def __init__(
@@ -94,10 +84,11 @@ class MitigationService:
         compile_attempts: int = 4,
         cpm_attempts: int = 3,
         ensemble_size: int = 4,
+        registry: Optional[DeviceRegistry] = None,
     ) -> None:
         if max_batch < 1:
             raise ServiceError("max_batch must be >= 1")
-        self._device_registry = dict(devices or DEVICE_FACTORIES)
+        self.registry = registry or DeviceRegistry(devices)
         self.store = store if store is not None else ResultStore()
         self.queue = FairShareQueue(capacity=capacity, fair_share=fair_share)
         self.max_batch = max_batch
@@ -106,16 +97,18 @@ class MitigationService:
         self.compile_attempts = compile_attempts
         self.cpm_attempts = cpm_attempts
         self.ensemble_size = ensemble_size
+        self.engine = ExecutionEngine(
+            self.registry,
+            self.store,
+            compile_attempts=compile_attempts,
+            cpm_attempts=cpm_attempts,
+            ensemble_size=ensemble_size,
+            workers=workers,
+            executor=executor,
+        )
         #: Knob salt folded into every job fingerprint: two services with
         #: different compiler knobs must never share stored results.
-        self.config_salt = (
-            f"attempts={compile_attempts}|cpm={cpm_attempts}"
-            f"|ensemble={ensemble_size}"
-        )
-        self._devices: Dict[str, Device] = {}
-        self._device_keys: Dict[str, str] = {}
-        self._caches: Dict[str, CompilationCache] = {}
-        self._executors: Dict[Tuple[str, bool], ShardedBackend] = {}
+        self.config_salt = self.engine.config_salt
         self._jobs: Dict[str, Job] = {}
         self._lock = threading.RLock()
         self._job_done = threading.Condition(self._lock)
@@ -128,57 +121,6 @@ class MitigationService:
         self.failed = 0
         self.batches = 0
         self.store_errors = 0
-
-    # ------------------------------------------------------------------
-    # Registries
-    # ------------------------------------------------------------------
-
-    def _device(self, name: str) -> Device:
-        with self._lock:
-            device = self._devices.get(name)
-            if device is None:
-                entry = self._device_registry.get(name)
-                if entry is None:
-                    raise ServiceError(
-                        f"unknown device {name!r}; options: "
-                        f"{sorted(self._device_registry)}"
-                    )
-                device = entry() if callable(entry) else entry
-                self._devices[name] = device
-                self._device_keys[name] = device_fingerprint(device)
-            return device
-
-    def _device_key(self, name: str) -> str:
-        self._device(name)
-        return self._device_keys[name]
-
-    def _cache_for(self, device_key: str) -> CompilationCache:
-        with self._lock:
-            cache = self._caches.get(device_key)
-            if cache is None:
-                cache = self._caches[device_key] = CompilationCache()
-            return cache
-
-    def _executor_for(self, device: Device, exact: bool) -> ShardedBackend:
-        """The shared spliced-batch executor of one (device, mode) lane.
-
-        Its inner backend only supplies the mode and a representative
-        sampler — spliced parts bring their own seed streams — so one
-        executor (and its worker pool, and its work counters) serves
-        every batch of the lane.
-        """
-        key = (device_fingerprint(device), exact)
-        with self._lock:
-            executor = self._executors.get(key)
-            if executor is None:
-                sampler = NoisySampler(NoiseModel.from_device(device), seed=0)
-                executor = ShardedBackend(
-                    local_backend(sampler, exact),
-                    workers=self.workers,
-                    executor=self.executor,
-                )
-                self._executors[key] = executor
-            return executor
 
     # ------------------------------------------------------------------
     # Submission
@@ -201,7 +143,7 @@ class MitigationService:
         # ideal-state simulation — resolves lazily at execution, so a
         # memoized resubmission never pays it.
         circuit = spec_circuit(spec)
-        device_key = self._device_key(spec.device)
+        device_key = self.registry.device_key(spec.device)
         fingerprint = job_fingerprint(
             spec, circuit, device_key, self.config_salt
         )
@@ -211,8 +153,7 @@ class MitigationService:
             with self._lock:
                 self._jobs[job.job_id] = job
                 self.submitted += 1
-                self.memoized += 1
-            self._finish(job, cached, source="memoized")
+            self.finish(job, cached, source="memoized")
             return job
         self.queue.push(job)  # raises AdmissionError on backpressure
         with self._lock:
@@ -275,7 +216,7 @@ class MitigationService:
                 return settled
             with self._lock:
                 self.batches += 1
-            self._process_batch_safely(batch)
+            self.engine.process_batch(batch, self)
             settled.extend(batch)
 
     def start(self) -> None:
@@ -305,173 +246,39 @@ class MitigationService:
                 continue
             with self._lock:
                 self.batches += 1
-            self._process_batch_safely(batch)
-
-    def _process_batch_safely(self, batch: List[Job]) -> None:
-        """Run a batch; a defect can fail its jobs but never the service.
-
-        Per-job failures are handled inside :meth:`_process_batch`; this
-        backstop catches anything unexpected that escapes it (an I/O
-        error from the result store, a bug) and fails the batch's
-        unsettled jobs loudly instead of killing the worker thread and
-        leaving them ``RUNNING`` forever.
-        """
-        try:
-            self._process_batch(batch)
-        except Exception as exc:  # noqa: BLE001 - the worker must survive
-            for job in batch:
-                if not job.done:
-                    self._fail(job, f"service error: {exc!r}")
+            self.engine.process_batch(batch, self)
 
     # ------------------------------------------------------------------
-    # Batch processing
+    # BatchSink: how the engine reports outcomes back
     # ------------------------------------------------------------------
 
-    def _process_batch(self, jobs: List[Job]) -> None:
-        """Run one drained batch: memoize, group, splice, fan out."""
-        ready: List[Job] = []
-        followers: Dict[str, List[Job]] = {}
-        primaries: Dict[str, Job] = {}
-        for job in jobs:
-            # Late memoization: an identical job may have finished while
-            # this one sat in the queue.
-            cached = self.store.get(job.fingerprint)
-            if cached is not None:
-                with self._lock:
-                    self.memoized += 1
-                self._finish(job, cached, source="memoized")
-                continue
-            # Within-batch duplicates ride their primary's execution.
-            primary = primaries.get(job.fingerprint)
-            if primary is not None:
-                followers.setdefault(primary.job_id, []).append(job)
-                continue
-            primaries[job.fingerprint] = job
-            ready.append(job)
-
-        groups: Dict[Tuple[str, bool], List[Job]] = {}
-        for job in ready:
-            key = (self._device_key(job.spec.device), job.spec.exact)
-            groups.setdefault(key, []).append(job)
-        for (device_key, exact), group in sorted(
-            groups.items(), key=lambda item: item[0]
-        ):
-            self._process_group(group, exact)
-
-        for primary_id, dependents in followers.items():
-            primary = self.job(primary_id)
-            for job in dependents:
-                if primary.status is JobStatus.DONE:
-                    with self._lock:
-                        self.memoized += 1
-                    self._finish(job, primary.result, source="memoized")
-                else:
-                    self._fail(job, primary.error or "primary job failed")
-
-    def _process_group(self, jobs: List[Job], exact: bool) -> None:
-        """Plan every job of one (device, mode) lane, splice, reconstruct."""
-        sessions: List[Session] = []
-        prepared_jobs: List[tuple] = []
-        device: Optional[Device] = None
-        try:
-            for job in jobs:
-                job.status = JobStatus.RUNNING
-                try:
-                    if job.workload is None:
-                        job.workload = resolve_spec_circuit(job.spec)
-                    device = self._device(job.spec.device)
-                    session = Session(
-                        device,
-                        seed=job.spec.seed,
-                        total_trials=job.spec.total_trials,
-                        exact=job.spec.exact,
-                        compile_attempts=self.compile_attempts,
-                        cpm_attempts=self.cpm_attempts,
-                        ensemble_size=self.ensemble_size,
-                        cache=self._cache_for(
-                            self._device_key(job.spec.device)
-                        ),
-                    )
-                    sessions.append(session)
-                    prepared = session.prepare_scheme(
-                        job.spec.scheme, job.workload
-                    )
-                except Exception as exc:
-                    # ReproError is the expected shape (bad scheme inputs,
-                    # MBM width, ...); anything else is a defect — either
-                    # way it fails this job, never its groupmates.
-                    self._fail(job, str(exc) or repr(exc))
-                    continue
-                prepared_jobs.append((job, prepared))
-            if not prepared_jobs:
-                return
-            executor = self._executor_for(device, exact)
-            try:
-                pmf_lists = executor.execute_spliced(
-                    [
-                        (prepared.backend, prepared.requests)
-                        for _, prepared in prepared_jobs
-                    ]
-                )
-            except Exception as exc:
-                # The merged batch is all-or-nothing: a backend-level
-                # failure fails every job it carried.
-                for job, _ in prepared_jobs:
-                    self._fail(job, f"batch execution failed: {exc}")
-                return
-            for (job, prepared), pmfs in zip(prepared_jobs, pmf_lists):
-                try:
-                    result = prepared.finish(list(pmfs))
-                    payload = self._payload(job.spec, result)
-                except Exception as exc:
-                    self._fail(job, str(exc) or repr(exc))
-                    continue
-                try:
-                    self.store.put(job.fingerprint, payload)
-                except Exception:
-                    # A store that cannot persist (full disk, bad path)
-                    # costs memoization, never the computed result.
-                    with self._lock:
-                        self.store_errors += 1
-                with self._lock:
-                    self.executed += 1
-                self._finish(job, payload, source="executed")
-        finally:
-            for session in sessions:
-                session.close()
-
-    @staticmethod
-    def _payload(spec: JobSpec, result: object) -> Dict[str, Any]:
-        """The JSON-ready payload of a finished scheme result.
-
-        Plan-based results serialize through their own ``to_dict`` (left
-        byte-identical to a solo run's, including its ``scheme`` tag);
-        distribution schemes wrap the output PMF.
-        """
-        if isinstance(result, PMF):
-            return {
-                "scheme": spec.scheme,
-                "payload_version": PAYLOAD_VERSION,
-                "output_pmf": result.to_payload(),
-                "total_trials": spec.total_trials,
-            }
-        return result.to_dict()
-
-    def _finish(
-        self, job: Job, payload: Dict[str, Any], source: str
-    ) -> None:
+    def finish(self, job: Job, payload: Dict[str, Any], source: str) -> None:
         with self._job_done:
             job.result = payload
             job.source = source
             job.status = JobStatus.DONE
+            if source == "memoized":
+                self.memoized += 1
+            elif source == "executed":
+                self.executed += 1
             self._job_done.notify_all()
 
-    def _fail(self, job: Job, error: str) -> None:
+    def fail(self, job: Job, error: str, retryable: bool = False) -> None:
+        # The single-drain service has no retry path: retryable or not,
+        # a failure is terminal here (the tier's sink re-queues instead).
         with self._job_done:
             job.error = error
             job.status = JobStatus.FAILED
             self.failed += 1
             self._job_done.notify_all()
+
+    def store_error(self, job: Job) -> None:
+        with self._lock:
+            self.store_errors += 1
+
+    #: The payload shape is the engine's (kept here as an alias: tests and
+    #: drivers compare solo-session payloads through it).
+    _payload = staticmethod(ExecutionEngine._payload)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -485,50 +292,27 @@ class MitigationService:
     def service_stats(self) -> Dict[str, Any]:
         """Queue/store/backend/compiler counters, one JSON-ready snapshot."""
         with self._lock:
-            counter_names = (
-                "batches",
-                "requests",
-                "groups",
-                "coalesced_requests",
-                "statevector_evals",
-                "channel_evals",
-                "spliced_parts",
-            )
-            backend: Dict[str, int] = {name: 0 for name in counter_names}
-            for executor in self._executors.values():
-                stats = executor.stats()
-                for name in counter_names:
-                    backend[name] += int(stats[name])
-            caches = {
-                "plan_hits": sum(c.hits for c in self._caches.values()),
-                "plan_misses": sum(c.misses for c in self._caches.values()),
-                "stage_entries": sum(
-                    c.stage_entries() for c in self._caches.values()
-                ),
+            jobs = {
+                "submitted": self.submitted,
+                "queued": len(self.queue),
+                "memoized": self.memoized,
+                "executed": self.executed,
+                "failed": self.failed,
+                "batches": self.batches,
+                "store_errors": self.store_errors,
             }
-            return {
-                "jobs": {
-                    "submitted": self.submitted,
-                    "queued": len(self.queue),
-                    "memoized": self.memoized,
-                    "executed": self.executed,
-                    "failed": self.failed,
-                    "batches": self.batches,
-                    "store_errors": self.store_errors,
-                },
-                "queue": self.queue.stats(),
-                "store": self.store.stats(),
-                "backend": backend,
-                "compiler": caches,
-            }
+        return {
+            "jobs": jobs,
+            "queue": self.queue.stats(),
+            "store": self.store.stats(),
+            "backend": self.engine.backend_stats(),
+            "compiler": self.registry.compiler_stats(),
+        }
 
     def close(self) -> None:
         """Stop the worker loop and release executor worker pools."""
         self.stop()
-        with self._lock:
-            executors = list(self._executors.values())
-        for executor in executors:
-            executor.close()
+        self.engine.close()
 
     def __enter__(self) -> "MitigationService":
         return self

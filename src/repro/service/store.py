@@ -120,8 +120,18 @@ class ResultStore:
             self.hits += 1
             return json.loads(json.dumps(payload))
 
-    def put(self, fingerprint: str, payload: Mapping[str, Any]) -> None:
+    def put(
+        self,
+        fingerprint: str,
+        payload: Mapping[str, Any],
+        shard: Optional[str] = None,
+    ) -> None:
         """Store ``payload`` under ``fingerprint`` (and journal it).
+
+        ``shard`` is accepted for interface compatibility with the
+        serving tier's :class:`~repro.service.tier.SegmentedResultStore`
+        (which partitions its journal by it) and ignored here — the
+        legacy store keeps one flat journal.
 
         The payload is canonicalised through a JSON round-trip before it
         is remembered, so the memory tier holds exactly what a journal

@@ -1,0 +1,115 @@
+"""Per-job event logs: the streaming status surface of the serving tier.
+
+Every job admitted by the :class:`~repro.service.tier.ServiceSupervisor`
+gets one append-only :class:`JobEventLog`.  Producers (the front end,
+drain workers, the retry scheduler) append :class:`JobEvent`\\ s;
+consumers stream them through :meth:`JobEventLog.watch`, a blocking
+iterator that yields events in order as they arrive and terminates after
+the job's terminal event (``done`` or ``failed``).  The supervisor's
+``watch()``/``awatch()`` APIs are thin wrappers over this.
+
+The log is intentionally tiny: a list plus a condition variable.  Events
+carry a monotonically increasing per-job ``seq`` so a consumer can
+resume a watch from where a previous one stopped (``after_seq``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["JobEvent", "JobEventLog", "TERMINAL_EVENTS"]
+
+#: Event kinds after which a job's log receives no further events.
+TERMINAL_EVENTS = frozenset({"done", "failed"})
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One lifecycle event of one job.
+
+    ``kind`` is the machine-readable state transition (``queued``,
+    ``running``, ``done``, ``failed``, ``retrying``, ``requeued``);
+    ``detail`` carries free-form context (attempt number, worker id,
+    backoff delay, error text).
+    """
+
+    seq: int
+    job_id: str
+    kind: str
+    timestamp: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the ``--stats-json``/watch wire shape)."""
+        return {
+            "seq": self.seq,
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "timestamp": self.timestamp,
+            "detail": dict(self.detail),
+        }
+
+
+class JobEventLog:
+    """Append-only, watchable event history of one job."""
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        self._events: List[JobEvent] = []
+        self._lock = threading.Lock()
+        self._appended = threading.Condition(self._lock)
+
+    def append(self, kind: str, **detail: Any) -> JobEvent:
+        """Record one event (and wake every watcher)."""
+        with self._appended:
+            event = JobEvent(
+                seq=len(self._events) + 1,
+                job_id=self.job_id,
+                kind=kind,
+                timestamp=time.time(),
+                detail=detail,
+            )
+            self._events.append(event)
+            self._appended.notify_all()
+            return event
+
+    def snapshot(self) -> List[JobEvent]:
+        """Every event so far, in order."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def closed(self) -> bool:
+        """Whether a terminal event has been appended."""
+        with self._lock:
+            return bool(self._events) and (
+                self._events[-1].kind in TERMINAL_EVENTS
+            )
+
+    def watch(
+        self, after_seq: int = 0, timeout: Optional[float] = None
+    ) -> Iterator[JobEvent]:
+        """Yield events ``> after_seq`` as they arrive; stop after the
+        terminal event.  ``timeout`` bounds the wait for *each* event; a
+        lapse raises ``TimeoutError`` (a hung job must fail loudly, not
+        hang its watchers too).
+        """
+        next_seq = after_seq
+        while True:
+            with self._appended:
+                if not self._appended.wait_for(
+                    lambda: len(self._events) > next_seq, timeout=timeout
+                ):
+                    raise TimeoutError(
+                        f"no event on job {self.job_id} within {timeout}s "
+                        f"(after seq {next_seq})"
+                    )
+                batch = self._events[next_seq:]
+                next_seq = len(self._events)
+            for event in batch:
+                yield event
+                if event.kind in TERMINAL_EVENTS:
+                    return

@@ -1,0 +1,493 @@
+"""The sharded, segmented result journal of the serving tier.
+
+PR 5's :class:`~repro.service.store.ResultStore` journals every payload
+into **one** append-only JSONL file.  That is correct under one writer,
+but it compacts never (dead records accumulate forever) and serialises
+every drain worker through one file.  This module replaces it for the
+tier:
+
+* **Sharding** — the journal is partitioned into per-shard directories
+  keyed by the *device fingerprint* (the ``shard`` hint
+  :meth:`SegmentedResultStore.put` receives from the execution engine).
+  Workers serving different devices append to different files; each
+  shard has its own lock, its own segments, its own compaction clock.
+  Payloads with no hint (or legacy migrations) land in a prefix shard of
+  the fingerprint, so sharding never needs the device to exist.
+* **Segments** — each shard is a sequence of JSONL segment files
+  (``seg-000001.jsonl``, monotonically numbered).  The highest-numbered
+  segment is the *active* one; it rolls when it exceeds
+  ``segment_bytes``.  Only the active segment can have a torn final line
+  (a crash mid-append); sealed segments are complete by construction, so
+  mid-file corruption anywhere is a real error
+  (:class:`~repro.exceptions.PayloadError`), not a crash artifact.
+* **Compaction** — when a shard accumulates enough sealed segments or
+  enough *dead* records (older duplicates of a re-put fingerprint),
+  compaction rewrites the shard's live records into one next-numbered
+  segment (a snapshot — later records win, exactly replay order) and
+  deletes the inputs.  Numbering makes this crash-safe without renames:
+  a crash after writing the snapshot but before deleting the inputs just
+  replays both, and the snapshot's higher number wins.
+* **Replay** — construction replays every shard's segments in number
+  order, later records winning, torn tail tolerated on the active
+  segment only, payload versions checked
+  (:mod:`repro.core.payload`).
+
+The class is ``put``/``get``/``stats`` duck-type compatible with
+:class:`ResultStore`, so the engine, the service, and the CLI accept
+either.  :func:`migrate_journal` rewrites a legacy single-file JSONL
+journal into this format (the ``repro store compact`` command).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.payload import PAYLOAD_VERSION, check_payload_version
+from repro.exceptions import PayloadError, ServiceError
+
+__all__ = ["SegmentedResultStore", "migrate_journal"]
+
+_SEGMENT_RE = re.compile(r"^seg-(\d{6})\.jsonl$")
+
+
+def _segment_name(number: int) -> str:
+    return f"seg-{number:06d}.jsonl"
+
+
+def _shard_dir_name(shard: str) -> str:
+    """A filesystem-safe directory name for a shard key."""
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", shard)[:64] or "_"
+
+
+def _read_segment(
+    path: str, tolerate_torn_tail: bool
+) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Yield ``(fingerprint, payload)`` records of one segment file.
+
+    A torn final line is skipped when ``tolerate_torn_tail`` (the active
+    segment — a crash interrupted an append); anywhere else it raises
+    :class:`PayloadError`, as does any structural defect.
+    """
+    with open(path) as handle:
+        lines = handle.readlines()
+    for line_number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if tolerate_torn_tail and line_number == len(lines):
+                return
+            raise PayloadError(
+                f"{path}:{line_number}: corrupt journal record: {exc}"
+            ) from exc
+        check_payload_version(record, what=f"{path}:{line_number}")
+        fingerprint = record.get("fingerprint")
+        payload = record.get("payload")
+        if not isinstance(fingerprint, str) or not isinstance(payload, dict):
+            raise PayloadError(
+                f"{path}:{line_number}: journal record needs "
+                "'fingerprint' and 'payload'"
+            )
+        yield fingerprint, payload
+
+
+class _Shard:
+    """One shard: its directory, segments, live map, and counters.
+
+    All access is serialised by the shard's own lock — two workers
+    writing different shards never contend.
+    """
+
+    def __init__(self, root: str, key: str) -> None:
+        self.key = key
+        self.dir = os.path.join(root, _shard_dir_name(key))
+        self._lock = threading.Lock()
+        #: fingerprint -> segment number currently holding its live record.
+        self._live: Dict[str, int] = {}
+        self._dead = 0
+        self._active_number = 0
+        self._active_bytes = 0
+        self.compactions = 0
+        os.makedirs(self.dir, exist_ok=True)
+        self._replay()
+
+    # -- recovery -------------------------------------------------------
+
+    def _segments(self) -> List[int]:
+        numbers = []
+        for name in os.listdir(self.dir):
+            match = _SEGMENT_RE.match(name)
+            if match:
+                numbers.append(int(match.group(1)))
+        return sorted(numbers)
+
+    def _segment_path(self, number: int) -> str:
+        return os.path.join(self.dir, _segment_name(number))
+
+    def _replay(self) -> Dict[str, Dict[str, Any]]:
+        """Rebuild the live map from disk; returns the live payloads."""
+        payloads: Dict[str, Dict[str, Any]] = {}
+        self._live.clear()
+        self._dead = 0
+        numbers = self._segments()
+        for number in numbers:
+            active = number == numbers[-1]
+            for fingerprint, payload in _read_segment(
+                self._segment_path(number), tolerate_torn_tail=active
+            ):
+                if fingerprint in self._live:
+                    self._dead += 1
+                self._live[fingerprint] = number
+                payloads[fingerprint] = payload
+        self._active_number = numbers[-1] if numbers else 0
+        self._active_bytes = (
+            os.path.getsize(self._segment_path(self._active_number))
+            if numbers
+            else 0
+        )
+        return payloads
+
+    # -- writes ---------------------------------------------------------
+
+    def append(
+        self,
+        fingerprint: str,
+        payload: Dict[str, Any],
+        segment_bytes: int,
+        max_segments: int,
+        max_dead_ratio: float,
+    ) -> None:
+        """Append one record; roll and compact by the shard's triggers."""
+        line = (
+            json.dumps(
+                {
+                    "fingerprint": fingerprint,
+                    "payload_version": payload["payload_version"],
+                    "payload": payload,
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        with self._lock:
+            if self._active_number == 0 or self._active_bytes >= segment_bytes:
+                self._active_number += 1
+                self._active_bytes = 0
+            path = self._segment_path(self._active_number)
+            with open(path, "a") as handle:
+                handle.write(line)
+            self._active_bytes += len(line)
+            if fingerprint in self._live:
+                self._dead += 1
+            self._live[fingerprint] = self._active_number
+            live = len(self._live)
+            if len(self._segments()) > max_segments or (
+                live and self._dead / (live + self._dead) > max_dead_ratio
+            ):
+                self._compact_locked()
+
+    def compact(self) -> None:
+        """Force a compaction (the ``repro store compact`` path)."""
+        with self._lock:
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        """Merge every segment into one next-numbered snapshot.
+
+        The snapshot is written *before* the inputs are deleted: a crash
+        in between leaves both on disk, and replay's later-wins rule
+        resolves it in the snapshot's favour.
+        """
+        numbers = self._segments()
+        if not numbers:
+            return
+        payloads = self._replay()
+        snapshot = numbers[-1] + 1
+        path = self._segment_path(snapshot)
+        with open(path, "w") as handle:
+            for fingerprint in sorted(payloads):
+                handle.write(
+                    json.dumps(
+                        {
+                            "fingerprint": fingerprint,
+                            "payload_version": payloads[fingerprint][
+                                "payload_version"
+                            ],
+                            "payload": payloads[fingerprint],
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        for number in numbers:
+            os.remove(self._segment_path(number))
+        self._live = {fingerprint: snapshot for fingerprint in payloads}
+        self._dead = 0
+        self._active_number = snapshot
+        self._active_bytes = os.path.getsize(path)
+        self.compactions += 1
+
+    # -- reads ----------------------------------------------------------
+
+    def load(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Re-read one live record from disk (memory-tier miss path)."""
+        with self._lock:
+            number = self._live.get(fingerprint)
+            if number is None:
+                return None
+            numbers = self._segments()
+            found: Optional[Dict[str, Any]] = None
+            for candidate, payload in _read_segment(
+                self._segment_path(number),
+                tolerate_torn_tail=bool(numbers) and number == numbers[-1],
+            ):
+                if candidate == fingerprint:
+                    found = payload  # later duplicates in-segment win
+            return found
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "segments": len(self._segments()),
+                "live": len(self._live),
+                "dead": self._dead,
+                "compactions": self.compactions,
+            }
+
+
+class SegmentedResultStore:
+    """Sharded, segmented, compacting result store.
+
+    Duck-type compatible with :class:`~repro.service.store.ResultStore`
+    (``get``/``put``/``stats``/``len``/``in``); the differences are the
+    on-disk format (per-shard segment directories under ``root``) and
+    that ``put``'s ``shard`` hint actually routes.
+
+    Args:
+        root: journal directory (created if missing).  ``None`` makes the
+            store memory-only — same behaviour, nothing persisted.
+        max_entries: memory-tier LRU bound (``None`` unbounded).
+            Evictions only drop the fast path: a disk-backed entry
+            reloads from its shard on the next ``get``.
+        segment_bytes: active-segment size that triggers a roll.
+        max_segments: per-shard sealed+active segment count that triggers
+            compaction.
+        max_dead_ratio: dead-record fraction that triggers compaction.
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        max_entries: Optional[int] = 1024,
+        segment_bytes: int = 1 << 20,
+        max_segments: int = 8,
+        max_dead_ratio: float = 0.5,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ServiceError("max_entries must be >= 1 or None")
+        if segment_bytes < 1:
+            raise ServiceError("segment_bytes must be >= 1")
+        if max_segments < 1:
+            raise ServiceError("max_segments must be >= 1")
+        if not 0.0 < max_dead_ratio <= 1.0:
+            raise ServiceError("max_dead_ratio must be in (0, 1]")
+        self.root = root
+        self.max_entries = max_entries
+        self.segment_bytes = segment_bytes
+        self.max_segments = max_segments
+        self.max_dead_ratio = max_dead_ratio
+        self._data: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        #: fingerprint -> shard key (to find evicted entries on disk).
+        self._shard_of: Dict[str, str] = {}
+        self._shards: Dict[str, _Shard] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.loaded = 0
+        self.reloads = 0
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+            self._replay_all()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _replay_all(self) -> None:
+        """Replay every shard directory under ``root`` at construction."""
+        for name in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, name)
+            if not os.path.isdir(path):
+                continue
+            shard = _Shard(self.root, name)
+            # The directory name *is* the shard key on replay (it was
+            # sanitised at creation; routing only needs consistency).
+            self._shards[name] = shard
+            for fingerprint, payload in shard._replay().items():
+                with self._lock:
+                    self._remember(fingerprint, payload, name)
+                    self.loaded += 1
+
+    # ------------------------------------------------------------------
+
+    def _shard_key(self, shard: Optional[str], fingerprint: str) -> str:
+        """Route a record: the device hint, else a fingerprint prefix."""
+        if shard:
+            return _shard_dir_name(shard)
+        return f"fp-{fingerprint[:2]}"
+
+    def _shard_for(self, key: str) -> _Shard:
+        with self._lock:
+            shard = self._shards.get(key)
+            if shard is None:
+                shard = self._shards[key] = _Shard(self.root, key)
+            return shard
+
+    def _remember(
+        self, fingerprint: str, payload: Dict[str, Any], shard_key: str
+    ) -> None:
+        self._data[fingerprint] = payload
+        self._data.move_to_end(fingerprint)
+        self._shard_of[fingerprint] = shard_key
+        if self.max_entries is not None:
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # The store interface
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The stored payload, or ``None`` (counted).  Falls back to the
+        owning shard's segment files when the LRU evicted the entry."""
+        with self._lock:
+            payload = self._data.get(fingerprint)
+            if payload is not None:
+                self._data.move_to_end(fingerprint)
+                self.hits += 1
+                return json.loads(json.dumps(payload))
+            shard_key = self._shard_of.get(fingerprint)
+        if shard_key is None or self.root is None:
+            with self._lock:
+                self.misses += 1
+            return None
+        payload = self._shard_for(shard_key).load(fingerprint)
+        with self._lock:
+            if payload is None:
+                self.misses += 1
+                return None
+            self.reloads += 1
+            self.hits += 1
+            self._remember(fingerprint, payload, shard_key)
+            return json.loads(json.dumps(payload))
+
+    def put(
+        self,
+        fingerprint: str,
+        payload: Mapping[str, Any],
+        shard: Optional[str] = None,
+    ) -> None:
+        """Store ``payload``; journal it into the shard ``shard`` routes
+        to (the engine passes the device fingerprint)."""
+        record = dict(payload)
+        record.setdefault("payload_version", PAYLOAD_VERSION)
+        check_payload_version(record, what="result payload")
+        canonical = json.loads(json.dumps(record, sort_keys=True))
+        shard_key = self._shard_key(shard, fingerprint)
+        if self.root is not None:
+            self._shard_for(shard_key).append(
+                fingerprint,
+                canonical,
+                segment_bytes=self.segment_bytes,
+                max_segments=self.max_segments,
+                max_dead_ratio=self.max_dead_ratio,
+            )
+        with self._lock:
+            self._remember(fingerprint, canonical, shard_key)
+
+    def compact(self) -> None:
+        """Force-compact every shard (one segment each afterwards)."""
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            shard.compact()
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            if fingerprint in self._data:
+                return True
+            return fingerprint in self._shard_of
+
+    def stats(self) -> Dict[str, Any]:
+        """Memory-tier counters + per-shard segment stats (JSON-ready)."""
+        with self._lock:
+            counters = {
+                "entries": len(self._data),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "loaded": self.loaded,
+                "reloads": self.reloads,
+                "root": self.root,
+            }
+            shards = dict(self._shards)
+        counters["shards"] = {
+            key: shard.stats() for key, shard in sorted(shards.items())
+        }
+        return counters
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SegmentedResultStore(entries={len(self)}, "
+            f"shards={len(self._shards)}, root={self.root!r})"
+        )
+
+
+def migrate_journal(legacy_path: str, root: str) -> Dict[str, Any]:
+    """Rewrite a legacy single-file JSONL journal into segment format.
+
+    The one-shot migration behind ``repro store compact``: replays the
+    legacy journal with the same tolerance rules as
+    :class:`~repro.service.store.ResultStore` (torn final line skipped,
+    mid-file corruption fatal, versions checked), routes each live record
+    into a fingerprint-prefix shard under ``root``, and compacts.  The
+    legacy file is left untouched — deleting it is the caller's call.
+
+    Returns a summary dict (records read, live records written, shards).
+    """
+    if not os.path.exists(legacy_path):
+        raise ServiceError(f"no journal at {legacy_path!r}")
+    store = SegmentedResultStore(root=root, max_entries=None)
+    read = 0
+    for fingerprint, payload in _read_segment(
+        legacy_path, tolerate_torn_tail=True
+    ):
+        store.put(fingerprint, payload)
+        read += 1
+    store.compact()
+    stats = store.stats()
+    return {
+        "legacy_path": legacy_path,
+        "root": root,
+        "records_read": read,
+        "records_live": len(store),
+        "shards": len(stats["shards"]),
+    }

@@ -1,0 +1,130 @@
+"""Drain workers: the concurrent execution lanes of the serving tier.
+
+A :class:`DrainWorker` is one thread in the supervisor's pool.  Each
+worker owns a **private** :class:`~repro.service.engine.ExecutionEngine`
+(its own backend pool, its own work counters) while sharing the
+supervisor's device registry (so stage caches span workers), result
+store, and admission queue.  The loop is deliberately small:
+
+    pop a batch from my lane -> register it in-flight -> process it
+    through my engine -> clear the in-flight registration.
+
+Outcomes flow through the supervisor's :class:`BatchSink` implementation,
+which is where retry policy lives — the worker itself has none.
+
+Crash semantics: any exception escaping the loop (the engine's backstop
+makes that rare in production; the test ``fault_injector`` hook makes it
+deliberate) marks the worker crashed and exits the thread **without**
+clearing the in-flight registration.  The supervisor's monitor detects
+the dead worker, re-queues its unsettled jobs through the retry path,
+and respawns the lane.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+from repro.service.engine import ExecutionEngine
+from repro.service.job import Job
+
+__all__ = ["DrainWorker"]
+
+#: A test hook called with ``(worker_name, batch)`` before each batch; it
+#: may raise to simulate the worker dying mid-flight.
+FaultInjector = Callable[[str, List[Job]], None]
+
+
+class DrainWorker:
+    """One drain lane: a thread, an engine, and a queue lane to pop.
+
+    Args:
+        supervisor: the owning ``ServiceSupervisor`` (provides the queue,
+            the sink, and the in-flight registry).
+        index: stable lane index (survives respawns — the respawned
+            worker keeps its predecessor's lane and name generation).
+        lane: the :class:`~repro.service.queue.FairShareQueue` lane this
+            worker drains (equal to ``index`` under round-robin
+            placement, ``0`` when the queue is shared).
+        engine: this worker's private execution engine.
+        generation: respawn count (names are ``worker-<index>`` for
+            generation 0, ``worker-<index>.r<generation>`` after).
+    """
+
+    def __init__(
+        self,
+        supervisor: Any,
+        index: int,
+        lane: int,
+        engine: ExecutionEngine,
+        fault_injector: Optional[FaultInjector] = None,
+        poll_interval: float = 0.02,
+        generation: int = 0,
+    ) -> None:
+        self.supervisor = supervisor
+        self.index = index
+        self.lane = lane
+        self.engine = engine
+        self.fault_injector = fault_injector
+        self.poll_interval = poll_interval
+        self.generation = generation
+        self.name = (
+            f"worker-{index}" if generation == 0
+            else f"worker-{index}.r{generation}"
+        )
+        self.crashed: Optional[BaseException] = None
+        self.batches = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"tier-{self.name}", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Ask the loop to exit after its current batch."""
+        self._stop.set()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            batch = self.supervisor.queue.pop_batch(
+                self.supervisor.max_batch,
+                timeout=self.poll_interval,
+                lane=self.lane,
+            )
+            if not batch:
+                continue
+            self.batches += 1
+            self.supervisor._begin_batch(self, batch)
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector(self.name, batch)
+                # The engine's backstop settles every job on an internal
+                # defect, so reaching _end_batch is the normal path.
+                self.engine.process_batch(batch, self.supervisor)
+            except BaseException as exc:  # noqa: BLE001 - crash boundary
+                # Crash: exit WITHOUT clearing the in-flight registry —
+                # that registration is exactly how the monitor finds the
+                # jobs this worker died holding.
+                self.crashed = exc
+                return
+            self.supervisor._end_batch(self, batch)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "crashed" if self.crashed is not None
+            else "alive" if self.alive else "stopped"
+        )
+        return f"DrainWorker({self.name}, lane={self.lane}, {state})"

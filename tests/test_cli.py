@@ -180,3 +180,142 @@ class TestServe:
         )
         assert completed.returncode == 0, completed.stderr
         assert "done" in completed.stdout
+
+
+class TestServeTier:
+    def _jobs_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "jobs.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"tenant": "alice", "workload": "GHZ-4",
+                     "total_trials": 1024, "seed": 0},
+                    {"tenant": "bob", "workload": "BV-4",
+                     "scheme": "baseline", "total_trials": 1024},
+                    {"tenant": "carol", "workload": "GHZ-4",
+                     "scheme": "edm", "total_trials": 1024, "seed": 1},
+                ]
+            )
+        )
+        return path
+
+    def test_tier_serve_matches_single_drain(self, tmp_path, capsys):
+        """--workers N serves the same stream with identical statuses."""
+        jobs = str(self._jobs_file(tmp_path))
+        assert main(["serve", "--jobs", jobs]) == 0
+        single = capsys.readouterr().out
+        assert main(["serve", "--jobs", jobs, "--workers", "2"]) == 0
+        tier = capsys.readouterr().out
+        assert "tier:    2 workers" in tier
+        assert single.count("done") == tier.count("done") == 3
+
+    def test_tier_serve_stats_json(self, tmp_path, capsys):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        code = main(
+            ["serve", "--jobs", str(self._jobs_file(tmp_path)),
+             "--workers", "2", "--stats-json", str(stats_path)]
+        )
+        assert code == 0
+        stats = json.loads(stats_path.read_text())
+        assert stats["jobs"]["executed"] == 3
+        assert len(stats["workers"]) == 2
+        assert stats["latency"]["batches"] >= 1
+        assert "queue_wait" in stats["latency"]["stages"]
+
+    def test_tier_serve_with_segmented_store(self, tmp_path, capsys):
+        jobs = str(self._jobs_file(tmp_path))
+        store_dir = str(tmp_path / "segments")
+        assert main(
+            ["serve", "--jobs", jobs, "--workers", "2",
+             "--store-dir", store_dir]
+        ) == 0
+        capsys.readouterr()
+        # Restart replays the journal: the whole stream memoizes.
+        assert main(["serve", "--jobs", jobs, "--store-dir", store_dir]) == 0
+        assert "0 executed, 3 memoized" in capsys.readouterr().out
+
+    def test_store_and_store_dir_exclusive(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--jobs", str(self._jobs_file(tmp_path)),
+             "--store", str(tmp_path / "a.jsonl"),
+             "--store-dir", str(tmp_path / "b")]
+        )
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_tier_serve_subprocess_hard_timeout(self, tmp_path):
+        """CI's tier e2e smoke: submit -> watch -> fetch through a real
+        multi-worker process under a hard timeout."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(
+            json.dumps(
+                [
+                    {"tenant": "ci", "workload": "GHZ-4",
+                     "total_trials": 1024, "seed": s}
+                    for s in range(3)
+                ]
+            )
+        )
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--jobs", str(jobs),
+             "--workers", "2", "--stats-json", "-"],
+            capture_output=True,
+            text=True,
+            timeout=120,  # hard timeout: a hung tier fails loudly
+            env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "done" in completed.stdout
+        assert '"placement"' in completed.stdout  # the stats snapshot
+
+
+class TestStoreCompact:
+    def test_migrates_legacy_journal(self, tmp_path, capsys):
+        from repro.service import ResultStore
+        from repro.service.tier import SegmentedResultStore
+
+        legacy = tmp_path / "legacy.jsonl"
+        store = ResultStore(path=str(legacy))
+        for i in range(3):
+            store.put(f"fp{i}", {"scheme": "jigsaw", "value": i})
+        into = str(tmp_path / "segments")
+        assert main(
+            ["store", "compact", "--journal", str(legacy), "--into", into]
+        ) == 0
+        assert "migrated 3 records" in capsys.readouterr().out
+        migrated = SegmentedResultStore(root=into)
+        assert all(migrated.get(f"fp{i}")["value"] == i for i in range(3))
+
+    def test_compacts_segmented_store_in_place(self, tmp_path, capsys):
+        import os
+
+        from repro.service.tier import SegmentedResultStore
+
+        root = str(tmp_path / "segments")
+        store = SegmentedResultStore(root=root, segment_bytes=80)
+        for i in range(6):
+            store.put(f"fp{i}", {"scheme": "jigsaw", "value": i}, shard="devA")
+        assert len(os.listdir(os.path.join(root, "devA"))) > 1
+        assert main(["store", "compact", "--dir", root]) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert len(os.listdir(os.path.join(root, "devA"))) == 1
+
+    def test_requires_arguments(self, capsys):
+        assert main(["store", "compact"]) == 1
+        assert "needs" in capsys.readouterr().err
+        assert main(["store", "compact", "--journal", "x.jsonl"]) == 1
+        assert "--into" in capsys.readouterr().err

@@ -1,0 +1,442 @@
+"""The serving tier: N-worker determinism, crash-replay, quotas, events.
+
+The load-bearing claims (ISSUE acceptance criteria):
+
+* Results from N concurrent drain workers — any placement, any arrival
+  order, any crash/retry schedule — are **bit-for-bit** equal to a solo
+  ``Session.run`` of the same spec, for every scheme.
+* A worker crash mid-batch re-queues its jobs (bounded retries with
+  backoff) and the tier converges; retry exhaustion fails the job with a
+  typed terminal error rather than hanging it.
+* Per-tenant rate limits and quotas reject with typed
+  :class:`~repro.exceptions.AdmissionError` subclasses, and a flooding
+  tenant can never starve the others past the fair-share cap — asserted
+  by a property test over random submission schedules.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import ibmq_toronto
+from repro.exceptions import (
+    AdmissionError,
+    QuotaExceededError,
+    RateLimitError,
+    ServiceError,
+)
+from repro.runtime import Session
+from repro.service import JobSpec, MitigationService
+from repro.service.job import SERVICE_SCHEMES, JobStatus
+from repro.service.queue import FairShareQueue
+from repro.service.tier import (
+    AdmissionController,
+    ServiceSupervisor,
+    TenantPolicy,
+    TokenBucket,
+)
+from repro.service.tier.stats import LatencyHistogram, TierStats
+from repro.workloads import workload_by_name
+
+DEVICES = {"toronto": ibmq_toronto}
+
+
+def solo_payload(spec: JobSpec, supervisor: ServiceSupervisor) -> dict:
+    """The payload a solo, equally-parameterised session produces."""
+    factory = DEVICES[spec.device]
+    kwargs = supervisor._engine_kwargs
+    with Session(
+        factory(),
+        seed=spec.seed,
+        total_trials=spec.total_trials,
+        exact=spec.exact,
+        compile_attempts=kwargs["compile_attempts"],
+        cpm_attempts=kwargs["cpm_attempts"],
+        ensemble_size=kwargs["ensemble_size"],
+    ) as session:
+        workload = workload_by_name(spec.workload)
+        prepared = session.prepare_scheme(spec.scheme, workload)
+        result = session._run_prepared(prepared)
+        return MitigationService._payload(spec, result)
+
+
+def spec(i=0, tenant="a", workload="GHZ-4", scheme="baseline", **kw):
+    return JobSpec(
+        tenant=tenant, workload=workload, scheme=scheme, seed=i, **kw
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("placement", ["shared", "round_robin"])
+    def test_all_schemes_bitforbit_solo_at_three_workers(self, placement):
+        """Every scheme through 3 concurrent workers == solo session."""
+        specs = [
+            JobSpec(
+                tenant=f"t{i % 2}", workload="GHZ-6", scheme=scheme, seed=5
+            )
+            for i, scheme in enumerate(SERVICE_SCHEMES)
+        ]
+        with ServiceSupervisor(
+            devices=DEVICES, workers=3, placement=placement
+        ) as sup:
+            jobs = [sup.submit(s) for s in specs]
+            for job in jobs:
+                sup.wait(job, timeout=300)
+            for s, job in zip(specs, jobs):
+                assert job.status is JobStatus.DONE, job.error
+                assert job.result == solo_payload(s, sup)
+
+    def test_sampled_mode_bitforbit_solo(self):
+        specs = [
+            spec(i, scheme="jigsaw", workload="GHZ-5", exact=False,
+                 total_trials=2048)
+            for i in range(4)
+        ]
+        with ServiceSupervisor(devices=DEVICES, workers=2) as sup:
+            jobs = [sup.submit(s) for s in specs]
+            for s, job in zip(specs, jobs):
+                sup.wait(job, timeout=300)
+                assert job.result == solo_payload(s, sup)
+
+    def test_worker_count_and_arrival_order_invariant(self):
+        """Same stream, different worker counts and orders: same payloads."""
+        specs = [
+            spec(i, tenant=f"t{i % 3}", workload="GHZ-5",
+                 scheme=("jigsaw", "mbm", "edm")[i % 3])
+            for i in range(6)
+        ]
+        by_fingerprint = {}
+        for workers, order in ((1, 1), (2, -1), (4, 1)):
+            with ServiceSupervisor(devices=DEVICES, workers=workers) as sup:
+                jobs = [sup.submit(s) for s in specs[::order]]
+                for job in jobs:
+                    sup.wait(job, timeout=300)
+                    assert job.status is JobStatus.DONE, job.error
+                    expected = by_fingerprint.setdefault(
+                        job.fingerprint, job.result
+                    )
+                    assert job.result == expected
+
+    def test_cross_worker_memoization_via_shared_store(self):
+        with ServiceSupervisor(devices=DEVICES, workers=2) as sup:
+            first = sup.submit(spec(1))
+            sup.wait(first, timeout=300)
+            second = sup.submit(spec(1))
+            sup.wait(second, timeout=300)
+            assert second.source == "memoized"
+            assert second.result == first.result
+
+
+class TestCrashReplay:
+    def test_crash_mid_batch_retries_and_converges(self):
+        crashes = {"left": 2}
+        lock = threading.Lock()
+
+        def injector(worker, batch):
+            with lock:
+                if crashes["left"] > 0:
+                    crashes["left"] -= 1
+                    raise RuntimeError("injected crash")
+
+        with ServiceSupervisor(
+            devices=DEVICES, workers=2, max_retries=3, backoff_base=0.01,
+            fault_injector=injector,
+        ) as sup:
+            job = sup.submit(spec(2, scheme="jigsaw"))
+            sup.wait(job, timeout=300)
+            assert job.status is JobStatus.DONE, job.error
+            # The payload survived the crash schedule bit-for-bit.
+            assert job.result == solo_payload(job.spec, sup)
+            kinds = [e.kind for e in sup.events(job)]
+            assert "retrying" in kinds and "requeued" in kinds
+            assert kinds[-1] == "done"
+            stats = sup.tier_stats()
+            assert stats["latency"]["worker_crashes"] >= 1
+            assert stats["jobs"]["retried"] >= 1
+            # Crashed lanes were respawned: the pool is whole again.
+            assert all(w["alive"] for w in stats["workers"])
+
+    def test_retry_exhaustion_fails_terminally(self):
+        def injector(worker, batch):
+            raise RuntimeError("always crashes")
+
+        sup = ServiceSupervisor(
+            devices=DEVICES, workers=1, max_retries=2, backoff_base=0.01,
+            fault_injector=injector,
+        )
+        sup.start()
+        try:
+            job = sup.submit(spec(3))
+            sup.wait(job, timeout=60)
+            assert job.status is JobStatus.FAILED
+            assert job.attempts == 2
+            assert "crashed" in job.error
+            kinds = [e.kind for e in sup.events(job)]
+            assert kinds.count("retrying") == 2
+            assert kinds[-1] == "failed"
+        finally:
+            sup.stop(drain=False)
+
+    def test_deterministic_failure_is_not_retried(self):
+        """A bad spec fails identically every time: no retry burned."""
+        with ServiceSupervisor(
+            devices=DEVICES, workers=1, max_retries=3
+        ) as sup:
+            # MBM on an 18-bit output exceeds MAX_MBM_QUBITS (16); the
+            # check fires at preparation — a deterministic failure that
+            # must settle terminally without consuming the retry budget.
+            job = sup.submit(
+                JobSpec(tenant="a", workload="GHZ-18", scheme="mbm",
+                        total_trials=1024)
+            )
+            sup.wait(job, timeout=300)
+            assert job.status is JobStatus.FAILED
+            assert "MBM" in job.error
+            assert job.attempts == 0
+            kinds = [e.kind for e in sup.events(job)]
+            assert "retrying" not in kinds
+            with pytest.raises(ServiceError, match="failed"):
+                sup.result(job)
+
+    def test_graceful_drain_settles_everything(self):
+        sup = ServiceSupervisor(devices=DEVICES, workers=2)
+        sup.start()
+        jobs = [sup.submit(spec(i, tenant=f"t{i % 3}")) for i in range(6)]
+        sup.stop(drain=True, timeout=300)
+        assert all(job.done for job in jobs)
+        assert sup.tier_stats()["jobs"]["open"] == 0
+        sup.close()
+
+
+class TestEventsAndAsync:
+    def test_watch_streams_lifecycle_in_order(self):
+        with ServiceSupervisor(devices=DEVICES, workers=1) as sup:
+            job = sup.submit(spec(4))
+            events = list(sup.watch(job, timeout=300))
+            kinds = [e.kind for e in events]
+            assert kinds[0] == "queued"
+            assert kinds[-1] == "done"
+            assert "running" in kinds
+            assert [e.seq for e in events] == list(range(1, len(events) + 1))
+            # A late watcher replays the full history and still ends.
+            assert [e.kind for e in sup.watch(job, timeout=1)] == kinds
+            # Resume from a midpoint.
+            tail = [e.kind for e in sup.watch(job, after_seq=1, timeout=1)]
+            assert tail == kinds[1:]
+
+    def test_memoized_submit_emits_terminal_events(self):
+        with ServiceSupervisor(devices=DEVICES, workers=1) as sup:
+            first = sup.submit(spec(5))
+            sup.wait(first, timeout=300)
+            second = sup.submit(spec(5))
+            kinds = [e.kind for e in sup.watch(second, timeout=5)]
+            assert kinds == ["queued", "done"]
+
+    def test_asyncio_surface(self):
+        async def scenario(sup):
+            job = await sup.asubmit(spec(6, scheme="edm"))
+            kinds = []
+            async for event in sup.awatch(job, timeout=300):
+                kinds.append(event.kind)
+            payload = await sup.aresult(job, timeout=5)
+            return job, kinds, payload
+
+        with ServiceSupervisor(devices=DEVICES, workers=2) as sup:
+            job, kinds, payload = asyncio.run(scenario(sup))
+            assert kinds[-1] == "done"
+            assert payload == job.result == solo_payload(job.spec, sup)
+
+    def test_poll_reports_status_row(self):
+        with ServiceSupervisor(devices=DEVICES, workers=1) as sup:
+            job = sup.submit(spec(7))
+            sup.wait(job, timeout=300)
+            row = sup.poll(job.job_id)
+            assert row["status"] == "done"
+            assert row["attempts"] == 0
+            assert row["events"] >= 3
+
+    def test_tier_stats_shape(self):
+        with ServiceSupervisor(devices=DEVICES, workers=2) as sup:
+            sup.wait(sup.submit(spec(8)), timeout=300)
+            stats = sup.tier_stats()
+            assert stats["jobs"]["executed"] == 1
+            assert len(stats["workers"]) == 2
+            latency = stats["latency"]
+            assert latency["batches"] >= 1
+            assert latency["avg_batch_occupancy"] >= 1
+            for stage in ("queue_wait", "prepare", "execute", "job_total"):
+                assert latency["stages"][stage]["count"] >= 1
+
+
+class TestAdmission:
+    def test_rate_limit_is_typed_and_carries_retry_after(self):
+        fake = {"t": 0.0}
+        sup = ServiceSupervisor(
+            devices=DEVICES, workers=1,
+            policies={"a": TenantPolicy(rate=1.0, burst=1)},
+            clock=lambda: fake["t"],
+        )
+        sup.start()
+        try:
+            sup.submit(spec(10))
+            with pytest.raises(RateLimitError) as err:
+                sup.submit(spec(11))
+            assert isinstance(err.value, AdmissionError)
+            assert err.value.retry_after == pytest.approx(1.0)
+            fake["t"] += 2.0  # the bucket refills; quota would not
+            sup.submit(spec(12))
+        finally:
+            sup.stop(drain=True, timeout=300)
+            sup.close()
+
+    def test_quota_is_typed_and_never_refills(self):
+        fake = {"t": 0.0}
+        sup = ServiceSupervisor(
+            devices=DEVICES, workers=1,
+            policies={"a": TenantPolicy(trial_budget=40_000)},
+            clock=lambda: fake["t"],
+        )
+        sup.start()
+        try:
+            sup.submit(spec(13))  # 32768 of the 40000 budget
+            with pytest.raises(QuotaExceededError) as err:
+                sup.submit(spec(14))
+            assert isinstance(err.value, AdmissionError)
+            fake["t"] += 1e6  # time cannot refill a quota
+            with pytest.raises(QuotaExceededError):
+                sup.submit(spec(15))
+            stats = sup.tier_stats()["admission"]
+            assert stats["rejected_quota"] == 2
+            assert stats["trials_used"]["a"] == 32_768
+        finally:
+            sup.stop(drain=True, timeout=300)
+            sup.close()
+
+    def test_memoized_resubmission_is_quota_free(self):
+        sup = ServiceSupervisor(
+            devices=DEVICES, workers=1,
+            policies={"a": TenantPolicy(trial_budget=40_000)},
+        )
+        sup.start()
+        try:
+            first = sup.submit(spec(16))
+            sup.wait(first, timeout=300)
+            # Identical resubmission is served from the store: free.
+            for _ in range(3):
+                assert sup.submit(spec(16)).source == "memoized"
+            assert (
+                sup.tier_stats()["admission"]["trials_used"]["a"] == 32_768
+            )
+        finally:
+            sup.stop(drain=True, timeout=300)
+            sup.close()
+
+    def test_token_bucket_refills_to_burst(self):
+        fake = {"t": 0.0}
+        bucket = TokenBucket(rate=2.0, burst=4, clock=lambda: fake["t"])
+        for _ in range(4):
+            bucket.consume()
+        with pytest.raises(RateLimitError) as err:
+            bucket.consume()
+        assert err.value.retry_after == pytest.approx(0.5)
+        fake["t"] += 100.0
+        assert bucket.available() == pytest.approx(4.0)  # capped at burst
+
+
+class TestFairnessProperty:
+    """Adversarial tenancy: a flooder cannot starve others, ever."""
+
+    @given(
+        flood=st.integers(min_value=8, max_value=40),
+        others=st.lists(
+            st.sampled_from(["b", "c", "d"]), min_size=1, max_size=12
+        ),
+        interleave=st.lists(st.booleans(), min_size=8, max_size=52),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_flooder_capped_others_admitted(self, flood, others, interleave):
+        """Random schedules of a flooding tenant vs small tenants: the
+        flooder never exceeds the fair-share cap, and *every* small
+        tenant submission within its own cap is admitted."""
+        queue = FairShareQueue(capacity=16, fair_share=0.25, lanes=2)
+        controller = AdmissionController(
+            queue,
+            policies={"flood": TenantPolicy(trial_budget=10_000_000)},
+        )
+        flood_specs = iter(range(flood))
+        other_specs = iter(others)
+        schedule = list(interleave)
+        admitted_flood = rejected_flood = 0
+        lane = 0
+        while True:
+            take_flood = schedule.pop(0) if schedule else True
+            if take_flood:
+                index = next(flood_specs, None)
+                if index is None:
+                    break
+                job = _job("flood", seed=index)
+                try:
+                    controller.admit(job, lane=lane % 2)
+                    admitted_flood += 1
+                except AdmissionError:
+                    rejected_flood += 1
+            else:
+                tenant = next(other_specs, None)
+                if tenant is None:
+                    continue
+                # Small tenants stay under their own cap, so admission
+                # must NEVER reject them, no matter the flood pressure.
+                held = queue.pending_by_tenant().get(tenant, 0)
+                job = _job(tenant, seed=lane)
+                if held < queue.tenant_cap and len(queue) < queue.capacity:
+                    controller.admit(job, lane=lane % 2)
+                else:
+                    with pytest.raises(AdmissionError):
+                        controller.admit(job, lane=lane % 2)
+            lane += 1
+            # Invariant: the flooder never holds more than the cap.
+            assert (
+                queue.pending_by_tenant().get("flood", 0) <= queue.tenant_cap
+            )
+        assert admitted_flood <= queue.tenant_cap
+        if flood > queue.tenant_cap:
+            assert rejected_flood > 0
+
+
+def _job(tenant, seed=0):
+    from repro.service.job import Job
+
+    return Job(
+        spec=JobSpec(tenant=tenant, workload="GHZ-4", seed=seed),
+        fingerprint=f"fp-{tenant}-{seed}",
+    )
+
+
+class TestStats:
+    def test_histogram_buckets_and_moments(self):
+        histogram = LatencyHistogram(bounds=[0.1, 1.0])
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["min_seconds"] == 0.05
+        assert snap["max_seconds"] == 5.0
+        assert snap["mean_seconds"] == pytest.approx(5.55 / 3)
+        assert snap["buckets"] == {"le_0.1": 1, "le_1": 1, "inf": 1}
+
+    def test_tier_stats_counters(self):
+        stats = TierStats()
+        stats.record_batch(3)
+        stats.record_batch(1)
+        stats.record_retry()
+        stats.observe("execute", 0.25)
+        snap = stats.snapshot()
+        assert snap["batches"] == 2
+        assert snap["avg_batch_occupancy"] == 2.0
+        assert snap["retries"] == 1
+        assert snap["stages"]["execute"]["count"] == 1

@@ -78,3 +78,36 @@ def save_bench_json(name: str, payload: Dict[str, Any]) -> str:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+#: Where the per-PR roll-up lands (repo root, next to ROADMAP.md) so the
+#: perf trajectory is one diffable file per PR instead of a directory scan.
+AGGREGATE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_PR7.json",
+)
+
+
+def aggregate_bench_results(path: str = AGGREGATE_PATH) -> str:
+    """Merge every ``results/BENCH_<suite>.json`` into one roll-up file.
+
+    The roll-up maps suite name -> that suite's headline metrics, so
+    route-count/eval-count/throughput regressions show up as a one-file
+    diff across PRs.  Runs from the benchmark conftest at session end —
+    any suite that refreshed its JSON refreshes the roll-up too.
+    Returns the written path (suites are sorted, output is byte-stable).
+    """
+    merged: Dict[str, Any] = {}
+    if os.path.isdir(RESULTS_DIR):
+        for filename in sorted(os.listdir(RESULTS_DIR)):
+            if not filename.startswith("BENCH_") or not filename.endswith(
+                ".json"
+            ):
+                continue
+            suite_name = filename[len("BENCH_") : -len(".json")]
+            with open(os.path.join(RESULTS_DIR, filename)) as handle:
+                merged[suite_name] = json.load(handle)
+    with open(path, "w") as handle:
+        json.dump({"suites": merged}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

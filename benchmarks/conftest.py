@@ -5,3 +5,17 @@ import os
 
 # Make the sibling `_shared` module importable regardless of rootdir.
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Refresh the per-PR BENCH roll-up after any benchmark run.
+
+    Best-effort: an aggregation failure must never turn a green bench
+    session red, so errors go to stderr instead of the exit status.
+    """
+    try:
+        from _shared import aggregate_bench_results
+
+        aggregate_bench_results()
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"BENCH aggregation failed: {exc!r}", file=sys.stderr)

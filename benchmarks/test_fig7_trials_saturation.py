@@ -5,7 +5,7 @@ correlated errors, not sampling noise, limit fidelity.  This justifies
 the even global/subset trial split (§5.4).
 """
 
-from _shared import FAST, save_result
+from _shared import FAST, save_bench_json, save_result
 from repro.devices import ibmq_paris
 from repro.experiments import figure7_text, run_trials_sweep
 
@@ -26,6 +26,20 @@ def test_figure7_trials_saturation(benchmark):
         iterations=1,
     )
     save_result("figure7_trials_saturation", figure7_text(points))
+    save_bench_json(
+        "fig7_trials_saturation",
+        {
+            "trial_ladder": list(ladder),
+            "pst": {
+                name: {
+                    str(p.trials): round(p.pst, 6)
+                    for p in points
+                    if p.workload == name
+                }
+                for name in workloads
+            },
+        },
+    )
 
     # Saturation: for every workload the PST at the largest trial count is
     # within a small absolute band of the PST at the smallest.

@@ -5,8 +5,14 @@ Paper: JigSaw improves PST 2.91x on average (up to 7.87x); JigSaw-M 3.65x
 and the per-device GMean rows.
 """
 
-from _shared import main_results, save_result
+import math
+
+from _shared import main_results, save_bench_json, save_result
 from repro.experiments.main_results import figure8_text
+
+
+def _gmean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def test_figure8_relative_pst(benchmark):
@@ -18,6 +24,25 @@ def test_figure8_relative_pst(benchmark):
     by_device = {}
     for row in rows:
         by_device.setdefault(row.device, []).append(row)
+    save_bench_json(
+        "fig8_relative_pst",
+        {
+            device: {
+                "gmean_jigsaw": round(
+                    _gmean([r.relative_pst("jigsaw") for r in device_rows]), 6
+                ),
+                "gmean_jigsaw_m": round(
+                    _gmean([r.relative_pst("jigsaw_m") for r in device_rows]),
+                    6,
+                ),
+                "gmean_edm": round(
+                    _gmean([r.relative_pst("edm") for r in device_rows]), 6
+                ),
+                "workloads": len(device_rows),
+            }
+            for device, device_rows in by_device.items()
+        },
+    )
     for device, device_rows in by_device.items():
         jigsaw_gains = [r.relative_pst("jigsaw") for r in device_rows]
         jigsawm_gains = [r.relative_pst("jigsaw_m") for r in device_rows]

@@ -4,7 +4,7 @@ Paper: JigSaw improves fidelity 2.12x on average, JigSaw-M 2.47x (up to
 8.41x); EDM is roughly fidelity-neutral (0.93-1.19x average).
 """
 
-from _shared import main_results, save_result
+from _shared import main_results, save_bench_json, save_result
 from repro.experiments.main_results import (
     MainResultRow,
     relative_stats_table,
@@ -20,6 +20,17 @@ def test_table4_fidelity(benchmark):
 
     table = benchmark.pedantic(project, rounds=1, iterations=1)
     save_result("table4_fidelity", table4_text(rows))
+    save_bench_json(
+        "table4_fidelity",
+        {
+            cells[0]: {
+                "edm_avg": round(cells[3], 6),
+                "jigsaw_avg": round(cells[6], 6),
+                "jigsawm_avg": round(cells[9], 6),
+            }
+            for cells in table
+        },
+    )
 
     for cells in table:
         edm_avg, jigsaw_avg, jigsawm_avg = cells[3], cells[6], cells[9]

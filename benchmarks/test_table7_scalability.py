@@ -8,7 +8,7 @@ trials and qubits.  Spot values: JigSaw (n=100, eps=0.05, T=1024K) runs
 
 import pytest
 
-from _shared import save_result
+from _shared import save_bench_json, save_result
 from repro.core import table7_rows
 from repro.experiments import format_table
 
@@ -33,6 +33,23 @@ def test_table7_scalability(benchmark):
         float_format="{:.2f}",
     )
     save_result("table7_scalability", text)
+    save_bench_json(
+        "table7_scalability",
+        {
+            "rows": [
+                {
+                    "qubits": row["qubits"],
+                    "epsilon": row["epsilon"],
+                    "trials": row["trials"],
+                    "jigsaw_memory_gb": row["jigsaw_memory_gb"],
+                    "jigsaw_ops_millions": row["jigsaw_ops_millions"],
+                    "jigsawm_memory_gb": row["jigsawm_memory_gb"],
+                    "jigsawm_ops_millions": row["jigsawm_ops_millions"],
+                }
+                for row in rows
+            ]
+        },
+    )
 
     indexed = {
         (row["qubits"], row["epsilon"], row["trials"]): row for row in rows

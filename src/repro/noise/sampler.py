@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.pmf import PMF
 from repro.exceptions import SimulationError
 from repro.noise.model import NoiseModel
+from repro.sim import kernels
 from repro.sim.statevector import marginal_probabilities
 from repro.utils.bits import (
     bit_array_to_indices,
@@ -120,21 +121,11 @@ def apply_confusions(
     """Apply per-clbit 2x2 confusion matrices to a ``2**k`` distribution.
 
     ``confusions[c]`` acts on clbit ``c``; matrices are column-stochastic
-    with ``A[observed, actual]``.
+    with ``A[observed, actual]``.  Thin delegate of the batch-aware
+    :func:`repro.sim.kernels.apply_confusions` — the unbatched call runs
+    the identical moveaxis/matmul sequence as the historical kernel.
     """
-    k = len(confusions)
-    if outcome_probs.shape != (1 << k,):
-        raise SimulationError("distribution size does not match confusion count")
-    probs = outcome_probs.reshape((2,) * k)
-    for clbit, matrix in enumerate(confusions):
-        matrix = np.asarray(matrix, dtype=float)
-        if matrix.shape != (2, 2):
-            raise SimulationError("confusion matrices must be 2x2")
-        axis = k - 1 - clbit
-        probs = np.moveaxis(probs, axis, 0)
-        flat = matrix @ probs.reshape(2, -1)
-        probs = np.moveaxis(flat.reshape((2,) * k), 0, axis)
-    return probs.reshape(-1)
+    return kernels.apply_confusions(outcome_probs, confusions)
 
 
 class NoisySampler:
@@ -306,6 +297,180 @@ class NoisySampler:
                 codes, counts = group_code_sums(merged, weights)
                 counts = counts.astype(np.int64)
             results.append(CodeCounts(codes, counts, k))
+        return results
+
+    def sample_group_codes(
+        self,
+        executable: ExecutableCircuit,
+        shots_list: Sequence[int],
+        rng: SeedLike = None,
+    ) -> List[CodeCounts]:
+        """Batched chunked sampling of one coalesced group — stacked twin
+        of :meth:`run_many_codes`, bit-for-bit equal.
+
+        All allocations of the group share one ideal distribution, so the
+        whole group's outcome draw collapses to **one** ``searchsorted``
+        over the shared inverse CDF, and the bit-level noise transforms
+        (failure masks, readout flips, code packing) run once over the
+        concatenated ``(total_trials, k)`` bit matrix instead of once per
+        chunk.  Determinism boundary: the *random numbers* are still drawn
+        from the group's stream chunk by chunk in the oracle's exact
+        order — stacking only batches the deterministic transforms — so
+        per-request seed streams (and therefore sharded determinism) are
+        preserved exactly.
+        """
+        for shots in shots_list:
+            if shots <= 0:
+                raise SimulationError("shots must be positive")
+        rng = as_generator(rng) if rng is not None else self._rng
+        ideal, physical_by_clbit, k = self._measured_setup(executable)
+        ideal = ideal / ideal.sum()
+        p_fail = self.noise_model.circuit_failure_probability(executable.physical)
+        p01, p10 = self.noise_model.readout_rates(physical_by_clbit, k)
+        flip_rate = self.noise_model.gate_failure_flip_rate
+        # Generator.choice(n, size, p) is exactly searchsorted of uniform
+        # draws against the renormalised inclusive CDF.
+        cdf = ideal.cumsum()
+        cdf /= cdf[-1]
+
+        # Chunk plan: one row per (allocation, chunk), in draw order.
+        rows: List[Tuple[int, int]] = []
+        for allocation, shots in enumerate(shots_list):
+            remaining = shots
+            while remaining > 0:
+                chunk = min(remaining, self.chunk_shots)
+                rows.append((allocation, chunk))
+                remaining -= chunk
+
+        # Draw stage: per row, in the oracle's exact RNG order
+        # (failures, outcome uniforms, failure masks, readout draws).
+        failure_rows: List[np.ndarray] = []
+        uniform_rows: List[np.ndarray] = []
+        mask_rows: List[np.ndarray] = []
+        readout_rows: List[np.ndarray] = []
+        for _, chunk in rows:
+            failures = rng.random(chunk) < p_fail
+            uniform_rows.append(rng.random(chunk))
+            num_fail = int(failures.sum())
+            if num_fail:
+                mask_rows.append(
+                    (rng.random((num_fail, k)) < flip_rate).astype(np.uint8)
+                )
+            readout_rows.append(rng.random((chunk, k)))
+            failure_rows.append(failures)
+
+        # Transform stage: one stacked pass over the whole group.
+        outcomes = cdf.searchsorted(
+            np.concatenate(uniform_rows), side="right"
+        )
+        bits = indices_to_bit_array(outcomes, k)
+        failures_all = np.concatenate(failure_rows)
+        if mask_rows:
+            bits[failures_all] ^= np.vstack(mask_rows)
+        draws = np.concatenate(readout_rows)
+        flip = np.where(bits == 0, draws < p01[None, :], draws < p10[None, :])
+        bits = bits ^ flip.astype(np.uint8)
+        codes_all = bit_array_to_indices(bits)
+
+        # Count stage: per-chunk unique then the oracle's merge per
+        # allocation.
+        parts_by_allocation: List[List[Tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in shots_list
+        ]
+        cursor = 0
+        for allocation, chunk in rows:
+            segment = codes_all[cursor : cursor + chunk]
+            cursor += chunk
+            parts_by_allocation[allocation].append(
+                np.unique(segment, return_counts=True)
+            )
+        results: List[CodeCounts] = []
+        for parts in parts_by_allocation:
+            if len(parts) == 1:
+                codes, counts = parts[0]
+            else:
+                merged = np.concatenate([codes for codes, _ in parts])
+                weights = np.concatenate([counts for _, counts in parts])
+                codes, counts = group_code_sums(merged, weights)
+                counts = counts.astype(np.int64)
+            results.append(CodeCounts(codes, counts, k))
+        return results
+
+    # ------------------------------------------------------------------
+
+    def exact_group_distributions(
+        self,
+        executables: Sequence[ExecutableCircuit],
+        threshold: float = 0.0,
+        xp=None,
+    ) -> List[Tuple[np.ndarray, np.ndarray, int]]:
+        """Closed-form noisy distributions of several executables, stacked.
+
+        Executables measuring the same number of bits evaluate the full
+        noise channel (failure mixing + readout confusion) as **one**
+        batched contraction over a ``(B, 2**k)`` stack on the ``xp``
+        namespace; widths with a single member ride the per-circuit
+        oracle path unchanged.  Returns one ``(codes, probs, k)`` triple
+        per executable, in input order, each bit-for-bit equal to
+        :meth:`exact_distribution_arrays` of that executable.
+        """
+        xp = kernels.resolve_namespace(xp)
+        results: List[Tuple[np.ndarray, np.ndarray, int]] = [None] * len(
+            executables
+        )
+        setups = [self._measured_setup(e) for e in executables]
+        by_width: Dict[int, List[int]] = {}
+        for index, (_, _, k) in enumerate(setups):
+            by_width.setdefault(k, []).append(index)
+        flip_rate = self.noise_model.gate_failure_flip_rate
+        flip = np.array(
+            [[1.0 - flip_rate, flip_rate], [flip_rate, 1.0 - flip_rate]]
+        )
+        for k, indices in sorted(by_width.items()):
+            if len(indices) == 1:
+                only = indices[0]
+                results[only] = self.exact_distribution_arrays(
+                    executables[only], threshold
+                )
+                continue
+            batch = len(indices)
+            ideal_rows = np.stack(
+                [
+                    setups[i][0] / setups[i][0].sum()
+                    for i in indices
+                ]
+            )
+            p_fail = np.array(
+                [
+                    self.noise_model.circuit_failure_probability(
+                        executables[i].physical
+                    )
+                    for i in indices
+                ]
+            )
+            ideal = kernels.as_float64(xp, ideal_rows)
+            corrupted = kernels.apply_confusions(ideal, [flip] * k, xp=xp)
+            p_fail_col = xp.reshape(
+                kernels.as_float64(xp, p_fail), (batch, 1)
+            )
+            mixed = (1.0 - p_fail_col) * ideal + p_fail_col * corrupted
+            confusion_rows = [
+                self.noise_model.confusion_matrices(setups[i][1], k)
+                for i in indices
+            ]
+            stacked_confusions = [
+                np.stack([rows[c] for rows in confusion_rows])
+                for c in range(k)
+            ]
+            noisy = kernels.apply_confusions(mixed, stacked_confusions, xp=xp)
+            totals = xp.sum(noisy, axis=1)
+            noisy = noisy / xp.reshape(totals, (batch, 1))
+            noisy_rows = kernels.asnumpy(noisy)
+            for row, i in enumerate(indices):
+                codes = np.flatnonzero(noisy_rows[row] > threshold).astype(
+                    np.int64
+                )
+                results[i] = (codes, noisy_rows[row][codes], k)
         return results
 
     # ------------------------------------------------------------------

@@ -26,6 +26,7 @@ same seed.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -34,6 +35,7 @@ from typing import (
     Optional,
     Protocol,
     Sequence,
+    Tuple,
     runtime_checkable,
 )
 
@@ -42,6 +44,7 @@ from repro.exceptions import SimulationError
 from repro.noise.model import NoiseModel
 from repro.noise.sampler import NoisySampler
 from repro.runtime.fingerprint import unitary_body_fingerprint
+from repro.sim.kernels import structure_key
 from repro.sim.statevector import StatevectorSimulator
 from repro.utils.random import SeedLike
 
@@ -54,7 +57,23 @@ __all__ = [
     "LocalExactBackend",
     "LocalSamplingBackend",
     "local_backend",
+    "exact_reference_default",
 ]
+
+
+def exact_reference_default() -> bool:
+    """Process default of the ``exact_reference`` escape hatch.
+
+    ``REPRO_EXACT_REFERENCE=1`` forces every local backend onto the
+    historical per-circuit oracle kernels — the bit-for-bit reference the
+    stacked execution spine is asserted against in tests.
+    """
+    return os.environ.get("REPRO_EXACT_REFERENCE", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 @dataclass(frozen=True)
@@ -111,6 +130,8 @@ class _LocalBackend:
         sampler: Optional[NoisySampler] = None,
         noise_model: Optional[NoiseModel] = None,
         seed: SeedLike = None,
+        xp=None,
+        exact_reference: Optional[bool] = None,
     ) -> None:
         if sampler is None:
             if noise_model is None:
@@ -119,21 +140,61 @@ class _LocalBackend:
                 )
             sampler = NoisySampler(noise_model, seed=seed)
         self.sampler = sampler
+        #: Array-API namespace spec for the contraction kernels.  Kept as
+        #: the raw spec (``None``/name/module) and resolved at use, so
+        #: ``None`` follows the process default (``REPRO_ARRAY_API`` /
+        #: ``set_default_namespace``) and payloads stay picklable.
+        self.xp = xp
+        #: The per-circuit oracle escape hatch: ``True`` evaluates every
+        #: request through the historical unstacked kernels.  Defaults to
+        #: ``REPRO_EXACT_REFERENCE`` so whole pipelines can be pinned to
+        #: the reference path without plumbing a flag through every layer.
+        self.exact_reference = (
+            exact_reference_default()
+            if exact_reference is None
+            else exact_reference
+        )
         #: Cumulative statevector simulations / noisy-channel evaluations
         #: performed by this backend — the quantities batching and
         #: coalescing save; benchmarks assert on these instead of wall time.
+        #: ``stacked_evals``/``stacked_circuits`` count the contractions
+        #: that ran stacked (batch > 1) and how many circuits rode them.
         self.statevector_evals = 0
         self.channel_evals = 0
+        self.stacked_evals = 0
+        self.stacked_circuits = 0
 
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def share_statevectors(requests: Sequence[ExecutionRequest]) -> int:
-        """Compute one ideal statevector per unitary body across the batch.
+    @classmethod
+    def share_statevectors(
+        cls, requests: Sequence[ExecutionRequest], xp=None
+    ) -> int:
+        """Compute the ideal statevectors of a batch, stacked where possible.
 
         Executables that already carry (shared) ideal probabilities are
-        left untouched.  Returns the number of statevector simulations
-        actually performed — the batch saving is ``len(requests) - n``.
+        left untouched; the rest are grouped by unitary-body fingerprint
+        (one simulation per unique body) and bodies sharing a gate
+        *structure* evolve as one stacked contraction.  Returns the
+        number of contractions actually performed — the batch saving is
+        ``len(requests) - n``.
+        """
+        return cls._share_statevectors_detail(requests, xp=xp)[0]
+
+    @classmethod
+    def _share_statevectors_detail(
+        cls,
+        requests: Sequence[ExecutionRequest],
+        xp=None,
+        exact_reference: bool = False,
+    ) -> Tuple[int, int, int]:
+        """Statevector sharing with stacking counters.
+
+        Returns ``(contractions, stacked_evals, stacked_circuits)``:
+        contractions is the number of simulator calls (one per gate
+        structure; equal to the number of unique bodies when every
+        structure is unique), stacked_evals of which ran with batch > 1,
+        covering stacked_circuits unique bodies in total.
         """
         pending: Dict[str, List[ExecutableCircuit]] = {}
         for request in requests:
@@ -142,12 +203,35 @@ class _LocalBackend:
                 continue
             key = unitary_body_fingerprint(executable.logical)
             pending.setdefault(key, []).append(executable)
-        simulator = StatevectorSimulator()
+        simulator = StatevectorSimulator(xp=xp)
+        if exact_reference:
+            for group in pending.values():
+                shared = simulator.probabilities(group[0].logical)
+                for executable in group:
+                    executable.share_ideal_probabilities(shared)
+            return len(pending), 0, 0
+        by_structure: Dict[tuple, List[List[ExecutableCircuit]]] = {}
         for group in pending.values():
-            shared = simulator.probabilities(group[0].logical)
-            for executable in group:
-                executable.share_ideal_probabilities(shared)
-        return len(pending)
+            by_structure.setdefault(
+                structure_key(group[0].logical), []
+            ).append(group)
+        stacked_evals = 0
+        stacked_circuits = 0
+        for body_groups in by_structure.values():
+            if len(body_groups) == 1:
+                shared = simulator.probabilities(body_groups[0][0].logical)
+                for executable in body_groups[0]:
+                    executable.share_ideal_probabilities(shared)
+                continue
+            rows = simulator.probabilities_stacked(
+                [group[0].logical for group in body_groups]
+            )
+            stacked_evals += 1
+            stacked_circuits += len(body_groups)
+            for row, group in zip(rows, body_groups):
+                for executable in group:
+                    executable.share_ideal_probabilities(row)
+        return len(by_structure), stacked_evals, stacked_circuits
 
     def request_streams(self, count: int) -> List[Optional[object]]:
         """One RNG stream per batch position (``None`` for RNG-free modes)."""
@@ -155,16 +239,23 @@ class _LocalBackend:
 
     def execute(self, requests: Sequence[ExecutionRequest]) -> List[PMF]:
         requests = list(requests)
-        self.statevector_evals += self.share_statevectors(requests)
+        contractions, stacked, circuits = self._share_statevectors_detail(
+            requests, xp=self.xp, exact_reference=self.exact_reference
+        )
+        self.statevector_evals += contractions
+        self.stacked_evals += stacked
+        self.stacked_circuits += circuits
         streams = self.request_streams(len(requests))
-        pmfs = [
-            self._evaluate(request, stream)
-            for request, stream in zip(requests, streams)
-        ]
+        pmfs = self._evaluate_group(requests, streams)
         self.channel_evals += len(requests)
         return pmfs
 
-    def _evaluate(self, request: ExecutionRequest, rng) -> PMF:
+    def _evaluate_group(
+        self,
+        requests: Sequence[ExecutionRequest],
+        streams: Sequence[Optional[object]],
+    ) -> List[PMF]:
+        """Plan and evaluate one batch; one PMF per request, in order."""
         raise NotImplementedError  # pragma: no cover - abstract
 
     def stats(self) -> dict:
@@ -172,6 +263,8 @@ class _LocalBackend:
         return {
             "statevector_evals": self.statevector_evals,
             "channel_evals": self.channel_evals,
+            "stacked_evals": self.stacked_evals,
+            "stacked_circuits": self.stacked_circuits,
         }
 
 
@@ -191,8 +284,28 @@ class LocalExactBackend(_LocalBackend):
         # spawn counter untouched preserves RNG-free exact runs.
         return [None] * count
 
-    def _evaluate(self, request: ExecutionRequest, rng) -> PMF:
-        return self.sampler.exact_pmf(request.executable)
+    def _evaluate_group(
+        self,
+        requests: Sequence[ExecutionRequest],
+        streams: Sequence[Optional[object]],
+    ) -> List[PMF]:
+        if self.exact_reference:
+            return [self.sampler.exact_pmf(r.executable) for r in requests]
+        executables = [r.executable for r in requests]
+        widths: Dict[int, int] = {}
+        for executable in executables:
+            k = len(executable.logical.measurement_map)
+            widths[k] = widths.get(k, 0) + 1
+        for count in widths.values():
+            if count > 1:
+                self.stacked_evals += 1
+                self.stacked_circuits += count
+        return [
+            PMF.from_codes(codes, probs, num_bits)
+            for codes, probs, num_bits in self.sampler.exact_group_distributions(
+                executables, xp=self.xp
+            )
+        ]
 
 
 class LocalSamplingBackend(_LocalBackend):
@@ -212,14 +325,37 @@ class LocalSamplingBackend(_LocalBackend):
     def request_streams(self, count: int) -> List[Optional[object]]:
         return list(self.sampler.spawn_streams(count))
 
-    def _evaluate(self, request: ExecutionRequest, rng) -> PMF:
-        return self.sampler.run_codes(
-            request.executable, request.trials, rng=rng
-        ).to_pmf()
+    def _evaluate_group(
+        self,
+        requests: Sequence[ExecutionRequest],
+        streams: Sequence[Optional[object]],
+    ) -> List[PMF]:
+        pmfs = []
+        for request, stream in zip(requests, streams):
+            if self.exact_reference:
+                counts = self.sampler.run_codes(
+                    request.executable, request.trials, rng=stream
+                )
+            else:
+                # Serial batches keep one stream (and therefore one
+                # sampling group) per request; the stacked sampler is
+                # bit-for-bit run_codes at group size one.
+                (counts,) = self.sampler.sample_group_codes(
+                    request.executable, [request.trials], rng=stream
+                )
+            pmfs.append(counts.to_pmf())
+        return pmfs
 
 
-def local_backend(sampler: NoisySampler, exact: bool) -> Backend:
+def local_backend(
+    sampler: NoisySampler,
+    exact: bool,
+    xp=None,
+    exact_reference: Optional[bool] = None,
+) -> Backend:
     """The default local backend for a sampler: exact or sampling."""
     if exact:
-        return LocalExactBackend(sampler)
-    return LocalSamplingBackend(sampler)
+        return LocalExactBackend(
+            sampler, xp=xp, exact_reference=exact_reference
+        )
+    return LocalSamplingBackend(sampler, xp=xp, exact_reference=exact_reference)

@@ -45,12 +45,17 @@ from repro.runtime.backend import (
     local_backend,
 )
 from repro.runtime.fingerprint import executable_fingerprint
+from repro.sim.kernels import namespace_name
 
 __all__ = ["ShardedBackend", "sharded_local_backend"]
 
 
 def sharded_local_backend(
-    sampler, exact: bool, workers: Optional[int] = None
+    sampler,
+    exact: bool,
+    workers: Optional[int] = None,
+    xp=None,
+    exact_reference: Optional[bool] = None,
 ) -> Backend:
     """The local backend for a sampler, sharded when a fan-out is set.
 
@@ -60,33 +65,94 @@ def sharded_local_backend(
     stays serial (no wrapper), anything larger shards; either way the
     results are bit-for-bit identical.
     """
-    backend = local_backend(sampler, exact)
+    backend = local_backend(sampler, exact, xp=xp, exact_reference=exact_reference)
     if workers is not None and workers > 1:
         return ShardedBackend(backend, workers=workers)
     return backend
 
 
-def _evaluate_group(payload) -> Tuple[List[int], List[tuple]]:
-    """Evaluate one coalesced group; the unit of work a shard executes.
+def _evaluate_shard(payload) -> Tuple[List[int], List[tuple], Dict[str, int]]:
+    """Evaluate one shard — a contiguous run of coalesced groups.
 
     Module-level (not a closure) so the process-pool executor can pickle
-    it.  Returns raw ``(codes, values, num_bits)`` array triples, not
-    PMFs, so the result crosses process boundaries cheaply (two flat
-    arrays per distribution, no strings); the parent rebuilds PMFs in
-    batch order.
+    it.  Exact shards stack their groups: all group leaders sharing one
+    sampler configuration evaluate the noise channel as one batched
+    contraction per measured width (:meth:`NoisySampler.
+    exact_group_distributions`); sampling shards run each group through
+    the group-stacked sampler, one searchsorted per group.  The
+    ``exact_reference`` escape hatch reroutes everything onto the
+    historical per-circuit oracle kernels.  Returns raw ``(codes,
+    values, num_bits)`` array triples, not PMFs, so the result crosses
+    process boundaries cheaply, plus the shard's stacking counters; the
+    parent rebuilds PMFs in batch order.
     """
-    noise_model, chunk_shots, executable, indices, trials, rng, exact = payload
-    # Seed 0 avoids an OS-entropy pull for a default stream that is never
+    groups, exact, exact_reference, xp_spec = payload
+    indices_out: List[int] = []
+    distributions: List[tuple] = []
+    shard_stats = {"stacked_evals": 0, "stacked_circuits": 0}
+    # Seed 0 avoids an OS-entropy pull for default streams that are never
     # drawn: exact mode is RNG-free and sampling always passes rng in.
-    sampler = NoisySampler(noise_model, seed=0, chunk_shots=chunk_shots)
+    samplers: Dict[Tuple[int, int], NoisySampler] = {}
+
+    def sampler_for(noise_model, chunk_shots) -> NoisySampler:
+        key = (id(noise_model), chunk_shots)
+        if key not in samplers:
+            samplers[key] = NoisySampler(
+                noise_model, seed=0, chunk_shots=chunk_shots
+            )
+        return samplers[key]
+
     if exact:
-        triple = sampler.exact_distribution_arrays(executable)
-        return indices, [triple] * len(indices)
-    histograms = sampler.run_many_codes(executable, trials, rng=rng)
-    return indices, [
-        (chunk.codes, chunk.counts.astype(float), chunk.num_bits)
-        for chunk in histograms
-    ]
+        # Partition the shard's groups by sampler configuration (spliced
+        # parts may carry distinct noise-model instances) and evaluate
+        # each partition as one stacked channel contraction.
+        partitions: Dict[Tuple[int, int], List[tuple]] = {}
+        for group in groups:
+            noise_model, chunk_shots = group[0], group[1]
+            partitions.setdefault(
+                (id(noise_model), chunk_shots), []
+            ).append(group)
+        for members in partitions.values():
+            sampler = sampler_for(members[0][0], members[0][1])
+            executables = [group[2] for group in members]
+            if exact_reference or len(executables) == 1:
+                triples = [
+                    sampler.exact_distribution_arrays(executable)
+                    for executable in executables
+                ]
+            else:
+                triples = sampler.exact_group_distributions(
+                    executables, xp=xp_spec
+                )
+                widths: Dict[int, int] = {}
+                for executable in executables:
+                    k = len(executable.logical.measurement_map)
+                    widths[k] = widths.get(k, 0) + 1
+                for count in widths.values():
+                    if count > 1:
+                        shard_stats["stacked_evals"] += 1
+                        shard_stats["stacked_circuits"] += count
+            for group, triple in zip(members, triples):
+                group_indices = group[3]
+                indices_out.extend(group_indices)
+                distributions.extend([triple] * len(group_indices))
+        return indices_out, distributions, shard_stats
+
+    for noise_model, chunk_shots, executable, group_indices, trials, rng in groups:
+        sampler = sampler_for(noise_model, chunk_shots)
+        if exact_reference:
+            histograms = sampler.run_many_codes(executable, trials, rng=rng)
+        else:
+            histograms = sampler.sample_group_codes(executable, trials, rng=rng)
+            if len(trials) > 1:
+                shard_stats["stacked_evals"] += 1
+                shard_stats["stacked_circuits"] += len(trials)
+        indices_out.extend(group_indices)
+        distributions.extend(
+            (chunk.codes, chunk.counts.astype(float), chunk.num_bits)
+            for chunk in histograms
+        )
+    return indices_out, distributions, shard_stats
 
 
 class ShardedBackend:
@@ -147,6 +213,9 @@ class ShardedBackend:
         self.statevector_evals = 0
         self.channel_evals = 0
         self.spliced_parts = 0
+        self.shards_dispatched = 0
+        self.stacked_evals = 0
+        self.stacked_circuits = 0
 
     # ------------------------------------------------------------------
 
@@ -169,9 +238,9 @@ class ShardedBackend:
         streams: Sequence[object],
         samplers: Sequence[NoisySampler],
     ) -> List[tuple]:
-        """One worker payload per group; the leader's sampler supplies the
-        noise model and chunk size (``samplers`` is aligned per request —
-        spliced batches carry one sampler per job)."""
+        """One group tuple per coalesced group; the leader's sampler
+        supplies the noise model and chunk size (``samplers`` is aligned
+        per request — spliced batches carry one sampler per job)."""
         exact = self.inner.deterministic
         payloads = []
         for group in groups:
@@ -190,10 +259,28 @@ class ShardedBackend:
                     list(group),
                     trials,
                     streams[group[0]],
-                    exact,
                 )
             )
         return payloads
+
+    def _shards(self, group_payloads: List[tuple]) -> List[List[tuple]]:
+        """Contiguous split of the batch's groups into worker shards.
+
+        A shard — not a single group — is the unit of work a worker
+        executes, so each worker evaluates its run of groups as stacked
+        contractions.  Contiguity keeps the split deterministic and
+        order-stable; the shard count is ``min(workers, groups)``.
+        """
+        total = len(group_payloads)
+        workers = self.workers if self.workers and self.workers > 1 else 1
+        count = max(1, min(workers, total))
+        shards: List[List[tuple]] = []
+        start = 0
+        for index in range(count):
+            size = total // count + (1 if index < total % count else 0)
+            shards.append(group_payloads[start : start + size])
+            start += size
+        return shards
 
     def execute(self, requests: Sequence[ExecutionRequest]) -> List[PMF]:
         """Evaluate the batch across the pool; one PMF per request, in order."""
@@ -268,24 +355,44 @@ class ShardedBackend:
         streams: Sequence[object],
         samplers: Sequence[NoisySampler],
     ) -> List[PMF]:
-        """Shared tail of ``execute``/``execute_spliced``: group, fan out,
-        rebuild PMFs in batch order."""
+        """Shared tail of ``execute``/``execute_spliced``: group, shard,
+        fan out, rebuild PMFs in batch order."""
         self.batches += 1
         self.requests_seen += len(requests)
-        self.statevector_evals += self.inner.share_statevectors(requests)
+        exact_reference = getattr(self.inner, "exact_reference", False)
+        contractions, stacked, circuits = (
+            self.inner._share_statevectors_detail(
+                requests, xp=self.inner.xp, exact_reference=exact_reference
+            )
+        )
+        self.statevector_evals += contractions
+        self.stacked_evals += stacked
+        self.stacked_circuits += circuits
         groups = self._group_indices(requests)
-        payloads = self._payloads(requests, groups, streams, samplers)
+        group_payloads = self._payloads(requests, groups, streams, samplers)
         self.groups_evaluated += len(groups)
         self.channel_evals += len(groups)
 
+        shards = self._shards(group_payloads)
+        self.shards_dispatched += len(shards)
+        xp = self.inner.xp
+        xp_spec = (
+            xp if xp is None or isinstance(xp, str) else namespace_name(xp)
+        )
+        payloads = [
+            (shard, self.inner.deterministic, exact_reference, xp_spec)
+            for shard in shards
+        ]
         pool = self._get_pool()
         if pool is None:
-            outcomes = [_evaluate_group(payload) for payload in payloads]
+            outcomes = [_evaluate_shard(payload) for payload in payloads]
         else:
-            outcomes = list(pool.map(_evaluate_group, payloads))
+            outcomes = list(pool.map(_evaluate_shard, payloads))
 
         results: List[Optional[PMF]] = [None] * len(requests)
-        for indices, distributions in outcomes:
+        for indices, distributions, shard_stats in outcomes:
+            self.stacked_evals += shard_stats["stacked_evals"]
+            self.stacked_circuits += shard_stats["stacked_circuits"]
             shared: Dict[int, PMF] = {}
             for index, (codes, values, num_bits) in zip(indices, distributions):
                 # Exact groups share one distribution object; build the
@@ -342,6 +449,9 @@ class ShardedBackend:
             "statevector_evals": self.statevector_evals,
             "channel_evals": self.channel_evals,
             "spliced_parts": self.spliced_parts,
+            "shards": self.shards_dispatched,
+            "stacked_evals": self.stacked_evals,
+            "stacked_circuits": self.stacked_circuits,
             "workers": self.workers,
             "executor": self.executor,
             "coalesce": self.coalesce,

@@ -414,6 +414,9 @@ class ExecutionEngine:
             "statevector_evals",
             "channel_evals",
             "spliced_parts",
+            "shards",
+            "stacked_evals",
+            "stacked_circuits",
         )
         totals: Dict[str, int] = {name: 0 for name in counter_names}
         with self._lock:
@@ -421,7 +424,7 @@ class ExecutionEngine:
         for executor in executors:
             stats = executor.stats()
             for name in counter_names:
-                totals[name] += int(stats[name])
+                totals[name] += int(stats.get(name, 0))
         return totals
 
     def stats(self) -> Dict[str, Any]:

@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.exceptions import SimulationError
+from repro.sim import kernels
+from repro.sim.kernels import check_qubit_cap, validate_max_qubits
 from repro.utils.bits import index_to_bitstring
 
 __all__ = [
@@ -88,25 +90,11 @@ def apply_operator_to_density_matrix(
     ``qubits`` is the most significant bit of the operator's local index;
     ``rho``'s element ``(i, j)`` encodes qubit ``q`` of the row as bit
     ``(i >> q) & 1`` and likewise for the column.
+
+    Thin delegate of the shared, batch-aware
+    :func:`repro.sim.kernels.apply_operator_to_density` kernel.
     """
-    k = len(qubits)
-    if matrix.shape != (1 << k, 1 << k):
-        raise SimulationError("operator dimension does not match qubit count")
-    dim = 1 << num_qubits
-    if rho.shape != (dim, dim):
-        raise SimulationError("density matrix dimension mismatch")
-    tensor = rho.reshape((2,) * (2 * num_qubits))
-    # Row axis of qubit q is (num_qubits - 1 - q); its column axis sits
-    # num_qubits further along.
-    row_axes = [num_qubits - 1 - q for q in qubits]
-    col_axes = [2 * num_qubits - 1 - q for q in qubits]
-    for axes, op in ((row_axes, matrix), (col_axes, matrix.conj())):
-        tensor = np.moveaxis(tensor, axes, range(k))
-        shaped = op @ tensor.reshape(1 << k, -1)
-        tensor = np.moveaxis(
-            shaped.reshape((2,) * (2 * num_qubits)), range(k), axes
-        )
-    return tensor.reshape(dim, dim)
+    return kernels.apply_operator_to_density(rho, matrix, qubits, num_qubits)
 
 
 def depolarizing_kraus(probability: float, num_qubits: int = 1) -> List[np.ndarray]:
@@ -136,17 +124,23 @@ def depolarizing_kraus(probability: float, num_qubits: int = 1) -> List[np.ndarr
 
 
 class DensityMatrixSimulator:
-    """Exact open-system simulation for small circuits."""
+    """Exact open-system simulation for small circuits.
+
+    ``max_qubits`` is constructor-validated like the other simulators'
+    caps; a ``4**n`` density matrix is sized with ``amplitude_exponent=2``
+    in the over-cap error, so the default stays a deliberately small 10.
+    """
 
     def __init__(self, max_qubits: int = 10) -> None:
-        self.max_qubits = max_qubits
+        self.max_qubits = validate_max_qubits(max_qubits)
 
     def _check(self, circuit: QuantumCircuit) -> None:
-        if circuit.num_qubits > self.max_qubits:
-            raise SimulationError(
-                f"{circuit.num_qubits}-qubit density matrix exceeds the "
-                f"{self.max_qubits}-qubit limit"
-            )
+        check_qubit_cap(
+            circuit.num_qubits,
+            self.max_qubits,
+            "density matrix",
+            amplitude_exponent=2,
+        )
 
     # ------------------------------------------------------------------
 

@@ -9,7 +9,15 @@ roughly 24 qubits, which comfortably covers the paper's largest benchmark
 * :meth:`StatevectorSimulator.ideal_distribution` — the exact outcome PMF
   over the circuit's *classical* bits, i.e. the noise-free reference
   distribution the paper uses for TVD/fidelity and to define correct
-  answers.
+  answers;
+* :meth:`StatevectorSimulator.probabilities_stacked` — one stacked
+  ``(B, 2**n)`` contraction per gate position for a group of
+  structure-sharing circuits (bit-for-bit equal, slice by slice, to the
+  per-circuit path — see :mod:`repro.sim.kernels`).
+
+The gate-application kernel itself lives in :mod:`repro.sim.kernels`,
+parameterised by an array-API namespace (``xp``); this module keeps the
+historical entry points as thin delegates.
 
 State indexing convention: basis index ``i`` encodes qubit ``q`` as bit
 ``(i >> q) & 1`` — consistent with :mod:`repro.utils.bits`.
@@ -17,20 +25,27 @@ State indexing convention: basis index ``i`` encodes qubit ``q`` as bit
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.exceptions import SimulationError
+from repro.sim import kernels
+from repro.sim.kernels import (
+    as_complex128,
+    asnumpy,
+    check_qubit_cap,
+    default_max_qubits,
+    resolve_namespace,
+    validate_max_qubits,
+)
 from repro.utils.bits import codes_to_strings
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.pmf import PMF
 
 __all__ = ["StatevectorSimulator", "apply_gate_to_statevector", "marginal_probabilities"]
-
-_MAX_QUBITS = 24
 
 
 def apply_gate_to_statevector(
@@ -40,23 +55,10 @@ def apply_gate_to_statevector(
 
     ``matrix`` uses the convention that the *first* qubit in ``qubits`` is
     the most significant bit of the gate's local index (so a CX matrix with
-    control first composes as expected).
+    control first composes as expected).  Thin delegate of the shared
+    :func:`repro.sim.kernels.apply_gate` kernel at batch size one.
     """
-    k = len(qubits)
-    if matrix.shape != (1 << k, 1 << k):
-        raise SimulationError(
-            f"matrix of shape {matrix.shape} does not act on {k} qubit(s)"
-        )
-    tensor = state.reshape((2,) * num_qubits)
-    # Axis for qubit q is (num_qubits - 1 - q) because axis 0 is the most
-    # significant bit of the flattened index.
-    axes = [num_qubits - 1 - q for q in qubits]
-    tensor = np.moveaxis(tensor, axes, range(k))
-    shaped = tensor.reshape(1 << k, -1)
-    shaped = matrix @ shaped
-    tensor = shaped.reshape((2,) * num_qubits)
-    tensor = np.moveaxis(tensor, range(k), axes)
-    return tensor.reshape(-1)
+    return kernels.apply_gate(state, matrix, qubits, num_qubits)
 
 
 def marginal_probabilities(
@@ -66,40 +68,56 @@ def marginal_probabilities(
 
     The output vector indexes the kept qubits in ascending order: kept qubit
     ``keep_qubits_sorted[j]`` becomes bit ``j`` of the marginal index.
+    Delegates to the batch-aware :func:`repro.sim.kernels.marginal_probabilities`.
     """
-    keep_sorted = sorted(keep_qubits)
-    tensor = probabilities.reshape((2,) * num_qubits)
-    drop_axes = tuple(
-        num_qubits - 1 - q for q in range(num_qubits) if q not in set(keep_sorted)
-    )
-    marg = tensor.sum(axis=drop_axes) if drop_axes else tensor
-    # Remaining axes are ordered most-significant-first by original qubit
-    # index descending, which is exactly "bit j = j-th smallest kept qubit".
-    return marg.reshape(-1)
+    return kernels.marginal_probabilities(probabilities, keep_qubits, num_qubits)
 
 
 class StatevectorSimulator:
-    """Exact statevector execution of the unitary part of a circuit."""
+    """Exact statevector execution of the unitary part of a circuit.
 
-    def __init__(self, max_qubits: int = _MAX_QUBITS) -> None:
-        self.max_qubits = max_qubits
+    Args:
+        max_qubits: constructor-validated width cap shared with the other
+            simulators (default: :func:`repro.sim.kernels.default_max_qubits`,
+            i.e. 24 or ``REPRO_MAX_QUBITS``).  Over-cap circuits raise a
+            :class:`~repro.exceptions.SimulationError` that includes the
+            estimated state memory.
+        xp: array-API namespace for the contraction kernels (``None``
+            resolves via ``REPRO_ARRAY_API``; numpy by default).
+    """
+
+    def __init__(
+        self,
+        max_qubits: Optional[int] = None,
+        xp: Union[None, str, object] = None,
+    ) -> None:
+        self.max_qubits = (
+            default_max_qubits()
+            if max_qubits is None
+            else validate_max_qubits(max_qubits)
+        )
+        self.xp = resolve_namespace(xp)
 
     # ------------------------------------------------------------------
 
+    def _check(self, circuit: QuantumCircuit) -> None:
+        check_qubit_cap(circuit.num_qubits, self.max_qubits, "statevector")
+
     def statevector(self, circuit: QuantumCircuit) -> np.ndarray:
         """Return the final statevector, ignoring measurements and barriers."""
+        self._check(circuit)
         n = circuit.num_qubits
-        if n > self.max_qubits:
-            raise SimulationError(
-                f"{n}-qubit statevector exceeds the {self.max_qubits}-qubit limit"
-            )
-        state = np.zeros(1 << n, dtype=complex)
-        state[0] = 1.0
+        xp = self.xp
+        initial = np.zeros(1 << n, dtype=complex)
+        initial[0] = 1.0
+        state = as_complex128(xp, initial)
         for ins in circuit.instructions:
             if not ins.is_gate:
                 continue
-            state = apply_gate_to_statevector(state, ins.gate.matrix(), ins.qubits, n)
-        return state
+            state = kernels.apply_gate(
+                state, as_complex128(xp, ins.gate.matrix()), ins.qubits, n, xp=xp
+            )
+        return asnumpy(state)
 
     def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
         """Exact probabilities over all ``2**n`` computational basis states."""
@@ -109,6 +127,45 @@ class StatevectorSimulator:
         if not np.isclose(total, 1.0, atol=1e-8):
             raise SimulationError(f"state norm drifted to {total}")
         return probs / total
+
+    # ------------------------------------------------------------------
+    # Stacked (batched) evolution
+    # ------------------------------------------------------------------
+
+    def statevectors_stacked(
+        self, circuits: Sequence[QuantumCircuit]
+    ) -> np.ndarray:
+        """Final statevectors of structure-sharing circuits as one stack.
+
+        All circuits must share :func:`repro.sim.kernels.structure_key`;
+        each gate position contracts the whole ``(B, 2**n)`` stack at
+        once.  Slice ``b`` is bit-for-bit :meth:`statevector` of
+        ``circuits[b]``.
+        """
+        for circuit in circuits:
+            self._check(circuit)
+        return asnumpy(kernels.statevectors_stacked(circuits, xp=self.xp))
+
+    def probabilities_stacked(
+        self, circuits: Sequence[QuantumCircuit]
+    ) -> np.ndarray:
+        """Basis-state probabilities of a structure-sharing stack.
+
+        ``(B, 2**n)``; row ``b`` is bit-for-bit :meth:`probabilities` of
+        ``circuits[b]``.  A single-circuit stack rides the per-circuit
+        path unchanged.
+        """
+        if len(circuits) == 1:
+            return self.probabilities(circuits[0])[None, :]
+        amplitudes = self.statevectors_stacked(circuits)
+        probs = np.abs(amplitudes) ** 2
+        totals = probs.sum(axis=1)
+        for index, total in enumerate(totals):
+            if not np.isclose(total, 1.0, atol=1e-8):
+                raise SimulationError(f"state norm drifted to {total}")
+        return probs / totals[:, None]
+
+    # ------------------------------------------------------------------
 
     def ideal_pmf(
         self, circuit: QuantumCircuit, threshold: float = 1e-12

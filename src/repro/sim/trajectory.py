@@ -24,7 +24,8 @@ import numpy as np
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate
 from repro.exceptions import SimulationError
-from repro.sim.statevector import StatevectorSimulator, marginal_probabilities
+from repro.sim.kernels import marginal_probabilities, validate_max_qubits
+from repro.sim.statevector import StatevectorSimulator
 from repro.utils.random import SeedLike, as_generator
 
 __all__ = ["PauliTrajectorySimulator"]
@@ -52,7 +53,7 @@ class PauliTrajectorySimulator:
             raise SimulationError("gate error rates must lie in [0, 1]")
         self.error_1q = error_1q
         self.error_2q = error_2q
-        self.max_qubits = max_qubits
+        self.max_qubits = validate_max_qubits(max_qubits)
         self._rng = as_generator(seed)
         self._sim = StatevectorSimulator(max_qubits=max_qubits)
         self._cache: Dict[Tuple, np.ndarray] = {}

@@ -1,0 +1,521 @@
+"""Property tests for the array-API batched execution spine.
+
+The contract under test: every stacked/batched path — kernels, sampler,
+backends, full scheme runs — is **bit-for-bit** identical to the historical
+per-circuit oracle kernels (kept alive behind ``exact_reference=True``),
+for every scheme, batch composition, and worker count.  No ``allclose``
+anywhere: stacking batches only deterministic transforms, so exact
+equality is the specification, not an aspiration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.compiler.transpile import transpile
+from repro.exceptions import SimulationError
+from repro.noise.model import NoiseModel
+from repro.noise.sampler import NoisySampler
+from repro.runtime import (
+    SCHEME_NAMES,
+    ExecutionRequest,
+    LocalExactBackend,
+    LocalSamplingBackend,
+    Session,
+    ShardedBackend,
+)
+from repro.sim import kernels
+from repro.sim.statevector import StatevectorSimulator
+from repro.workloads import ghz
+from tests.conftest import make_varied_line_device
+
+# ---------------------------------------------------------------------------
+# Shared fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def device():
+    return make_varied_line_device(num_qubits=8)
+
+
+@pytest.fixture(scope="module")
+def noise_model(device):
+    return NoiseModel.from_device(device)
+
+
+@pytest.fixture(scope="module")
+def ghz6(device):
+    return ghz(6).circuit
+
+
+@pytest.fixture(scope="module")
+def executables(device, ghz6):
+    """A mixed-width pool: one 6-bit body plus three 2-bit subsets."""
+    return [
+        transpile(ghz6, device, seed=0),
+        transpile(ghz6.with_measured_subset([0, 1]), device, seed=1),
+        transpile(ghz6.with_measured_subset([2, 3]), device, seed=2),
+        transpile(ghz6.with_measured_subset([4, 5]), device, seed=3),
+    ]
+
+
+def random_states(rng, batch, num_qubits):
+    shape = (batch, 1 << num_qubits)
+    state = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    return state.astype(np.complex128)
+
+
+def assert_code_counts_equal(left, right):
+    assert left.num_bits == right.num_bits
+    assert left.counts.dtype == np.int64
+    assert np.array_equal(left.codes, right.codes)
+    assert np.array_equal(left.counts, right.counts)
+
+
+# ---------------------------------------------------------------------------
+# Kernel layer: batched == per-slice, bitwise
+# ---------------------------------------------------------------------------
+
+
+class TestKernelBatching:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        num_qubits=st.integers(1, 4),
+        batch=st.integers(1, 5),
+        stacked_matrix=st.booleans(),
+    )
+    def test_apply_gate_batched_matches_slices(
+        self, seed, num_qubits, batch, stacked_matrix
+    ):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, min(2, num_qubits) + 1))
+        qubits = list(
+            rng.choice(num_qubits, size=k, replace=False).astype(int)
+        )
+        dim = 1 << k
+        if stacked_matrix:
+            matrix = (
+                rng.normal(size=(batch, dim, dim))
+                + 1j * rng.normal(size=(batch, dim, dim))
+            ).astype(np.complex128)
+        else:
+            matrix = (
+                rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+            ).astype(np.complex128)
+        states = random_states(rng, batch, num_qubits)
+        batched = kernels.apply_gate(states, matrix, qubits, num_qubits)
+        assert batched.shape == states.shape
+        for b in range(batch):
+            single = kernels.apply_gate(
+                states[b],
+                matrix[b] if stacked_matrix else matrix,
+                qubits,
+                num_qubits,
+            )
+            assert np.array_equal(batched[b], single)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        num_bits=st.integers(1, 4),
+        batch=st.integers(1, 5),
+        stacked_confusions=st.booleans(),
+    )
+    def test_apply_confusions_batched_matches_rows(
+        self, seed, num_bits, batch, stacked_confusions
+    ):
+        rng = np.random.default_rng(seed)
+        probs = rng.random((batch, 1 << num_bits))
+        if stacked_confusions:
+            confusions = [
+                rng.random((batch, 2, 2)) for _ in range(num_bits)
+            ]
+        else:
+            confusions = [rng.random((2, 2)) for _ in range(num_bits)]
+        batched = kernels.apply_confusions(probs, confusions)
+        for b in range(batch):
+            row_confusions = [
+                c[b] if stacked_confusions else c for c in confusions
+            ]
+            single = kernels.apply_confusions(probs[b], row_confusions)
+            assert np.array_equal(batched[b], single)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        num_qubits=st.integers(1, 5),
+        batch=st.integers(1, 5),
+    )
+    def test_marginal_probabilities_batched_matches_rows(
+        self, seed, num_qubits, batch
+    ):
+        rng = np.random.default_rng(seed)
+        probs = rng.random((batch, 1 << num_qubits))
+        keep = sorted(
+            rng.choice(
+                num_qubits,
+                size=int(rng.integers(1, num_qubits + 1)),
+                replace=False,
+            ).astype(int)
+        )
+        batched = kernels.marginal_probabilities(probs, keep, num_qubits)
+        assert batched.shape == (batch, 1 << len(keep))
+        for b in range(batch):
+            single = kernels.marginal_probabilities(
+                probs[b], keep, num_qubits
+            )
+            assert np.array_equal(batched[b], single)
+
+    def test_float64_enforced_at_namespace_boundary(self):
+        xp = kernels.resolve_namespace("numpy")
+        assert kernels.as_float64(xp, np.arange(3, dtype=np.float32)).dtype \
+            == np.float64
+        assert kernels.as_complex128(
+            xp, np.arange(3, dtype=np.complex64)
+        ).dtype == np.complex128
+
+
+# ---------------------------------------------------------------------------
+# Stacked statevector evolution
+# ---------------------------------------------------------------------------
+
+
+def parameterised_circuit(num_qubits, params):
+    qc = QuantumCircuit(num_qubits)
+    for q in range(num_qubits):
+        qc.ry(float(params[q]), q)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    for q in range(num_qubits):
+        qc.rz(float(params[num_qubits + q]), q)
+    return qc
+
+
+class TestStackedStatevectors:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        num_qubits=st.integers(2, 5),
+        batch=st.integers(1, 6),
+    )
+    def test_bind_many_stack_matches_per_circuit(
+        self, seed, num_qubits, batch
+    ):
+        rng = np.random.default_rng(seed)
+        circuits = [
+            parameterised_circuit(
+                num_qubits, rng.uniform(0, 2 * np.pi, 2 * num_qubits)
+            )
+            for _ in range(batch)
+        ]
+        sim = StatevectorSimulator()
+        stacked = sim.statevectors_stacked(circuits)
+        assert stacked.dtype == np.complex128
+        assert stacked.shape == (batch, 1 << num_qubits)
+        for b, circuit in enumerate(circuits):
+            assert np.array_equal(stacked[b], sim.statevector(circuit))
+        stacked_probs = sim.probabilities_stacked(circuits)
+        assert stacked_probs.dtype == np.float64
+        for b, circuit in enumerate(circuits):
+            assert np.array_equal(
+                stacked_probs[b], sim.probabilities(circuit)
+            )
+
+    def test_mixed_structures_rejected(self):
+        sim = StatevectorSimulator()
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(0).cx(1, 0)
+        with pytest.raises(SimulationError):
+            sim.statevectors_stacked([a, b])
+
+    def test_structure_key_separates_topology_not_parameters(self):
+        a = parameterised_circuit(3, np.linspace(0.1, 0.6, 6))
+        b = parameterised_circuit(3, np.linspace(0.7, 1.2, 6))
+        c = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+        assert kernels.structure_key(a) == kernels.structure_key(b)
+        assert kernels.structure_key(a) != kernels.structure_key(c)
+
+
+# ---------------------------------------------------------------------------
+# Qubit cap (shared, configurable) and namespace resolution
+# ---------------------------------------------------------------------------
+
+
+class TestQubitCapAndNamespaces:
+    def test_env_overrides_default_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_QUBITS", "5")
+        assert StatevectorSimulator().max_qubits == 5
+
+    def test_explicit_cap_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_QUBITS", "5")
+        assert StatevectorSimulator(max_qubits=12).max_qubits == 12
+
+    def test_cap_error_reports_memory_estimate(self):
+        sim = StatevectorSimulator(max_qubits=3)
+        with pytest.raises(SimulationError) as excinfo:
+            sim.statevector(QuantumCircuit(4).h(0))
+        message = str(excinfo.value)
+        assert "4" in message and "max_qubits" in message
+        # 2**4 amplitudes x 16 bytes.
+        assert "256" in message
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 2.5, "ten"])
+    def test_invalid_caps_rejected(self, bad):
+        with pytest.raises(SimulationError):
+            kernels.validate_max_qubits(bad)
+
+    def test_state_memory_bytes(self):
+        assert kernels.state_memory_bytes(10) == 16 * 1024
+        assert kernels.state_memory_bytes(5, amplitude_exponent=2) \
+            == 16 * 1024
+
+    def test_resolve_namespace_aliases(self):
+        assert kernels.resolve_namespace("numpy") is \
+            kernels.resolve_namespace("np")
+        assert kernels.namespace_name(
+            kernels.resolve_namespace(None)
+        ).startswith("numpy")
+
+    def test_resolve_namespace_unknown_module(self):
+        with pytest.raises(SimulationError):
+            kernels.resolve_namespace("no_such_array_module")
+
+    def test_env_selects_default_namespace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY_API", "numpy")
+        xp = kernels.resolve_namespace(None)
+        assert kernels.namespace_name(xp).startswith("numpy")
+
+    def test_set_default_namespace_round_trip(self):
+        try:
+            kernels.set_default_namespace("numpy")
+            assert kernels.namespace_name(
+                kernels.resolve_namespace(None)
+            ).startswith("numpy")
+        finally:
+            kernels.set_default_namespace(None)
+
+
+# ---------------------------------------------------------------------------
+# Sampler layer: stacked twins == oracle, bitwise
+# ---------------------------------------------------------------------------
+
+
+class TestSamplerStacking:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        shots_list=st.lists(st.integers(1, 4_000), min_size=1, max_size=5),
+        chunk_shots=st.sampled_from([257, 1_000, 1_000_000]),
+    )
+    def test_sample_group_codes_matches_run_many_codes(
+        self, noise_model, executables, seed, shots_list, chunk_shots
+    ):
+        sampler = NoisySampler(
+            noise_model, seed=0, chunk_shots=chunk_shots
+        )
+        oracle = sampler.run_many_codes(
+            executables[0], shots_list, rng=np.random.default_rng(seed)
+        )
+        stacked = sampler.sample_group_codes(
+            executables[0], shots_list, rng=np.random.default_rng(seed)
+        )
+        assert len(stacked) == len(oracle)
+        for left, right in zip(stacked, oracle):
+            assert_code_counts_equal(left, right)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        size=st.integers(1, 8),
+    )
+    def test_exact_group_distributions_matches_oracle(
+        self, noise_model, executables, seed, size
+    ):
+        # Random batch compositions: repeats and mixed widths included.
+        rng = np.random.default_rng(seed)
+        batch = [
+            executables[i]
+            for i in rng.integers(0, len(executables), size=size)
+        ]
+        sampler = NoisySampler(noise_model, seed=0)
+        stacked = sampler.exact_group_distributions(batch)
+        assert len(stacked) == len(batch)
+        for executable, (codes, probs, k) in zip(batch, stacked):
+            ref_codes, ref_probs, ref_k = sampler.exact_distribution_arrays(
+                executable
+            )
+            assert k == ref_k
+            assert codes.dtype == np.int64
+            assert np.array_equal(codes, ref_codes)
+            assert np.array_equal(probs, ref_probs)
+
+
+# ---------------------------------------------------------------------------
+# Backend layer: stacked spine == exact_reference oracle at any worker count
+# ---------------------------------------------------------------------------
+
+
+def make_requests(executables, trials=400):
+    # Duplicates so coalescing and stacking both engage.
+    return [ExecutionRequest(e, trials) for e in executables] * 2
+
+
+class TestBackendOracleEquality:
+    def test_exact_stacked_matches_reference_across_workers(
+        self, noise_model, executables
+    ):
+        requests = make_requests(executables)
+        reference_backend = LocalExactBackend(
+            noise_model=noise_model, exact_reference=True
+        )
+        reference = [
+            p.as_dict() for p in reference_backend.execute(requests)
+        ]
+        assert reference_backend.stacked_evals == 0
+
+        serial = LocalExactBackend(noise_model=noise_model)
+        assert [p.as_dict() for p in serial.execute(requests)] == reference
+
+        for workers in (1, 2, 4):
+            backend = ShardedBackend(
+                LocalExactBackend(noise_model=noise_model), workers=workers
+            )
+            assert [
+                p.as_dict() for p in backend.execute(requests)
+            ] == reference, workers
+            stats = backend.stats()
+            # Stacking engages whenever a shard holds several same-width
+            # groups; at workers=4 the four coalesced groups land one per
+            # shard, so there is nothing left to stack — equality above is
+            # the invariant, stacking the optimisation.
+            if workers < 4:
+                assert stats["stacked_evals"] >= 1, workers
+                assert stats["stacked_circuits"] > stats["stacked_evals"]
+            assert stats["shards"] >= 1
+            # Coalescing still collapses the duplicated batch.
+            assert stats["channel_evals"] == len(requests) // 2
+
+    def test_exact_reference_escape_hatch_disables_stacking(
+        self, noise_model, executables
+    ):
+        requests = make_requests(executables)
+        backend = ShardedBackend(
+            LocalExactBackend(
+                noise_model=noise_model, exact_reference=True
+            ),
+            workers=2,
+        )
+        reference = LocalExactBackend(
+            noise_model=noise_model, exact_reference=True
+        ).execute(requests)
+        assert [p.as_dict() for p in backend.execute(requests)] == [
+            p.as_dict() for p in reference
+        ]
+        assert backend.stats()["stacked_evals"] == 0
+
+    def test_sampled_stacked_matches_reference_across_workers(
+        self, noise_model, executables
+    ):
+        requests = make_requests(executables, trials=300)
+        reference = [
+            p.as_dict()
+            for p in LocalSamplingBackend(
+                noise_model=noise_model, seed=11, exact_reference=True
+            ).execute(requests)
+        ]
+        assert [
+            p.as_dict()
+            for p in LocalSamplingBackend(
+                noise_model=noise_model, seed=11
+            ).execute(requests)
+        ] == reference
+        for workers in (1, 4):
+            backend = ShardedBackend(
+                LocalSamplingBackend(noise_model=noise_model, seed=11),
+                workers=workers,
+            )
+            assert [
+                p.as_dict() for p in backend.execute(requests)
+            ] == reference, workers
+
+    def test_env_default_escape_hatch(self, noise_model, monkeypatch):
+        monkeypatch.setenv("REPRO_EXACT_REFERENCE", "1")
+        assert LocalExactBackend(noise_model=noise_model).exact_reference
+        monkeypatch.delenv("REPRO_EXACT_REFERENCE")
+        assert not LocalExactBackend(noise_model=noise_model).exact_reference
+
+
+# ---------------------------------------------------------------------------
+# Scheme layer: all 7 schemes, exact + sampled, stacked == oracle
+# ---------------------------------------------------------------------------
+
+
+def run_all_schemes(device, workload, exact, workers):
+    session = Session(
+        device,
+        seed=7,
+        total_trials=2_048,
+        exact=exact,
+        compile_attempts=2,
+        cpm_attempts=1,
+        ensemble_size=2,
+        workers=workers,
+    )
+    return {
+        scheme: session.run_scheme(scheme, workload).as_dict()
+        for scheme in SCHEME_NAMES
+    }
+
+
+class TestSchemeOracleEquality:
+    @pytest.mark.parametrize("exact", [True, False])
+    def test_all_schemes_bitforbit_vs_oracle_across_workers(
+        self, device, exact, monkeypatch
+    ):
+        workload = ghz(5)
+        monkeypatch.setenv("REPRO_EXACT_REFERENCE", "1")
+        oracle = run_all_schemes(device, workload, exact, workers=None)
+        monkeypatch.delenv("REPRO_EXACT_REFERENCE")
+        for workers in (None, 2):
+            stacked = run_all_schemes(device, workload, exact, workers)
+            assert stacked == oracle, (exact, workers)
+
+
+# ---------------------------------------------------------------------------
+# Optional strict leg: exact paths on an array-api-strict namespace
+# ---------------------------------------------------------------------------
+
+
+class TestArrayApiStrict:
+    def test_exact_group_distributions_on_strict_namespace(
+        self, noise_model, executables
+    ):
+        pytest.importorskip("array_api_strict")
+        sampler = NoisySampler(noise_model, seed=0)
+        stacked = sampler.exact_group_distributions(
+            executables * 2, xp="array_api_strict"
+        )
+        for executable, (codes, probs, k) in zip(executables * 2, stacked):
+            ref_codes, ref_probs, ref_k = sampler.exact_distribution_arrays(
+                executable
+            )
+            assert k == ref_k
+            assert np.array_equal(codes, ref_codes)
+            assert np.allclose(probs, ref_probs, rtol=0, atol=1e-15)
+
+    def test_apply_gate_on_strict_namespace(self):
+        xp = pytest.importorskip("array_api_strict")
+        rng = np.random.default_rng(0)
+        states = random_states(rng, 3, 3)
+        matrix = (
+            rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        ).astype(np.complex128)
+        strict = kernels.apply_gate(
+            xp.asarray(states), xp.asarray(matrix), [1], 3, xp=xp
+        )
+        reference = kernels.apply_gate(states, matrix, [1], 3)
+        assert np.array_equal(kernels.asnumpy(strict), reference)

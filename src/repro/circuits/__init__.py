@@ -14,10 +14,13 @@ from repro.circuits.gates import (
     u3_matrix,
 )
 from repro.circuits.draw import draw
+from repro.circuits.parameter import Parameter, ParameterExpression
 from repro.circuits.qasm import from_qasm, to_qasm
 
 __all__ = [
     "Gate",
+    "Parameter",
+    "ParameterExpression",
     "Instruction",
     "QuantumCircuit",
     "CircuitDAG",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.circuits.gates import Gate
+from repro.circuits.parameter import Parameter, is_symbolic
 from repro.exceptions import CircuitError
 
 __all__ = ["Instruction", "QuantumCircuit"]
@@ -56,6 +57,63 @@ class Instruction:
             raise CircuitError("measure requires one clbit per qubit")
         if len(set(self.qubits)) != len(self.qubits):
             raise CircuitError(f"duplicate qubits in instruction: {self.qubits}")
+
+    def bound(
+        self,
+        by_name: Dict[str, float],
+        memo: Optional[Dict[int, "Instruction"]] = None,
+    ) -> "Instruction":
+        """Bind a parameterized gate instruction without re-validation.
+
+        The prototype instruction already passed construction-time checks
+        and binding changes only the parameter values — never the gate
+        name, arity, or wiring — so the copy skips ``__post_init__``.
+        ``Parameter.bind``/``ParameterExpression.bind`` return plain
+        floats, matching the normalisation ``Gate.__post_init__`` would
+        apply; concrete params were normalised when the prototype was
+        built and pass through unchanged.  The (name, value) recipe is
+        cached on the immutable prototype — the bind-many hot loop then
+        skips the per-parameter symbolic dispatch.
+
+        ``memo`` (keyed by prototype instruction identity, scoped to one
+        bind) lets circuits that share instruction objects — a routed
+        body and its CPM variants — share the bound copies too, so each
+        shared instruction binds once per parameter point.
+        """
+        if memo is not None:
+            cached = memo.get(id(self))
+            if cached is not None:
+                return cached
+        gate = self.gate
+        recipe = self.__dict__.get("_bind_recipe")
+        if recipe is None:
+            recipe = tuple(
+                (p.name, p) if is_symbolic(p) else (None, p)
+                for p in gate.params
+            )
+            object.__setattr__(self, "_bind_recipe", recipe)
+        if len(recipe) == 1:
+            name, obj = recipe[0]
+            if name is not None and name in by_name:
+                obj = obj.bind(by_name[name])
+            params = (obj,)
+        else:
+            params = tuple(
+                obj if name is None or name not in by_name
+                else obj.bind(by_name[name])
+                for name, obj in recipe
+            )
+        new_gate = object.__new__(Gate)
+        object.__setattr__(new_gate, "name", gate.name)
+        object.__setattr__(new_gate, "params", params)
+        out = object.__new__(Instruction)
+        object.__setattr__(out, "kind", "gate")
+        object.__setattr__(out, "gate", new_gate)
+        object.__setattr__(out, "qubits", self.qubits)
+        object.__setattr__(out, "clbits", self.clbits)
+        if memo is not None:
+            memo[id(self)] = out
+        return out
 
     @property
     def is_gate(self) -> bool:
@@ -271,6 +329,31 @@ class QuantumCircuit:
         """All unitary-gate instructions, in circuit order."""
         return tuple(ins for ins in self._instructions if ins.is_gate)
 
+    @property
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """Distinct symbolic parameters, in first-appearance order.
+
+        First-appearance order is the positional convention used by
+        :meth:`bind` when given a bare sequence of values, and by the
+        sweep runner's ``(K, P)`` parameter matrices.
+        """
+        seen: List[Parameter] = []
+        for ins in self._instructions:
+            if not ins.is_gate or not ins.gate.is_parameterized:
+                continue
+            for parameter in ins.gate.parameters():
+                if parameter not in seen:
+                    seen.append(parameter)
+        return tuple(seen)
+
+    @property
+    def is_parameterized(self) -> bool:
+        """True when any gate carries an unbound symbolic parameter."""
+        return any(
+            ins.is_gate and ins.gate.is_parameterized
+            for ins in self._instructions
+        )
+
     def count_ops(self) -> Dict[str, int]:
         """Histogram of instruction names (gate name, ``measure``, ``barrier``)."""
         counts: Dict[str, int] = {}
@@ -345,6 +428,82 @@ class QuantumCircuit:
             else:
                 out.apply_gate(ins.gate.inverse(), *ins.qubits)
         return out
+
+    def bind(self, values, strict: bool = True) -> "QuantumCircuit":
+        """Return a copy with symbolic parameters replaced by floats.
+
+        ``values`` is either a mapping keyed by :class:`Parameter` or by
+        parameter name, or a sequence aligned with :attr:`parameters`
+        (first-appearance order).  With ``strict=True`` (the default)
+        every parameter in the circuit must be resolved and every key in
+        ``values`` must name a parameter the circuit actually uses;
+        ``strict=False`` permits partial binds, leaving the rest symbolic.
+        """
+        if isinstance(values, dict):
+            # The non-strict dict path (the compiler's bind-many hot loop)
+            # never needs the parameter census.
+            own = self.parameters if strict else ()
+            by_name: Dict[str, float] = {}
+            for key, value in values.items():
+                name = key.name if isinstance(key, Parameter) else str(key)
+                by_name[name] = float(value)
+        else:
+            own = self.parameters
+            supplied = tuple(values)
+            if len(supplied) != len(own):
+                raise CircuitError(
+                    f"bind() got {len(supplied)} value(s) for "
+                    f"{len(own)} parameter(s)"
+                )
+            by_name = {p.name: float(v) for p, v in zip(own, supplied)}
+        if strict:
+            own_names = {p.name for p in own}
+            unknown = sorted(set(by_name) - own_names)
+            if unknown:
+                raise CircuitError(f"bind() got unknown parameter(s): {unknown}")
+            missing = sorted(own_names - set(by_name))
+            if missing:
+                raise CircuitError(f"bind() is missing parameter(s): {missing}")
+        return self.bind_resolved(by_name)
+
+    def bind_resolved(
+        self,
+        by_name: Dict[str, float],
+        memo: Optional[Dict[int, Instruction]] = None,
+    ) -> "QuantumCircuit":
+        """Non-validating bind over a ``{name: value}`` mapping.
+
+        The compiler's bind-many entry point: no key normalisation, no
+        coverage checks, parameters absent from the mapping stay
+        symbolic.  ``Parameter.bind`` floats each resolved value, so the
+        result is identical to the checked :meth:`bind` path.  ``memo``
+        is threaded to :meth:`Instruction.bound` so circuits sharing
+        instruction objects share the bound copies within one point.
+        """
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, self.name)
+        instructions = list(self._instructions)
+        for index in self._parameterized_sites():
+            instructions[index] = instructions[index].bound(by_name, memo)
+        out._instructions = instructions
+        return out
+
+    def _parameterized_sites(self) -> Tuple[int, ...]:
+        """Indices of parameterized gate instructions, cached per length.
+
+        The instruction list is append-only, so the cache is valid while
+        the length is unchanged — the bind-many hot loop then skips the
+        per-instruction ``is_parameterized`` scan entirely.
+        """
+        cached = getattr(self, "_param_sites", None)
+        if cached is not None and cached[0] == len(self._instructions):
+            return cached[1]
+        sites = tuple(
+            index
+            for index, ins in enumerate(self._instructions)
+            if ins.kind == "gate" and ins.gate.is_parameterized
+        )
+        self._param_sites = (len(self._instructions), sites)
+        return sites
 
     def remove_measurements(self) -> "QuantumCircuit":
         """Return a copy with all measurement instructions stripped."""

@@ -20,6 +20,13 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
+from repro.circuits.parameter import (
+    Parameter,
+    ParamValue,
+    bind_value,
+    expression_parameters,
+    is_symbolic,
+)
 from repro.exceptions import GateError
 
 __all__ = [
@@ -273,11 +280,13 @@ class Gate:
 
     Attributes:
         name: lower-case gate mnemonic, e.g. ``"cx"``.
-        params: tuple of float parameters (Euler angles etc.).
+        params: tuple of parameters (Euler angles etc.) — plain floats, or
+            symbolic :class:`~repro.circuits.parameter.Parameter`
+            (expressions) awaiting a :meth:`bind`.
     """
 
     name: str
-    params: Tuple[float, ...] = field(default_factory=tuple)
+    params: Tuple[ParamValue, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.name not in GATE_ARITY:
@@ -288,16 +297,54 @@ class Gate:
                 f"gate {self.name!r} takes {expected} parameter(s), "
                 f"got {len(self.params)}"
             )
-        # Normalise params to plain floats so instances hash consistently.
-        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        # Normalise numeric params to plain floats so instances hash
+        # consistently; symbolic parameters pass through untouched.
+        object.__setattr__(
+            self,
+            "params",
+            tuple(p if is_symbolic(p) else float(p) for p in self.params),
+        )
 
     @property
     def num_qubits(self) -> int:
         """Number of qubits the gate acts on."""
         return GATE_ARITY[self.name]
 
+    @property
+    def is_parameterized(self) -> bool:
+        """True when any parameter is symbolic (unbound)."""
+        return any(is_symbolic(p) for p in self.params)
+
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """Distinct symbolic parameters, in first-appearance order."""
+        seen: list = []
+        for p in self.params:
+            for parameter in expression_parameters(p):
+                if parameter not in seen:
+                    seen.append(parameter)
+        return tuple(seen)
+
+    def bind(self, values) -> "Gate":
+        """Return a copy with parameters resolved via ``{name: value}``.
+
+        Parameters absent from ``values`` stay symbolic, so partial binds
+        compose.  Concrete gates are returned unchanged.
+        """
+        if not self.is_parameterized:
+            return self
+        return Gate(self.name, tuple(bind_value(p, values) for p in self.params))
+
     def matrix(self) -> np.ndarray:
-        """Unitary matrix of the gate."""
+        """Unitary matrix of the gate.
+
+        Raises :class:`GateError` for parameterized gates — bind the
+        circuit first; a symbolic angle has no numeric unitary.
+        """
+        if self.is_parameterized:
+            raise GateError(
+                f"gate {self.name!r} has unbound parameters "
+                f"{[p.name for p in self.parameters()]}; bind() before matrix()"
+            )
         return gate_matrix(self.name, self.params)
 
     def inverse(self) -> "Gate":
@@ -324,6 +371,8 @@ class Gate:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         if self.params:
-            inner = ", ".join(f"{p:.6g}" for p in self.params)
+            inner = ", ".join(
+                repr(p) if is_symbolic(p) else f"{p:.6g}" for p in self.params
+            )
             return f"Gate({self.name}, [{inner}])"
         return f"Gate({self.name})"

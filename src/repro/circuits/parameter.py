@@ -1,0 +1,197 @@
+"""Symbolic gate parameters for compile-once/bind-many circuits.
+
+Variational workloads (VQE, QAOA) run thousands of iterations of the same
+circuit *structure* with different rotation angles.  A :class:`Parameter`
+is a named symbolic angle that can sit anywhere a rotation gate expects a
+float; :meth:`QuantumCircuit.bind` substitutes concrete values to recover
+an ordinary numeric circuit.
+
+Only affine expressions of a single parameter are supported
+(``scale * p + offset``), which covers every rotation idiom in the
+workload suite (``rx(2.0 * beta)``, inverse gates negating their angle)
+while keeping binding, hashing, and fingerprinting trivially exact: an
+affine form has one canonical ``(parameter, scale, offset)`` triple, so
+equal expressions always hash and fingerprint identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Real
+from typing import Mapping, Tuple, Union
+
+from repro.exceptions import CircuitError
+
+__all__ = [
+    "Parameter",
+    "ParameterExpression",
+    "ParamValue",
+    "is_symbolic",
+    "bind_value",
+    "param_token",
+    "expression_parameters",
+]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A named symbolic angle.
+
+    Parameters are compared and hashed by *name*: two ``Parameter("beta")``
+    objects are interchangeable, so circuits can be rebound by name (the
+    service tier ships parameter values as ``{name: value}`` mappings).
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise CircuitError("a Parameter needs a non-empty string name")
+
+    # -- affine algebra -------------------------------------------------
+
+    def __mul__(self, other: float) -> "ParameterExpression":
+        return ParameterExpression(self) * other
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: float) -> "ParameterExpression":
+        return ParameterExpression(self) + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: float) -> "ParameterExpression":
+        return ParameterExpression(self) - other
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression(self, scale=-1.0)
+
+    def __truediv__(self, other: float) -> "ParameterExpression":
+        return ParameterExpression(self) / other
+
+    # -- binding --------------------------------------------------------
+
+    def bind(self, value: float) -> float:
+        return float(value)
+
+    def fingerprint_token(self) -> str:
+        """Stable content token used by circuit fingerprints."""
+        return f"sym[{self.name}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.name!r})"
+
+
+@dataclass(frozen=True)
+class ParameterExpression:
+    """An affine expression ``scale * parameter + offset``."""
+
+    parameter: Parameter
+    scale: float = 1.0
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.parameter, Parameter):
+            raise CircuitError("ParameterExpression wraps a Parameter")
+        object.__setattr__(self, "scale", float(self.scale))
+        object.__setattr__(self, "offset", float(self.offset))
+
+    @property
+    def name(self) -> str:
+        return self.parameter.name
+
+    # -- affine algebra -------------------------------------------------
+
+    def __mul__(self, other: float) -> "ParameterExpression":
+        if not isinstance(other, Real):
+            return NotImplemented
+        factor = float(other)
+        return ParameterExpression(
+            self.parameter, self.scale * factor, self.offset * factor
+        )
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: float) -> "ParameterExpression":
+        if not isinstance(other, Real):
+            return NotImplemented
+        return ParameterExpression(
+            self.parameter, self.scale, self.offset + float(other)
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: float) -> "ParameterExpression":
+        if not isinstance(other, Real):
+            return NotImplemented
+        return self + (-float(other))
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression(self.parameter, -self.scale, -self.offset)
+
+    def __truediv__(self, other: float) -> "ParameterExpression":
+        if not isinstance(other, Real):
+            return NotImplemented
+        divisor = float(other)
+        return ParameterExpression(
+            self.parameter, self.scale / divisor, self.offset / divisor
+        )
+
+    # -- binding --------------------------------------------------------
+
+    def bind(self, value: float) -> float:
+        return self.scale * float(value) + self.offset
+
+    def fingerprint_token(self) -> str:
+        """Stable content token used by circuit fingerprints."""
+        return f"sym[{self.name}]*{self.scale!r}+{self.offset!r}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParameterExpression({self.scale:.6g}*{self.name}"
+            f"{self.offset:+.6g})"
+        )
+
+
+#: A gate parameter: a concrete float or a symbolic (expression of a) Parameter.
+ParamValue = Union[float, Parameter, ParameterExpression]
+
+_SYMBOLIC = (Parameter, ParameterExpression)
+
+
+def is_symbolic(value: object) -> bool:
+    """Return True when ``value`` is a symbolic parameter (expression)."""
+    return isinstance(value, _SYMBOLIC)
+
+
+def bind_value(value: ParamValue, values: Mapping[str, float]) -> ParamValue:
+    """Resolve ``value`` against a ``{parameter name: float}`` mapping.
+
+    Concrete floats pass through; symbolic values whose parameter is absent
+    from the mapping are returned unchanged (partial binds compose).
+    """
+    if isinstance(value, Parameter):
+        if value.name in values:
+            return value.bind(values[value.name])
+        return value
+    if isinstance(value, ParameterExpression):
+        if value.name in values:
+            return value.bind(values[value.name])
+        return value
+    return float(value)
+
+
+def param_token(value: ParamValue) -> str:
+    """Content token for one gate parameter (float or symbolic)."""
+    if is_symbolic(value):
+        return value.fingerprint_token()
+    return repr(float(value))
+
+
+def expression_parameters(value: ParamValue) -> Tuple[Parameter, ...]:
+    """Parameters referenced by ``value`` (empty for concrete floats)."""
+    if isinstance(value, Parameter):
+        return (value,)
+    if isinstance(value, ParameterExpression):
+        return (value.parameter,)
+    return ()

@@ -10,7 +10,9 @@ Usage (after ``pip install -e .``)::
 
 ``run`` executes the JigSaw pipeline on one workload and reports PST/IST/
 fidelity before and after reconstruction; ``compare`` additionally runs
-EDM and JigSaw-M; ``serve`` drives the multi-tenant
+EDM and JigSaw-M; ``sweep`` evaluates a parameterized workload at K
+parameter points through one compiled plan template (compile once, bind
+many, execute one stacked batch); ``serve`` drives the multi-tenant
 :class:`~repro.service.MitigationService` over a JSON job file;
 ``devices`` prints the device library's calibration statistics;
 ``scalability`` prints the Table 7 cost model.
@@ -29,7 +31,7 @@ from repro.exceptions import AdmissionError, ReproError
 from repro.experiments import format_table
 from repro.metrics.success import probability_of_successful_trial
 from repro.runtime import Session
-from repro.service import JobSpec, MitigationService, ResultStore
+from repro.service import SERVICE_SCHEMES, JobSpec, MitigationService, ResultStore
 from repro.service.tier import (
     SegmentedResultStore,
     ServiceSupervisor,
@@ -99,6 +101,47 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--cpm-attempts", type=int, default=3,
         help="CPM candidate-layout pool size (see 'run')",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="variational sweep: compile once, run K parameter points "
+        "as one stacked batch",
+    )
+    sweep.add_argument(
+        "--workload", required=True,
+        help="a parameterized workload, e.g. 'QAOA-10 p2' (needs a "
+        "template circuit)",
+    )
+    sweep.add_argument("--device", default="toronto", choices=sorted(_DEVICES))
+    sweep.add_argument(
+        "--scheme", default="jigsaw", choices=list(SERVICE_SCHEMES)
+    )
+    sweep.add_argument(
+        "--points", required=True,
+        help="parameter points in template parameter order: an inline "
+        "JSON list of rows (e.g. '[[0.3, 0.4], [0.5, 0.2]]') or "
+        "@file.json",
+    )
+    sweep.add_argument(
+        "--trials", type=int, default=32_768,
+        help="per-iteration trial budget",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--sampled", action="store_true")
+    sweep.add_argument(
+        "--exec-workers", type=int, default=None,
+        help="worker count for sharded batch execution",
+    )
+    sweep.add_argument(
+        "--eps-rescore-threshold", type=float, default=None,
+        help="max parameter drift (radians) before the template "
+        "re-scores EPS for a bind",
+    )
+    sweep.add_argument(
+        "--json", dest="json_out", default=None,
+        help="write the sweep result payload as JSON to this path "
+        "('-' for stdout)",
     )
 
     serve = sub.add_parser(
@@ -242,6 +285,85 @@ def _cmd_compare(args: argparse.Namespace) -> str:
         f"\ncompiler:   {compiler.get('route_calls', 0)} routings for "
         f"{compiler.get('retargets', 0)} retargeted schedules "
         f"({compiler.get('route_hits', 0)} route-cache hits)"
+    )
+
+
+def _parse_points(text: str) -> List[List[float]]:
+    """Parse --points: inline JSON rows or ``@path`` to a JSON file."""
+    try:
+        if text.startswith("@"):
+            with open(text[1:]) as handle:
+                document = json.load(handle)
+        else:
+            document = json.loads(text)
+    except OSError as exc:
+        raise ReproError(f"cannot read points file {text[1:]}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"--points: invalid JSON ({exc})") from exc
+    if isinstance(document, dict):
+        document = document.get("points", document)
+    if (
+        not isinstance(document, list)
+        or not document
+        or not all(isinstance(row, list) and row for row in document)
+    ):
+        raise ReproError(
+            "--points: expected a non-empty JSON list of non-empty rows"
+        )
+    return [[float(value) for value in row] for row in document]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    device = _device(args.device)
+    workload = workload_by_name(args.workload)
+    if not workload.is_sweepable:
+        raise ReproError(
+            f"workload {workload.name!r} has no template circuit; "
+            "sweepable workloads carry symbolic parameters (e.g. QAOA)"
+        )
+    points = _parse_points(args.points)
+    with Session(
+        device, seed=args.seed, total_trials=args.trials,
+        exact=not args.sampled, workers=args.exec_workers,
+    ) as session:
+        result = session.run_sweep(
+            args.scheme, workload, points,
+            eps_rescore_threshold=args.eps_rescore_threshold,
+        )
+        rows: List[List[object]] = []
+        for index, (point, pmf) in enumerate(
+            zip(result.parameter_sets, result.output_pmfs)
+        ):
+            metrics = session.evaluate(workload, pmf)
+            rows.append(
+                [
+                    index,
+                    ", ".join(f"{value:.4f}" for value in point),
+                    metrics.pst,
+                    metrics.ist,
+                    metrics.fidelity,
+                ]
+            )
+        counters = session.pipeline_stats()["counters"]
+    if args.json_out:
+        payload = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            with open(args.json_out, "w") as handle:
+                handle.write(payload + "\n")
+    names = ", ".join(result.parameter_names)
+    return format_table(
+        ["#", f"({names})", "PST", "IST", "Fidelity"],
+        rows,
+        title=(
+            f"{args.scheme} sweep of {workload.name} / {device.name}: "
+            f"{len(points)} points"
+        ),
+    ) + (
+        f"\ncompile-once: {counters.get('route_calls', 0)} route calls "
+        f"for {counters.get('template_binds', 0)} binds "
+        f"({counters.get('template_eps_rescores', 0)} EPS re-scores)"
     )
 
 
@@ -458,6 +580,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_cmd_run(args))
         elif args.command == "compare":
             print(_cmd_compare(args))
+        elif args.command == "sweep":
+            print(_cmd_sweep(args))
         elif args.command == "serve":
             print(_cmd_serve(args))
         elif args.command == "store":

@@ -510,6 +510,50 @@ class JigSaw:
             cache.put(key, built)
         return built
 
+    def plan_template(
+        self,
+        circuit: QuantumCircuit,
+        total_trials: int = 32_768,
+        global_executable: Optional[ExecutableCircuit] = None,
+        eps_rescore_threshold: Optional[float] = None,
+    ):
+        """Plan a *parameterized* circuit once, for bind-many sweeps.
+
+        Every compile stage is parameter independent, so the symbolic
+        circuit routes/retargets/scores exactly like any bound instance;
+        the returned :class:`~repro.compiler.template.PlanTemplate`
+        substitutes parameter points into the compiled executables.
+        """
+        from repro.compiler.template import (
+            DEFAULT_EPS_RESCORE_THRESHOLD,
+            PlanTemplate,
+        )
+
+        plan = self.plan(
+            circuit,
+            total_trials=total_trials,
+            global_executable=global_executable,
+        )
+        threshold = (
+            DEFAULT_EPS_RESCORE_THRESHOLD
+            if eps_rescore_threshold is None
+            else eps_rescore_threshold
+        )
+        return PlanTemplate.from_plan(
+            plan, self.pipeline, eps_rescore_threshold=threshold
+        )
+
+    def run_sweep(self, template, parameter_sets) -> List[JigSawResult]:
+        """Execute a whole parameter sweep as one coalesced batch.
+
+        Binds every parameter point of ``template`` (see
+        :meth:`plan_template`) and submits all of them through
+        :meth:`execute_many`, so the backend evaluates the sweep in
+        structure-shared stacks.  Results are in parameter-set order and
+        bit-for-bit equal to executing the bound plans one at a time.
+        """
+        return self.execute_many(template.bind_many(parameter_sets))
+
     # ------------------------------------------------------------------
     # Stage 2: batch-execute & reconstruct
     # ------------------------------------------------------------------

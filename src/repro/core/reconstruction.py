@@ -85,27 +85,44 @@ def _marginal_vector(marginal: Marginal) -> np.ndarray:
     return vec
 
 
-def _update_probs(
-    probs: np.ndarray, projections: np.ndarray, marginal_vec: np.ndarray
-) -> np.ndarray:
-    """Vectorised Algorithm 1 ``Bayesian_Update`` on a prior's support."""
-    size = len(marginal_vec)
-    # Prior mass of each projection group (Fig. 6 step 1).
-    group_mass = np.bincount(projections, weights=probs, minlength=size)
-    observed = marginal_vec > 0.0
-    clipped = np.minimum(marginal_vec, _MAX_MARGINAL_PROB)
-    odds = np.where(observed, clipped / (1.0 - clipped), 0.0)
+class _PreparedMarginal:
+    """One marginal's round-invariant arrays, computed once per support.
 
-    mass = group_mass[projections]
-    entry_observed = observed[projections] & (mass > 0.0)
+    Projections, odds and the observed mask depend only on the support's
+    outcome codes and the marginal itself — never on the evolving prior —
+    so hoisting them out of the round loop changes nothing bit-for-bit.
+    """
+
+    __slots__ = ("projections", "size", "odds_proj", "observed_proj")
+
+    def __init__(self, codes: np.ndarray, marginal: Marginal) -> None:
+        vec = _marginal_vector(marginal)
+        observed = vec > 0.0
+        clipped = np.minimum(vec, _MAX_MARGINAL_PROB)
+        odds = np.where(observed, clipped / (1.0 - clipped), 0.0)
+        self.projections = gather_code_bits(codes, marginal.qubits)
+        self.size = len(vec)
+        self.odds_proj = odds[self.projections]
+        self.observed_proj = observed[self.projections]
+
+
+def _update_probs(probs: np.ndarray, prep: _PreparedMarginal) -> np.ndarray:
+    """Vectorised Algorithm 1 ``Bayesian_Update`` on a prior's support."""
+    # Prior mass of each projection group (Fig. 6 step 1).
+    group_mass = np.bincount(
+        prep.projections, weights=probs, minlength=prep.size
+    )
+    mass = group_mass[prep.projections]
+    mass_positive = mass > 0.0
+    entry_observed = prep.observed_proj & mass_positive
     # Update coefficients C = P[x] / group mass (step 2), scaled by the
-    # marginal odds (step 3); unobserved projections keep the prior.
-    with np.errstate(divide="ignore", invalid="ignore"):
-        updated = np.where(
-            entry_observed,
-            probs / np.where(mass > 0.0, mass, 1.0) * odds[projections],
-            probs,
-        )
+    # marginal odds (step 3); unobserved projections keep the prior.  The
+    # guarded denominator is never zero, so no errstate is needed.
+    updated = np.where(
+        entry_observed,
+        probs / np.where(mass_positive, mass, 1.0) * prep.odds_proj,
+        probs,
+    )
     total = updated.sum()
     if total <= 0.0:
         raise ReconstructionError("Bayesian update produced a zero posterior")
@@ -131,31 +148,68 @@ def _check_marginal(marginal: Marginal, num_bits: int) -> None:
         )
 
 
+class _StackedMarginals:
+    """All marginals of a reconstruction, stacked for one-shot rounds.
+
+    Offsetting each marginal's projections into a disjoint bin range lets
+    one ``bincount`` compute every group mass of a round at once, and the
+    odds/observed matrices turn the per-marginal update into one
+    broadcast expression.  Bit-for-bit equal to looping marginals:
+    ``bincount`` accumulates each segment's entries in the same order,
+    every element-wise op sees the same operands, and row-wise sums
+    reduce each contiguous row exactly like the standalone 1-D sum.
+    """
+
+    __slots__ = ("projections", "total_bins", "odds_proj", "observed_proj", "count")
+
+    def __init__(self, codes: np.ndarray, marginals: List[Marginal]) -> None:
+        preps = [_PreparedMarginal(codes, m) for m in marginals]
+        self.count = len(preps)
+        self.total_bins = sum(p.size for p in preps)
+        offset = 0
+        shifted = []
+        for prep in preps:
+            shifted.append(prep.projections + offset)
+            offset += prep.size
+        self.projections = np.concatenate(shifted)
+        self.odds_proj = np.stack([p.odds_proj for p in preps])
+        self.observed_proj = np.stack([p.observed_proj for p in preps])
+
+
 def _prepare(
     codes: np.ndarray, marginals: Iterable[Marginal]
-) -> List[Tuple[np.ndarray, np.ndarray]]:
-    """(projection codes, marginal vector) per marginal, computed once.
-
-    Projections depend only on the support's outcome codes, which never
-    change across rounds.
-    """
-    return [
-        (gather_code_bits(codes, m.qubits), _marginal_vector(m))
-        for m in marginals
-    ]
+) -> _StackedMarginals:
+    """Round-invariant stacked arrays, computed once per support."""
+    return _StackedMarginals(codes, list(marginals))
 
 
-def _round(
-    probs: np.ndarray, prepared: List[Tuple[np.ndarray, np.ndarray]]
-) -> np.ndarray:
+def _round(probs: np.ndarray, stacked: _StackedMarginals) -> np.ndarray:
     """One reconstruction round over a support; returns new probabilities.
 
     ``Pout = normalize(P + sum_j BayesianUpdate(P, m_j))`` — Algorithm 1's
-    ``Bayesian_Reconstruction`` body.
+    ``Bayesian_Reconstruction`` body, all marginals updated in one
+    vectorised pass (see :class:`_StackedMarginals`).
     """
+    tiled = np.tile(probs, stacked.count)
+    group_mass = np.bincount(
+        stacked.projections, weights=tiled, minlength=stacked.total_bins
+    )
+    mass = group_mass[stacked.projections].reshape(stacked.count, -1)
+    mass_positive = mass > 0.0
+    entry_observed = stacked.observed_proj & mass_positive
+    updated = np.where(
+        entry_observed,
+        probs / np.where(mass_positive, mass, 1.0) * stacked.odds_proj,
+        probs,
+    )
+    totals = updated.sum(axis=1)
+    if np.any(totals <= 0.0):
+        raise ReconstructionError("Bayesian update produced a zero posterior")
+    updated /= totals[:, np.newaxis]
+    # Sequential accumulation, matching the historical per-marginal loop.
     accumulator = probs.copy()
-    for projections, marginal_vec in prepared:
-        accumulator += _update_probs(probs, projections, marginal_vec)
+    for row in updated:
+        accumulator += row
     return accumulator / accumulator.sum()
 
 
@@ -177,9 +231,8 @@ def bayesian_update(prior: PMF, marginal: Marginal) -> PMF:
     result is normalised.
     """
     _check_marginal(marginal, prior.num_bits)
-    projections = gather_code_bits(prior.codes, marginal.qubits)
     updated = _update_probs(
-        _normalized(prior), projections, _marginal_vector(marginal)
+        _normalized(prior), _PreparedMarginal(prior.codes, marginal)
     )
     return PMF.from_codes(prior.codes, updated, prior.num_bits, normalize=True)
 

@@ -36,7 +36,14 @@ from repro.runtime.plan import ExecutionPlan, PlanLayer
 # ``repro.core.jigsaw`` imports the backend/plan/cache leaves of this
 # package (which executes this __init__).  Loading session eagerly here
 # would close that cycle, so its exports resolve lazily (PEP 562).
-_SESSION_EXPORTS = ("Session", "Metrics", "SCHEME_NAMES")
+_SESSION_EXPORTS = (
+    "Session",
+    "Metrics",
+    "SCHEME_NAMES",
+    "ParameterSweep",
+    "PreparedSweep",
+    "SweepResult",
+)
 
 
 def __getattr__(name: str):
@@ -61,6 +68,9 @@ __all__ = [
     "Session",
     "Metrics",
     "SCHEME_NAMES",
+    "ParameterSweep",
+    "PreparedSweep",
+    "SweepResult",
     "circuit_fingerprint",
     "config_fingerprint",
     "executable_fingerprint",

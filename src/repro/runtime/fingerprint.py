@@ -24,6 +24,7 @@ __all__ = [
     "circuit_fingerprint",
     "unitary_body_fingerprint",
     "body_fingerprint",
+    "structure_fingerprint",
     "config_fingerprint",
     "device_fingerprint",
     "executable_fingerprint",
@@ -51,9 +52,33 @@ def content_hash(parts: Sequence[str]) -> str:
 
 
 def _instruction_token(instruction) -> str:
+    # Instructions are immutable and widely shared (bind-many reuses
+    # every non-parameterized instruction object across all K bound
+    # copies), so the token is cached on the instance: each shared
+    # instruction tokenises once per process, not once per fingerprint.
+    token = instruction.__dict__.get("_token")
+    if token is not None:
+        return token
+    from repro.circuits.parameter import param_token
+
     if instruction.is_gate:
-        params = ",".join(repr(float(p)) for p in instruction.gate.params)
-        return f"g|{instruction.gate.name}|{params}|{instruction.qubits}"
+        params = ",".join(param_token(p) for p in instruction.gate.params)
+        token = f"g|{instruction.gate.name}|{params}|{instruction.qubits}"
+    else:
+        token = f"{instruction.kind}|{instruction.qubits}|{instruction.clbits}"
+    object.__setattr__(instruction, "_token", token)
+    return token
+
+
+def _structure_token(instruction) -> str:
+    """Like :func:`_instruction_token` but with angles replaced by arity.
+
+    Bound and symbolic instances of one rotation collapse to the same
+    token, so structure-keyed fingerprints are parameter-independent.
+    """
+    if instruction.is_gate:
+        gate = instruction.gate
+        return f"g|{gate.name}|<{len(gate.params)}>|{instruction.qubits}"
     return f"{instruction.kind}|{instruction.qubits}|{instruction.clbits}"
 
 
@@ -93,13 +118,34 @@ def body_fingerprint(circuit: "QuantumCircuit") -> str:
     all of its CPMs share this fingerprint, which is what lets the
     pipeline's Route stage share routed bodies across every measured
     subset (the route-once invariant).
+
+    Rotation *angles* are excluded (tokens carry only the parameter
+    arity): placement, routing, and measurement retargeting read gate
+    structure and topology, never angle values, so every binding of a
+    parameterized circuit — and the symbolic template itself — shares one
+    routed body.  This is the parameter-independence invariant that lets
+    a K-iteration variational sweep route once.
     """
     parts = [f"routed-body|{circuit.num_qubits}"]
     parts.extend(
-        _instruction_token(ins)
+        _structure_token(ins)
         for ins in circuit.instructions
         if not ins.is_measure
     )
+    return _hash(parts)
+
+
+def structure_fingerprint(circuit: "QuantumCircuit") -> str:
+    """Content hash of the full circuit shape, ignoring rotation angles.
+
+    The whole-circuit twin of :func:`body_fingerprint`: dimensions,
+    gate structure (angle-free), barriers, *and* measurements all
+    participate.  Every binding of one parameterized circuit — and the
+    symbolic template — shares this fingerprint, so it keys the plan
+    template cache: same structure, same routed plan skeleton.
+    """
+    parts = [f"structure|{circuit.num_qubits}|{circuit.num_clbits}"]
+    parts.extend(_structure_token(ins) for ins in circuit.instructions)
     return _hash(parts)
 
 

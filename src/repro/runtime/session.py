@@ -38,6 +38,11 @@ import numpy as np
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.edm import ensemble_of_diverse_mappings
 from repro.compiler.pipeline import CompilerPipeline
+from repro.compiler.template import (
+    DEFAULT_EPS_RESCORE_THRESHOLD,
+    ParameterValues,
+    PlanTemplate,
+)
 from repro.compiler.transpile import ExecutableCircuit, transpile
 from repro.core.jigsaw import JigSaw, JigSawConfig, JigSawResult
 from repro.core.multilayer import JigSawM, JigSawMConfig, JigSawMResult
@@ -57,12 +62,26 @@ from repro.noise.sampler import NoisySampler
 from repro.runtime.backend import Backend, ExecutionRequest
 from repro.runtime.cache import CompilationCache
 from repro.runtime.parallel import sharded_local_backend
-from repro.runtime.fingerprint import circuit_fingerprint
+from repro.runtime.fingerprint import circuit_fingerprint, structure_fingerprint
 from repro.runtime.plan import ExecutionPlan
+from repro.runtime.sweep import (
+    ParameterSweep,
+    PreparedSweep,
+    SweepResult,
+    resolve_template_circuit,
+)
 from repro.utils.random import SeedLike, as_generator, spawn
 from repro.workloads.workload import Workload
 
-__all__ = ["Session", "Metrics", "PreparedSchemeRun", "SCHEME_NAMES"]
+__all__ = [
+    "Session",
+    "Metrics",
+    "PreparedSchemeRun",
+    "ParameterSweep",
+    "PreparedSweep",
+    "SweepResult",
+    "SCHEME_NAMES",
+]
 
 SCHEME_NAMES = (
     "baseline",
@@ -198,6 +217,11 @@ class Session:
         # must draw from the same per-scheme RNG stream, or a plan+run
         # pair would diverge from run_scheme in sampled mode.
         self._runners: Dict[object, JigSaw] = {}
+        # Compile-once/bind-many state for variational sweeps: plan
+        # templates keyed by (scheme, structure, budget, threshold) and
+        # EDM ensembles keyed by circuit content.
+        self._templates: Dict[tuple, PlanTemplate] = {}
+        self._edm_ensembles: Dict[str, List[ExecutableCircuit]] = {}
 
     # ------------------------------------------------------------------
     # Shared pieces
@@ -207,12 +231,19 @@ class Session:
         """Local simulation, sharded when a worker fan-out is configured."""
         return sharded_local_backend(self.sampler, self.exact, self.workers)
 
-    def global_executable(self, workload: Workload) -> ExecutableCircuit:
-        """The baseline (Noise-Aware SABRE) compilation, shared per program."""
-        key = circuit_fingerprint(workload.circuit)
+    def global_executable(
+        self, workload: Union[Workload, QuantumCircuit]
+    ) -> ExecutableCircuit:
+        """The baseline (Noise-Aware SABRE) compilation, shared per program.
+
+        Accepts a workload or a bare circuit (the sweep layer compiles
+        *symbolic* template circuits through the same baseline stream).
+        """
+        circuit = workload.circuit if isinstance(workload, Workload) else workload
+        key = circuit_fingerprint(circuit)
         if key not in self._global_executables:
             executable = transpile(
-                workload.circuit,
+                circuit,
                 self.device,
                 seed=self._baseline_seed,
                 attempts=self.compile_attempts,
@@ -220,6 +251,30 @@ class Session:
             )
             self._global_executables[key] = executable
         return self._global_executables[key]
+
+    def edm_ensemble(
+        self, circuit: QuantumCircuit
+    ) -> List[ExecutableCircuit]:
+        """The EDM mapping ensemble for ``circuit``, compiled once per
+        content key.
+
+        Used by the sweep layer: a K-iteration EDM sweep compiles the
+        symbolic ensemble a single time and binds it per iteration.
+        (``prepare_scheme("edm", ...)`` deliberately keeps its historical
+        uncached behaviour — caching would shift the EDM seed stream of
+        repeated solo runs.)
+        """
+        key = circuit_fingerprint(circuit)
+        if key not in self._edm_ensembles:
+            self._edm_ensembles[key] = ensemble_of_diverse_mappings(
+                circuit,
+                self.device,
+                ensemble_size=self.ensemble_size,
+                attempts=self.compile_attempts,
+                seed=self._edm_seed,
+                pipeline=self.compile_pipeline,
+            )
+        return self._edm_ensembles[key]
 
     def _jigsaw_config(self, recompile: bool) -> JigSawConfig:
         return JigSawConfig(
@@ -315,6 +370,130 @@ class Session:
     def run(self, plan: ExecutionPlan) -> Union[JigSawResult, JigSawMResult]:
         """Batch-execute a plan on this session's backend and reconstruct."""
         return self.runner_for(plan).execute(plan)
+
+    # ------------------------------------------------------------------
+    # Variational sweeps (compile once, bind many, execute stacked)
+    # ------------------------------------------------------------------
+
+    def plan_template(
+        self,
+        workload: Union[Workload, QuantumCircuit],
+        scheme: str = "jigsaw",
+        total_trials: Optional[int] = None,
+        eps_rescore_threshold: Optional[float] = None,
+    ) -> PlanTemplate:
+        """Compile a parameterized program into a reusable plan template.
+
+        The full pipeline runs once on the *symbolic* circuit (every
+        compile stage is parameter independent); ``template.bind(p)``
+        then yields each iteration's :class:`ExecutionPlan` by pure
+        substitution.  Templates are cached per (scheme, structure,
+        budget, threshold), so repeated sweeps of one structure share one
+        compilation — and one set of re-score epoch counters.
+
+        Mirrors :meth:`plan`'s seed discipline: a :class:`Workload`
+        compiles its global through the session baseline stream, a bare
+        circuit lets the scheme runner auto-compile it.
+        """
+        circuit = resolve_template_circuit(workload)
+        trials = total_trials or self.total_trials
+        threshold = (
+            DEFAULT_EPS_RESCORE_THRESHOLD
+            if eps_rescore_threshold is None
+            else eps_rescore_threshold
+        )
+        key = (
+            scheme,
+            structure_fingerprint(circuit),
+            circuit_fingerprint(circuit),
+            trials,
+            threshold,
+        )
+        if key not in self._templates:
+            global_executable = (
+                self.global_executable(circuit)
+                if isinstance(workload, Workload)
+                else None
+            )
+            if scheme == "jigsaw_m":
+                runner: JigSaw = self._jigsawm_runner()
+            elif scheme in {"jigsaw", "jigsaw_nr"}:
+                runner = self._jigsaw_runner(recompile=scheme == "jigsaw")
+            else:
+                raise ExperimentError(
+                    f"cannot template scheme {scheme!r}; planable: "
+                    "('jigsaw', 'jigsaw_nr', 'jigsaw_m')"
+                )
+            plan = runner.plan(
+                circuit,
+                total_trials=trials,
+                global_executable=global_executable,
+            )
+            self._templates[key] = PlanTemplate.from_plan(
+                plan, runner.pipeline, eps_rescore_threshold=threshold
+            )
+        return self._templates[key]
+
+    def parameter_sweep(
+        self,
+        workload: Union[Workload, QuantumCircuit],
+        scheme: str = "jigsaw",
+        total_trials: Optional[int] = None,
+        eps_rescore_threshold: Optional[float] = None,
+    ) -> ParameterSweep:
+        """A reusable sweep runner over this session (optimizer loops)."""
+        return ParameterSweep(
+            self,
+            workload,
+            scheme=scheme,
+            total_trials=total_trials,
+            eps_rescore_threshold=eps_rescore_threshold,
+        )
+
+    def prepare_sweep(
+        self,
+        scheme: str,
+        workload: Union[Workload, QuantumCircuit],
+        parameter_sets: Sequence[ParameterValues],
+        total_trials: Optional[int] = None,
+        eps_rescore_threshold: Optional[float] = None,
+    ) -> PreparedSweep:
+        """Compile/bind a K-iteration sweep down to its execution seam.
+
+        The sweep twin of :meth:`prepare_scheme`: executing the returned
+        requests on the prepared backend and finishing is exactly
+        :meth:`run_sweep` — the service tier splices the requests into
+        its merged batches instead and finishes identically.
+        """
+        return self.parameter_sweep(
+            workload,
+            scheme=scheme,
+            total_trials=total_trials,
+            eps_rescore_threshold=eps_rescore_threshold,
+        ).prepare(parameter_sets)
+
+    def run_sweep(
+        self,
+        scheme: str,
+        workload: Union[Workload, QuantumCircuit],
+        parameter_sets: Sequence[ParameterValues],
+        total_trials: Optional[int] = None,
+        eps_rescore_threshold: Optional[float] = None,
+    ) -> SweepResult:
+        """Run all K parameter points as one coalesced stacked batch.
+
+        Compiles once (route calls O(1) in K), binds per iteration, and
+        submits every bound instance in a single backend batch so the
+        stacked kernels evaluate the whole wave in ``(K, 2^n)`` stacks.
+        Bit-for-bit equal to running the iterations one at a time.
+        """
+        sweep = self.parameter_sweep(
+            workload,
+            scheme=scheme,
+            total_trials=total_trials,
+            eps_rescore_threshold=eps_rescore_threshold,
+        )
+        return sweep.run(parameter_sets)
 
     # ------------------------------------------------------------------
     # Schemes

@@ -21,6 +21,7 @@ from repro.service.job import (
     Job,
     JobSpec,
     JobStatus,
+    SweepJobSpec,
     job_fingerprint,
 )
 from repro.service.queue import FairShareQueue
@@ -30,6 +31,7 @@ from repro.service.store import ResultStore
 __all__ = [
     "Job",
     "JobSpec",
+    "SweepJobSpec",
     "JobStatus",
     "SERVICE_SCHEMES",
     "job_fingerprint",

@@ -52,7 +52,13 @@ from repro.runtime.cache import CompilationCache
 from repro.runtime.fingerprint import device_fingerprint
 from repro.runtime.parallel import ShardedBackend
 from repro.runtime.session import Session
-from repro.service.job import Job, JobSpec, JobStatus, resolve_spec_circuit
+from repro.service.job import (
+    Job,
+    JobSpec,
+    JobStatus,
+    SweepJobSpec,
+    resolve_spec_circuit,
+)
 
 __all__ = [
     "BatchSink",
@@ -325,9 +331,23 @@ class ExecutionEngine:
                         cache=self.registry.cache_for(device_key),
                     )
                     sessions.append(session)
-                    prepared = session.prepare_scheme(
-                        job.spec.scheme, job.workload
-                    )
+                    if isinstance(job.spec, SweepJobSpec):
+                        # The sweep seam is shape-compatible with the
+                        # scheme seam: one request batch plus a finisher,
+                        # so sweep jobs splice into merged batches like
+                        # any other job.
+                        prepared = session.prepare_sweep(
+                            job.spec.scheme,
+                            job.workload,
+                            job.spec.parameter_sets,
+                            eps_rescore_threshold=(
+                                job.spec.eps_rescore_threshold
+                            ),
+                        )
+                    else:
+                        prepared = session.prepare_scheme(
+                            job.spec.scheme, job.workload
+                        )
                 except Exception as exc:
                     # ReproError is the expected shape (bad scheme inputs,
                     # MBM width, ...); anything else is a defect — either

@@ -17,7 +17,7 @@ import enum
 import itertools
 import threading
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.qasm import from_qasm
@@ -27,6 +27,7 @@ from repro.workloads.workload import Workload
 
 __all__ = [
     "JobSpec",
+    "SweepJobSpec",
     "JobStatus",
     "Job",
     "job_fingerprint",
@@ -129,7 +130,14 @@ class JobSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "JobSpec":
-        """Build a spec from a JSON job entry (unknown keys rejected)."""
+        """Build a spec from a JSON job entry (unknown keys rejected).
+
+        An entry carrying ``parameter_sets`` is a sweep request and
+        resolves to :class:`SweepJobSpec` (so job files mix plain and
+        sweep entries freely).
+        """
+        if cls is JobSpec and "parameter_sets" in payload:
+            return SweepJobSpec.from_dict(payload)
         known = {
             "tenant", "workload", "qasm", "device", "scheme",
             "total_trials", "seed", "exact", "priority",
@@ -146,6 +154,67 @@ class JobSpec:
         return replace(self, tenant=tenant)
 
 
+@dataclass(frozen=True)
+class SweepJobSpec(JobSpec):
+    """A variational sweep request: one structure, K parameter points.
+
+    The named workload must carry a ``template_circuit`` (its
+    parameterized twin); the service compiles it once per structure and
+    executes all K bound iterations as one coalesced stacked batch.
+    ``parameter_sets`` rows follow the template's parameter order.
+    ``total_trials`` is the *per-iteration* budget.
+    """
+
+    parameter_sets: Tuple[Tuple[float, ...], ...] = ()
+    eps_rescore_threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.qasm is not None:
+            raise ServiceError(
+                "sweep jobs need a registered workload (inline QASM "
+                "carries no parameters)"
+            )
+        if not self.parameter_sets:
+            raise ServiceError("a sweep job needs at least one parameter set")
+        rows = tuple(
+            tuple(float(v) for v in row) for row in self.parameter_sets
+        )
+        widths = {len(row) for row in rows}
+        if len(widths) != 1 or widths == {0}:
+            raise ServiceError(
+                "sweep parameter sets must be non-empty rows of one width"
+            )
+        object.__setattr__(self, "parameter_sets", rows)
+        if (
+            self.eps_rescore_threshold is not None
+            and self.eps_rescore_threshold <= 0
+        ):
+            raise ServiceError("eps_rescore_threshold must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = super().to_dict()
+        payload["parameter_sets"] = [list(row) for row in self.parameter_sets]
+        if self.eps_rescore_threshold is not None:
+            payload["eps_rescore_threshold"] = self.eps_rescore_threshold
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepJobSpec":
+        known = {
+            "tenant", "workload", "qasm", "device", "scheme",
+            "total_trials", "seed", "exact", "priority",
+            "parameter_sets", "eps_rescore_threshold",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ServiceError(
+                f"unknown sweep-job fields: {sorted(unknown)}; known: "
+                f"{sorted(known)}"
+            )
+        return cls(**dict(payload))
+
+
 def job_fingerprint(spec: JobSpec, circuit: QuantumCircuit, device_key: str,
                     config_salt: str) -> str:
     """Content key of a job: everything that can influence its result.
@@ -160,20 +229,27 @@ def job_fingerprint(spec: JobSpec, circuit: QuantumCircuit, device_key: str,
       attempts/subset knobs change compiled artifacts.
 
     Tenant and priority are deliberately excluded: they affect *when* a
-    job runs, never *what* it computes.
+    job runs, never *what* it computes.  Sweep specs additionally fold
+    in every parameter point and the EPS re-score threshold — the sweep
+    result is a function of the whole point list.
     """
-    return content_hash(
-        (
-            "job",
-            spec.scheme,
-            circuit_fingerprint(circuit),
-            device_key,
-            f"trials={spec.total_trials}",
-            f"seed={spec.seed}",
-            f"exact={spec.exact}",
-            config_salt,
+    parts = [
+        "job",
+        spec.scheme,
+        circuit_fingerprint(circuit),
+        device_key,
+        f"trials={spec.total_trials}",
+        f"seed={spec.seed}",
+        f"exact={spec.exact}",
+        config_salt,
+    ]
+    if isinstance(spec, SweepJobSpec):
+        parts.append("sweep")
+        parts.append(f"eps_rescore={spec.eps_rescore_threshold!r}")
+        parts.extend(
+            ",".join(repr(v) for v in row) for row in spec.parameter_sets
         )
-    )
+    return content_hash(tuple(parts))
 
 
 _job_ids = itertools.count(1)

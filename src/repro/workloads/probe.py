@@ -14,6 +14,7 @@ import math
 from typing import Dict, Sequence, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameter import Parameter
 from repro.exceptions import WorkloadError
 from repro.workloads.workload import Workload
 
@@ -47,25 +48,39 @@ def probe_circuit(
             f"unknown probe state {probe_state!r}; options: {sorted(PROBE_STATES)}"
         )
     theta, phi, lam = PROBE_STATES[probe_state]
+    # Every U3 is symbolic so characterisation sweeps over probe and
+    # spectator states rebind one compiled template; the workload circuit
+    # is the template bound at the requested angles.
     qc = QuantumCircuit(num_measured, name=f"probe-{probe_state}-N{num_measured}")
-    qc.u3(theta, phi, lam, 0)
+    defaults: Dict[str, float] = {}
+
+    def _u3(prefix: str, angles: Tuple[float, float, float], qubit: int) -> None:
+        params = tuple(Parameter(f"{prefix}_{axis}") for axis in ("theta", "phi", "lam"))
+        qc.u3(params[0], params[1], params[2], qubit)
+        for param, value in zip(params, angles):
+            defaults[param.name] = float(value)
+
+    _u3("probe", (theta, phi, lam), 0)
     for q in range(1, num_measured):
         if q - 1 < len(spectator_angles):
-            s_theta, s_phi, s_lam = spectator_angles[q - 1]
+            s_angles = tuple(spectator_angles[q - 1])
         else:
-            s_theta, s_phi, s_lam = PROBE_STATES["one"]
-        qc.u3(s_theta, s_phi, s_lam, q)
+            s_angles = PROBE_STATES["one"]
+        _u3(f"spec{q}", s_angles, q)
     qc.measure_all()
+    bound = qc.bind(defaults)
 
     # The probe's ideal marginal: P(1) = sin^2(theta/2).
     p_one = math.sin(theta / 2.0) ** 2
     return Workload(
         name=qc.name,
-        circuit=qc,
+        circuit=bound,
         correct_outcomes=tuple(),
         metadata={
             "probe_qubit": 0,
             "probe_state": probe_state,
             "probe_ideal_p1": p_one,
         },
+        template_circuit=qc,
+        default_parameters=defaults,
     )

@@ -19,7 +19,9 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameter import Parameter
 from repro.exceptions import WorkloadError
+from repro.sim.kernels import default_max_qubits
 from repro.workloads.workload import Workload
 
 __all__ = ["qaoa_maxcut", "path_graph_edges", "ring_graph_edges", "cut_values"]
@@ -167,8 +169,15 @@ def qaoa_maxcut(
         raise WorkloadError("QAOA needs at least two qubits")
     if depth < 1:
         raise WorkloadError("QAOA depth must be >= 1")
-    if num_qubits > 20:
-        raise WorkloadError("QAOA workloads are limited to 20 qubits")
+    # The simulators' shared cap (default 24, REPRO_MAX_QUBITS): the
+    # workload is gated where the statevector would be, not at a stale
+    # hard-coded bound of its own.
+    cap = default_max_qubits()
+    if num_qubits > cap:
+        raise WorkloadError(
+            f"QAOA workloads are limited to {cap} qubits "
+            "(the simulator cap; raise via REPRO_MAX_QUBITS)"
+        )
     if edges is None:
         edges = path_graph_edges(num_qubits)
     edges = tuple((min(a, b), max(a, b)) for a, b in edges)
@@ -177,10 +186,15 @@ def qaoa_maxcut(
             raise WorkloadError(f"invalid edge ({a}, {b})")
 
     gammas, betas = _cached_angles(num_qubits, depth, edges)
+    # The program is built symbolically (gamma_l / beta_l per layer) and
+    # bound at the optimised angles: existing callers see the identical
+    # numeric circuit, while variational sweeps rebind the template.
+    gamma_params = tuple(Parameter(f"gamma_{l}") for l in range(depth))
+    beta_params = tuple(Parameter(f"beta_{l}") for l in range(depth))
     qc = QuantumCircuit(num_qubits, name=f"QAOA-{num_qubits} p{depth}")
     for q in range(num_qubits):
         qc.h(q)
-    for gamma, beta in zip(gammas, betas):
+    for gamma, beta in zip(gamma_params, beta_params):
         for a, b in edges:
             # rzz(theta) = diag(e^{-i theta/2}, e^{+i theta/2}, ...), so
             # each cut edge gains e^{+i gamma/2} and each uncut edge
@@ -190,6 +204,11 @@ def qaoa_maxcut(
         for q in range(num_qubits):
             qc.rx(2.0 * beta, q)
     qc.measure_all()
+    defaults = {
+        **{p.name: g for p, g in zip(gamma_params, gammas)},
+        **{p.name: b for p, b in zip(beta_params, betas)},
+    }
+    bound = qc.bind(defaults)
 
     cuts = cut_values(num_qubits, edges)
     max_cut = float(cuts.max())
@@ -199,7 +218,7 @@ def qaoa_maxcut(
     )
     return Workload(
         name=f"QAOA-{num_qubits} p{depth}",
-        circuit=qc,
+        circuit=bound,
         correct_outcomes=correct,
         metadata={
             "edges": edges,
@@ -208,4 +227,6 @@ def qaoa_maxcut(
             "max_cut": max_cut,
             "depth": depth,
         },
+        template_circuit=qc,
+        default_parameters=defaults,
     )

@@ -22,6 +22,7 @@ import math
 from typing import Optional, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameter import Parameter
 from repro.exceptions import WorkloadError
 from repro.sim.statevector import StatevectorSimulator
 from repro.workloads.workload import Workload
@@ -133,24 +134,31 @@ def ising(
     """
     if num_qubits < 2:
         raise WorkloadError("Ising needs at least two qubits")
+    # Symbolic Hamiltonian angles bound at the requested values, so
+    # variational sweeps can rescan (coupling, field) on one compilation.
+    coupling_p, field_p = Parameter("coupling"), Parameter("field")
     qc = QuantumCircuit(num_qubits, name=f"Ising-{num_qubits}")
     for _ in range(steps):
         for a in range(num_qubits):
             for b in range(a + 1, num_qubits):
-                qc.rzz(coupling, a, b)
+                qc.rzz(coupling_p, a, b)
         for q in range(num_qubits):
-            qc.rx(field, q)
-            qc.rz(field, q)
+            qc.rx(field_p, q)
+            qc.rz(field_p, q)
     qc.measure_all()
+    defaults = {"coupling": float(coupling), "field": float(field)}
+    bound = qc.bind(defaults)
 
-    ideal = StatevectorSimulator().ideal_distribution(qc)
+    ideal = StatevectorSimulator().ideal_distribution(bound)
     peak = max(ideal.values())
     correct = tuple(
         sorted(key for key, prob in ideal.items() if prob >= 0.5 * peak)
     )
     return Workload(
         name=f"Ising-{num_qubits}",
-        circuit=qc,
+        circuit=bound,
         correct_outcomes=correct,
         metadata={"steps": steps, "coupling": coupling, "field": field},
+        template_circuit=qc,
+        default_parameters=defaults,
     )

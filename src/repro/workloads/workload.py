@@ -23,20 +23,46 @@ class Workload:
 
     Attributes:
         name: display name, e.g. ``"GHZ-14"``.
-        circuit: the program, ending in measurements.
+        circuit: the program, ending in measurements.  Always fully
+            bound — metrics and ideal distributions need numeric angles.
         correct_outcomes: outcome bitstrings counted as success for PST.
         metadata: workload-specific extras (QAOA graph, BV secret, ...).
+        template_circuit: optional parameterized twin of ``circuit``
+            (same structure, symbolic rotation angles).  Variational
+            sweeps compile it once and rebind; ``circuit`` is this
+            template bound at ``default_parameters``.
+        default_parameters: the parameter point ``circuit`` is bound at,
+            as ``{name: value}`` in the template's parameter order.
     """
 
     name: str
     circuit: QuantumCircuit
     correct_outcomes: Tuple[str, ...]
     metadata: Dict[str, Any] = field(default_factory=dict)
+    template_circuit: Optional[QuantumCircuit] = None
+    default_parameters: Optional[Dict[str, float]] = None
     _ideal: Optional[Dict[str, float]] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not self.circuit.num_measurements:
             raise WorkloadError(f"workload {self.name} has no measurements")
+        if self.circuit.is_parameterized:
+            raise WorkloadError(
+                f"workload {self.name} circuit has unbound parameters; "
+                "put the symbolic program in template_circuit and bind "
+                "circuit at default_parameters"
+            )
+        if self.template_circuit is not None:
+            if not self.template_circuit.is_parameterized:
+                raise WorkloadError(
+                    f"workload {self.name} template_circuit has no "
+                    "parameters"
+                )
+            if self.default_parameters is None:
+                raise WorkloadError(
+                    f"workload {self.name} has a template_circuit but no "
+                    "default_parameters"
+                )
         width = self.circuit.num_measurements
         for outcome in self.correct_outcomes:
             if len(outcome) != width:
@@ -65,3 +91,20 @@ class Workload:
         """Probability mass the ideal distribution puts on correct outcomes."""
         ideal = self.ideal_distribution()
         return sum(ideal.get(outcome, 0.0) for outcome in self.correct_outcomes)
+
+    @property
+    def is_sweepable(self) -> bool:
+        """Whether variational sweeps can rebind this workload."""
+        return self.template_circuit is not None
+
+    def bound_circuit(self, values) -> QuantumCircuit:
+        """The template circuit at one parameter point.
+
+        ``values`` follows :meth:`QuantumCircuit.bind` (mapping by
+        name/Parameter, or a sequence in template parameter order).
+        """
+        if self.template_circuit is None:
+            raise WorkloadError(
+                f"workload {self.name} has no template_circuit to bind"
+            )
+        return self.template_circuit.bind(values)

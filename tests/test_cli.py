@@ -66,6 +66,56 @@ class TestMain:
             assert scheme in out
         assert "plan cache:" in out
 
+    def test_sweep_smoke(self, capsys):
+        code = main(
+            [
+                "sweep", "--workload", "QAOA-4", "--trials", "2048",
+                "--seed", "1", "--points", "[[0.3, 0.4], [0.5, 0.2]]",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "jigsaw sweep of QAOA-4 p1 / ibmq_toronto: 2 points" in out
+        assert "compile-once:" in out
+        assert "2 binds" in out
+
+    def test_sweep_json_output(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep", "--workload", "QAOA-4", "--trials", "2048",
+                "--points", "[[0.3, 0.4]]", "--json", str(path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["scheme"] == "jigsaw"
+        assert payload["num_iterations"] == 1
+        assert payload["parameter_sets"] == [[0.3, 0.4]]
+        assert len(payload["output_pmfs"]) == 1
+
+    def test_sweep_points_from_file(self, tmp_path, capsys):
+        points = tmp_path / "points.json"
+        points.write_text("[[0.3, 0.4], [0.1, 0.2]]")
+        code = main(
+            [
+                "sweep", "--workload", "QAOA-4", "--trials", "2048",
+                "--points", f"@{points}",
+            ]
+        )
+        assert code == 0
+        assert "2 points" in capsys.readouterr().out
+
+    def test_sweep_rejects_unparameterized_workload(self, capsys):
+        code = main(
+            ["sweep", "--workload", "GHZ-4", "--points", "[[0.1]]"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no template circuit" in captured.err
+
     def test_devices_smoke(self, capsys):
         code = main(["devices"])
         out = capsys.readouterr().out

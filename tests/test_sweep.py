@@ -1,0 +1,233 @@
+"""Tests for variational sweeps: coalesced K-point execution.
+
+The contract: ``Session.run_sweep`` submits all K bound iterations as
+one backend batch and its results are **bit-for-bit equal** to running
+the iterations one at a time in an equally seeded session — for every
+scheme, exact and sampled, at any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError, ServiceError
+from repro.runtime import SCHEME_NAMES, Session
+from repro.service import JobSpec, MitigationService, SweepJobSpec, job_fingerprint
+from repro.workloads import ghz, ising, qaoa_maxcut
+from repro.workloads.probe import probe_circuit
+from repro.workloads.suite import workload_by_name
+from tests.conftest import make_varied_line_device
+
+POINTS = [[0.3, 0.4], [0.5, 0.2], [1.1, 0.9]]
+TRIALS = 2_048
+
+
+@pytest.fixture(scope="module")
+def device():
+    return make_varied_line_device(num_qubits=8)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return qaoa_maxcut(5)
+
+
+def pmf_dicts(sweep_result):
+    return [pmf.as_dict() for pmf in sweep_result.output_pmfs]
+
+
+class TestSweepEqualsPerIteration:
+    """One coalesced batch == the unbatched per-iteration path."""
+
+    @pytest.mark.parametrize("scheme", SCHEME_NAMES)
+    @pytest.mark.parametrize("exact", [True, False], ids=["exact", "sampled"])
+    def test_all_schemes(self, device, workload, scheme, exact):
+        coalesced = Session(
+            device, seed=13, exact=exact, total_trials=TRIALS
+        ).run_sweep(scheme, workload, POINTS)
+
+        session = Session(device, seed=13, exact=exact, total_trials=TRIALS)
+        sweep = session.parameter_sweep(workload, scheme=scheme)
+        one_at_a_time = [sweep.run_point(point) for point in POINTS]
+
+        assert pmf_dicts(coalesced) == [
+            (r.output_pmf if hasattr(r, "output_pmf") else r).as_dict()
+            for r in one_at_a_time
+        ]
+
+    @pytest.mark.parametrize("scheme", ["jigsaw", "edm", "baseline"])
+    def test_worker_count_invariance(self, device, workload, scheme):
+        results = {}
+        for workers in (1, 4):
+            with Session(
+                device, seed=13, exact=False, total_trials=TRIALS,
+                workers=workers,
+            ) as session:
+                results[workers] = pmf_dicts(
+                    session.run_sweep(scheme, workload, POINTS)
+                )
+        assert results[1] == results[4]
+
+    def test_sweep_of_bare_parameterized_circuit(self, device, workload):
+        session_a = Session(device, seed=9, exact=True, total_trials=TRIALS)
+        from_circuit = session_a.run_sweep(
+            "jigsaw", workload.template_circuit, POINTS
+        )
+        assert len(from_circuit) == len(POINTS)
+        for pmf in from_circuit.output_pmfs:
+            assert sum(pmf.as_dict().values()) == pytest.approx(1.0)
+
+
+class TestSweepMechanics:
+    def test_route_calls_constant_in_k(self, device, workload):
+        counts = {}
+        for k in (1, 6):
+            session = Session(device, seed=13, exact=True, total_trials=TRIALS)
+            points = [[0.1 + 0.05 * i, 0.2] for i in range(k)]
+            session.run_sweep("jigsaw", workload, points)
+            counters = session.pipeline_stats()["counters"]
+            counts[k] = counters["route_calls"]
+            assert counters["template_binds"] == k
+        assert counts[1] == counts[6]
+
+    def test_sweep_result_to_dict(self, device, workload):
+        session = Session(device, seed=13, exact=True, total_trials=TRIALS)
+        result = session.run_sweep("jigsaw", workload, POINTS)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["scheme"] == "jigsaw"
+        assert payload["parameter_names"] == ["gamma_0", "beta_0"]
+        assert payload["num_iterations"] == len(POINTS)
+        assert len(payload["output_pmfs"]) == len(POINTS)
+
+    def test_unknown_scheme_rejected(self, device, workload):
+        session = Session(device, seed=13, exact=True)
+        with pytest.raises(ExperimentError):
+            session.run_sweep("magic", workload, POINTS)
+
+    def test_unsweepable_workload_rejected(self, device):
+        session = Session(device, seed=13, exact=True)
+        with pytest.raises(ExperimentError):
+            session.run_sweep("jigsaw", ghz(5), POINTS)
+
+    def test_empty_point_list_rejected(self, device, workload):
+        session = Session(device, seed=13, exact=True)
+        with pytest.raises(ExperimentError):
+            session.run_sweep("jigsaw", workload, [])
+
+    def test_wrong_width_point_rejected(self, device, workload):
+        session = Session(device, seed=13, exact=True)
+        with pytest.raises(Exception):
+            session.run_sweep("jigsaw", workload, [[0.1]])
+
+
+class TestWorkloadTemplates:
+    """Parameterized workloads bind their defaults to the exact circuit."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: qaoa_maxcut(5),
+            lambda: qaoa_maxcut(4, depth=2),
+            lambda: ising(4),
+            lambda: probe_circuit(3, probe_state="tilted"),
+        ],
+        ids=["qaoa-p1", "qaoa-p2", "ising", "probe"],
+    )
+    def test_default_bind_reproduces_circuit(self, factory):
+        from repro.runtime.fingerprint import circuit_fingerprint
+
+        workload = factory()
+        assert workload.is_sweepable
+        rebound = workload.bound_circuit(workload.default_parameters)
+        assert circuit_fingerprint(rebound) == circuit_fingerprint(
+            workload.circuit
+        )
+        assert not workload.circuit.is_parameterized
+        assert workload.template_circuit.is_parameterized
+
+
+class TestSweepJobs:
+    """SweepJobSpec through the service == solo session, plus validation."""
+
+    def spec(self, **overrides):
+        payload = dict(
+            tenant="acme",
+            workload="QAOA-5 p1",
+            device="toronto",
+            scheme="jigsaw",
+            total_trials=1_024,
+            seed=7,
+            parameter_sets=((0.3, 0.4), (0.5, 0.2)),
+        )
+        payload.update(overrides)
+        return SweepJobSpec(**payload)
+
+    def test_roundtrip_and_dispatch(self):
+        spec = self.spec()
+        entry = json.loads(json.dumps(spec.to_dict()))
+        assert JobSpec.from_dict(entry) == spec
+        assert isinstance(JobSpec.from_dict(entry), SweepJobSpec)
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            self.spec(parameter_sets=())
+        with pytest.raises(ServiceError):
+            self.spec(parameter_sets=((0.1,), (0.2, 0.3)))  # ragged
+        with pytest.raises(ServiceError):
+            self.spec(workload=None, qasm="OPENQASM 2.0;")
+        with pytest.raises(ServiceError):
+            self.spec(eps_rescore_threshold=-1.0)
+        with pytest.raises(ServiceError):
+            SweepJobSpec.from_dict({**self.spec().to_dict(), "bogus": 1})
+
+    def test_fingerprint_covers_points(self):
+        from repro.service.job import spec_circuit
+
+        a = self.spec()
+        b = self.spec(parameter_sets=((0.3, 0.4), (0.5, 0.21)))
+        plain = JobSpec(
+            tenant="acme", workload="QAOA-5 p1", device="toronto",
+            scheme="jigsaw", total_trials=1_024, seed=7,
+        )
+        circuit = spec_circuit(a)
+        prints = {
+            job_fingerprint(spec, circuit, "devkey", "salt")
+            for spec in (a, b, plain)
+        }
+        assert len(prints) == 3
+
+    def test_service_matches_solo_session(self):
+        from repro.devices.library import DEVICE_FACTORIES
+
+        spec = self.spec()
+        with MitigationService() as service:
+            job = service.submit(spec)
+            service.drain()
+        assert job.status.value == "done"
+
+        session = Session(
+            DEVICE_FACTORIES["toronto"](), seed=7, total_trials=1_024,
+            exact=True, compile_attempts=4, cpm_attempts=3, ensemble_size=4,
+        )
+        solo = session.run_sweep(
+            "jigsaw", workload_by_name("QAOA-5 p1"), spec.parameter_sets
+        )
+        assert job.result == json.loads(json.dumps(solo.to_dict()))
+
+    def test_service_memoizes_sweeps(self):
+        spec = self.spec()
+        with MitigationService() as service:
+            first = service.submit(spec)
+            service.drain()
+            second = service.submit(spec)
+        assert first.source == "executed"
+        assert second.source == "memoized"
+        assert second.result == first.result
+
+    def test_unsweepable_workload_fails_job(self):
+        spec = self.spec(workload="GHZ-8")
+        with MitigationService() as service:
+            job = service.submit(spec)
+            service.drain()
+        assert job.status.value == "failed"
+        assert "template" in (job.error or "")

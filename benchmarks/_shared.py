@@ -84,7 +84,7 @@ def save_bench_json(name: str, payload: Dict[str, Any]) -> str:
 #: perf trajectory is one diffable file per PR instead of a directory scan.
 AGGREGATE_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_PR8.json",
+    "BENCH_PR10.json",
 )
 
 

@@ -1,0 +1,141 @@
+"""Tracing-off overhead budget for the telemetry spine (PR 10).
+
+Every instrumented seam pays one branch per span site when tracing is
+disabled: ``get_tracer()`` returns the module-level ``NULL_TRACER`` and
+its ``span()`` hands back a shared no-op context manager.  This bench
+proves that budget holds on the realistic hot path — the coalesced
+variational sweep — with **budget math** rather than A/B timing:
+
+1. measure the per-call cost of a disabled span site directly (tight
+   loop over ``NULL_TRACER.span(...)`` with representative kwargs,
+   best-of-N to reject scheduler noise);
+2. count the span sites one sweep actually crosses, by running the same
+   sweep once under a live ``Tracer`` and counting the spans it files
+   (every recorded span is exactly one would-be no-op call);
+3. time the sweep itself with tracing off (the default), best-of-N.
+
+The asserted bound is ``sites x per_site_cost < 2%`` of the sweep's CPU
+time.  Budget math is intentionally one-sided: A/B timing of a <2%
+effect on shared CI runners is pure noise, while the product of two
+stable micro-measurements is reproducible.  Deterministic counts (span
+sites per sweep) land in the checked-in JSON; machine-dependent seconds
+go to stdout.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _shared import save_bench_json, save_result
+from repro.devices import ibmq_manhattan
+from repro.runtime import Session
+from repro.telemetry import NULL_TRACER, Tracer, use_tracer
+from repro.workloads import qaoa_maxcut
+
+SEED = 0
+NUM_POINTS = 25
+NUM_QUBITS = 8
+TRIALS = 4_096
+REPS = 3
+#: Calls in the no-op timing loop (large enough to dwarf loop overhead).
+NOOP_CALLS = 200_000
+#: The asserted ceiling: disabled-tracing budget as a fraction of the
+#: sweep's CPU time.
+MAX_OVERHEAD = 0.02
+
+
+def _sweep_points(workload):
+    names = sorted(workload.default_parameters)
+    return [
+        [
+            workload.default_parameters[name] + 0.01 * k * (1 + axis)
+            for axis, name in enumerate(names)
+        ]
+        for k in range(NUM_POINTS)
+    ]
+
+
+def _noop_span_cost() -> float:
+    """Best-of-REPS per-call cost of a disabled span site, in seconds.
+
+    The kwargs mirror a real site (``sweep.prepare``): the disabled path
+    still pays for building the attrs dict, so the probe must too.
+    """
+    best = float("inf")
+    for _ in range(REPS):
+        start = time.process_time()
+        for _ in range(NOOP_CALLS):
+            with NULL_TRACER.span("probe", scheme="jigsaw", points=25):
+                pass
+        best = min(best, time.process_time() - start)
+    return best / NOOP_CALLS
+
+
+def _run_sweep(session, workload, points):
+    start = time.process_time()
+    result = session.run_sweep("jigsaw", workload, points)
+    return time.process_time() - start, result
+
+
+def test_tracing_off_overhead_under_budget():
+    device = ibmq_manhattan()
+    workload = qaoa_maxcut(NUM_QUBITS)
+    points = _sweep_points(workload)
+
+    # Span sites per sweep: run once under a live tracer and count what
+    # it files.  A fresh session pays full compile + bind + execute, the
+    # same work the timed passes below do.
+    tracer = Tracer()
+    with Session(device, seed=SEED, exact=True, total_trials=TRIALS) as s:
+        with use_tracer(tracer):
+            _, traced_result = _run_sweep(s, workload, points)
+    span_sites = len(tracer.spans())
+    assert span_sites > 0
+    assert len(traced_result) == NUM_POINTS
+
+    per_site = _noop_span_cost()
+
+    sweep_cpu = float("inf")
+    for _ in range(REPS):
+        with Session(
+            device, seed=SEED, exact=True, total_trials=TRIALS
+        ) as session:
+            elapsed, result = _run_sweep(session, workload, points)
+        assert len(result) == NUM_POINTS
+        sweep_cpu = min(sweep_cpu, elapsed)
+
+    budget = span_sites * per_site
+    overhead = budget / sweep_cpu
+    print(
+        f"\ntelemetry overhead: {span_sites} span sites/sweep x "
+        f"{per_site * 1e9:.0f}ns per disabled site = {budget * 1e6:.1f}us "
+        f"budget vs {sweep_cpu:.3f}s sweep cpu -> {overhead * 100:.4f}% "
+        f"(ceiling {MAX_OVERHEAD * 100:.0f}%)"
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"disabled-tracing budget {overhead * 100:.3f}% exceeds the "
+        f"{MAX_OVERHEAD * 100:.0f}% ceiling"
+    )
+
+    save_bench_json(
+        "telemetry",
+        {
+            "workload": workload.name,
+            "num_points": NUM_POINTS,
+            "total_trials": TRIALS,
+            "span_sites_per_sweep": span_sites,
+            "asserted_max_overhead": MAX_OVERHEAD,
+            "method": "budget: sites x measured no-op span cost",
+        },
+    )
+    save_result(
+        "telemetry",
+        "Telemetry tracing-off overhead budget (coalesced sweep)\n"
+        f"workload:   {workload.name} on {device.name}, "
+        f"{NUM_POINTS} points\n"
+        f"span sites: {span_sites} per sweep (counted under a live "
+        "tracer)\n"
+        f"bound:      sites x no-op cost < {MAX_OVERHEAD * 100:.0f}% of "
+        "sweep CPU\n"
+        "(per-site nanoseconds and margin to stdout)",
+    )

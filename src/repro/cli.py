@@ -13,8 +13,11 @@ fidelity before and after reconstruction; ``compare`` additionally runs
 EDM and JigSaw-M; ``sweep`` evaluates a parameterized workload at K
 parameter points through one compiled plan template (compile once, bind
 many, execute one stacked batch); ``serve`` drives the multi-tenant
-:class:`~repro.service.MitigationService` over a JSON job file;
-``devices`` prints the device library's calibration statistics;
+:class:`~repro.service.MitigationService` over a JSON job file (with
+``--trace DIR`` it also writes one Perfetto-loadable trace file per
+job); ``trace`` renders a captured job trace as an ASCII flame tree;
+``stats`` renders a ``--stats-json`` snapshot (optionally as Prometheus
+text); ``devices`` prints the device library's calibration statistics;
 ``scalability`` prints the Table 7 cost model.
 """
 
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -188,8 +192,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--stats-json", default=None,
-        help="write the tier/service stats snapshot as JSON to this path "
-        "('-' for stdout)",
+        help="write the tier/service stats snapshot (including the "
+        "unified telemetry registry and latency percentiles) as JSON to "
+        "this path ('-' for stdout)",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="capture a hierarchical trace per job (requires --workers) "
+        "and write <job-id>.trace.json files — Chrome trace-event JSON, "
+        "loadable in Perfetto — into DIR",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="render a captured job trace as an ASCII flame tree"
+    )
+    trace.add_argument(
+        "job_id", help="the job id (reads <job-id>.trace.json)"
+    )
+    trace.add_argument(
+        "--dir", dest="trace_dir", default=".",
+        help="directory the traces were written to (serve --trace DIR)",
+    )
+    trace.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="dump the raw trace document instead of the tree view",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="render a serve --stats-json snapshot"
+    )
+    stats.add_argument(
+        "file", help="path to a stats snapshot ('-' reads stdin)"
+    )
+    stats.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the telemetry registry in Prometheus text format",
     )
 
     store = sub.add_parser("store", help="result-store maintenance")
@@ -391,6 +428,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         )
 
     store = _serve_store(args)
+    trace_files = 0
     if args.workers:
         # The concurrent serving tier: N drain workers, graceful drain.
         supervisor = ServiceSupervisor(
@@ -400,12 +438,14 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             fair_share=args.fair_share,
             max_batch=args.max_batch,
             backend_workers=args.exec_workers,
+            tracing=bool(args.trace),
         )
         supervisor.start()
         try:
             jobs, rejections = _serve_submit(supervisor, entries)
             supervisor.stop(drain=True)
             stats = supervisor.tier_stats()
+            stats["telemetry"] = supervisor.telemetry_snapshot()
             backend = {
                 name: sum(
                     worker["engine"]["backend"][name]
@@ -416,9 +456,17 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                     "statevector_evals",
                 )
             }
+            if args.trace:
+                trace_files = _serve_write_traces(
+                    supervisor, jobs, args.trace
+                )
         finally:
             supervisor.close()
     else:
+        if args.trace:
+            raise ReproError(
+                "--trace needs the serving tier; add --workers N"
+            )
         with MitigationService(
             store=store,
             capacity=args.capacity,
@@ -429,6 +477,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             jobs, rejections = _serve_submit(service, entries)
             service.drain()
             stats = service.service_stats()
+            stats["telemetry"] = service.telemetry_snapshot()
             backend = stats["backend"]
 
     if args.stats_json:
@@ -486,9 +535,117 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             f"{stats['jobs']['retried']} retries, "
             f"{stats['latency']['worker_crashes']} crashes"
         )
+    if trace_files:
+        footer_lines.append(
+            f"traces:  {trace_files} written to {args.trace} "
+            f"(render with 'repro trace <job-id> --dir {args.trace}')"
+        )
     for index, reason in rejections:
         footer_lines.append(f"rejected jobs[{index}]: {reason}")
     return table + "\n".join(footer_lines)
+
+
+def _serve_write_traces(supervisor, jobs, trace_dir: str) -> int:
+    """Write one ``<job-id>.trace.json`` per traced job; returns count."""
+    from repro.telemetry.export import trace_document
+
+    os.makedirs(trace_dir, exist_ok=True)
+    written = 0
+    for job in jobs:
+        spans = supervisor.job_trace(job)
+        if not spans:
+            continue
+        document = trace_document(
+            spans,
+            job_id=job.job_id,
+            status=job.status.value,
+            source=job.source,
+        )
+        path = os.path.join(trace_dir, f"{job.job_id}.trace.json")
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        written += 1
+    return written
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from repro.telemetry.export import render_trace_tree
+
+    path = os.path.join(args.trace_dir, f"{args.job_id}.trace.json")
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot read trace {path}: {exc} "
+            "(capture traces with 'repro serve --trace DIR --workers N')"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: invalid JSON ({exc})") from exc
+    if args.json_out:
+        return json.dumps(document, indent=2, sort_keys=True)
+    spans = document.get("spans", [])
+    header = (
+        f"trace of {document.get('job_id', args.job_id)} "
+        f"({document.get('status', '?')}, "
+        f"source={document.get('source', '?')}): {len(spans)} spans"
+    )
+    return header + "\n" + render_trace_tree(spans)
+
+
+def _cmd_stats(args: argparse.Namespace) -> str:
+    from repro.telemetry.export import prometheus_text
+
+    try:
+        if args.file == "-":
+            document = json.load(sys.stdin)
+        else:
+            with open(args.file) as handle:
+                document = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read stats {args.file}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{args.file}: invalid JSON ({exc})") from exc
+    telemetry = document.get("telemetry") or {}
+    if args.prometheus:
+        return prometheus_text(telemetry).rstrip("\n")
+    lines: List[str] = []
+    jobs = document.get("jobs", {})
+    if jobs:
+        lines.append(
+            "jobs: "
+            + ", ".join(f"{key}={jobs[key]}" for key in sorted(jobs))
+        )
+    counters = telemetry.get("counters") or (
+        document.get("registry", {}).get("counters", {})
+    )
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        lines.extend(
+            f"  {name:<{width}}  {counters[name]}"
+            for name in sorted(counters)
+        )
+    histograms = telemetry.get("histograms", {})
+    if histograms:
+        lines.append("latency:")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            if not hist.get("count"):
+                continue
+            quantiles = hist.get("quantiles", {})
+            rendered = " ".join(
+                f"{key}={quantiles[key] * 1e3:.3f}ms"
+                for key in ("p50", "p95", "p99")
+                if quantiles.get(key) is not None
+            )
+            lines.append(
+                f"  {name}: count={hist['count']} "
+                f"mean={(hist.get('mean_seconds') or 0) * 1e3:.3f}ms "
+                + rendered
+            )
+    return "\n".join(lines) if lines else "(empty snapshot)"
 
 
 def _serve_submit(front, entries):
@@ -584,6 +741,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_cmd_sweep(args))
         elif args.command == "serve":
             print(_cmd_serve(args))
+        elif args.command == "trace":
+            print(_cmd_trace(args))
+        elif args.command == "stats":
+            print(_cmd_stats(args))
         elif args.command == "store":
             print(_cmd_store_compact(args))
         elif args.command == "devices":

@@ -34,7 +34,6 @@ hit/miss counters are surfaced via :class:`PipelineStats` and
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -54,6 +53,8 @@ from repro.runtime.fingerprint import (
     routing_fingerprint,
 )
 from repro.sim.statevector import StatevectorSimulator
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import current_span, get_tracer
 from repro.utils.random import SeedLike, as_generator
 
 __all__ = [
@@ -194,27 +195,39 @@ class CompilationState:
 
 
 class PipelineStats:
-    """Thread-safe per-stage counters (replaces the old process global)."""
+    """Thread-safe per-stage counters over the telemetry registry.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counts: Dict[str, int] = {}
+    Historically a private dict; now a thin adapter over a
+    :class:`~repro.telemetry.MetricsRegistry` using ``compiler.``-prefixed
+    counter names (``compiler.route_calls``, ``compiler.eps_evals`` ...),
+    so a session or service can :meth:`~repro.telemetry.MetricsRegistry.attach`
+    the pipeline into its unified telemetry tree.  ``snapshot()`` keeps
+    the historical bare-name shape.
+    """
+
+    PREFIX = "compiler."
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def bump(self, name: str, by: int = 1) -> None:
-        with self._lock:
-            self._counts[name] = self._counts.get(name, 0) + by
+        self.metrics.counter(self.PREFIX + name).add(by)
 
     def get(self, name: str) -> int:
-        with self._lock:
-            return self._counts.get(name, 0)
+        return self.metrics.counter(self.PREFIX + name).value
 
     def snapshot(self) -> Dict[str, int]:
-        with self._lock:
-            return dict(self._counts)
+        prefix = self.PREFIX
+        return {
+            name[len(prefix):]: counter.value
+            for name, counter in sorted(self.metrics.counters().items())
+            if name.startswith(prefix) and counter.value
+        }
 
     def reset(self) -> None:
-        with self._lock:
-            self._counts.clear()
+        for name, counter in self.metrics.counters().items():
+            if name.startswith(self.PREFIX):
+                counter.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PipelineStats({self.snapshot()})"
@@ -468,6 +481,10 @@ class CompilerPipeline:
         value, hit = self.cache.stage_get_or_compute(stage, key, compute)
         if hit:
             self._bump(hit_counter)
+        span = current_span()
+        if span is not None:
+            attr = "cache_hits" if hit else "cache_misses"
+            span.attrs[attr] = span.attrs.get(attr, 0) + 1
         return value
 
     # ------------------------------------------------------------------
@@ -538,8 +555,15 @@ class CompilerPipeline:
     def _run(
         self, state: CompilationState, stages: Tuple[object, ...]
     ) -> ExecutableCircuit:
-        for stage in stages:
-            stage.run(state, self)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            for stage in stages:
+                stage.run(state, self)
+            return state.selected
+        with tracer.span("compile", circuit=state.circuit.name):
+            for stage in stages:
+                with tracer.span(f"compile.{stage.name}"):
+                    stage.run(state, self)
         return state.selected
 
     # ------------------------------------------------------------------

@@ -23,7 +23,15 @@ matrix oracle.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, NamedTuple, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -32,6 +40,7 @@ from repro.exceptions import SimulationError
 from repro.noise.model import NoiseModel
 from repro.sim import kernels
 from repro.sim.statevector import marginal_probabilities
+from repro.telemetry.metrics import MetricsRegistry
 from repro.utils.bits import (
     bit_array_to_indices,
     codes_to_strings,
@@ -136,12 +145,20 @@ class NoisySampler:
         noise_model: NoiseModel,
         seed: SeedLike = None,
         chunk_shots: int = DEFAULT_CHUNK_SHOTS,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if chunk_shots < 1:
             raise SimulationError("chunk_shots must be positive")
         self.noise_model = noise_model
         self.chunk_shots = chunk_shots
         self._rng = as_generator(seed)
+        #: Work counters under ``sim.*`` (chunks drawn, exact channel
+        #: evaluations, stacked group contractions).  Telemetry only —
+        #: sampling never reads them, so RNG streams are unaffected.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._chunks = self.metrics.counter("sim.sample_chunks")
+        self._exact_evals = self.metrics.counter("sim.exact_evals")
+        self._stacked_groups = self.metrics.counter("sim.stacked_groups")
 
     # ------------------------------------------------------------------
 
@@ -190,6 +207,7 @@ class NoisySampler:
         of the chunk loop.  Trials are counted as integer outcome codes
         with ``np.unique`` — no strings are built.
         """
+        self._chunks.add(1)
         failures = rng.random(shots) < p_fail
         outcomes = rng.choice(len(ideal), size=shots, p=ideal)
         bits = indices_to_bit_array(outcomes, k)
@@ -342,6 +360,9 @@ class NoisySampler:
                 rows.append((allocation, chunk))
                 remaining -= chunk
 
+        self._chunks.add(len(rows))
+        if len(shots_list) > 1:
+            self._stacked_groups.add(1)
         # Draw stage: per row, in the oracle's exact RNG order
         # (failures, outcome uniforms, failure masks, readout draws).
         failure_rows: List[np.ndarray] = []
@@ -427,6 +448,8 @@ class NoisySampler:
             [[1.0 - flip_rate, flip_rate], [flip_rate, 1.0 - flip_rate]]
         )
         for k, indices in sorted(by_width.items()):
+            if len(indices) > 1:
+                self._stacked_groups.add(1)
             if len(indices) == 1:
                 only = indices[0]
                 results[only] = self.exact_distribution_arrays(
@@ -434,6 +457,7 @@ class NoisySampler:
                 )
                 continue
             batch = len(indices)
+            self._exact_evals.add(1)
             ideal_rows = np.stack(
                 [
                     setups[i][0] / setups[i][0].sum()
@@ -483,6 +507,7 @@ class NoisySampler:
         The array-native twin of :meth:`exact_distribution` — backends
         build PMFs from this directly, with no bitstrings in between.
         """
+        self._exact_evals.add(1)
         ideal, physical_by_clbit, k = self._measured_setup(executable)
         ideal = ideal / ideal.sum()
         p_fail = self.noise_model.circuit_failure_probability(executable.physical)

@@ -45,6 +45,7 @@ from repro.noise.model import NoiseModel
 from repro.noise.sampler import NoisySampler
 from repro.runtime.fingerprint import unitary_body_fingerprint
 from repro.sim.kernels import structure_key
+from repro.telemetry.metrics import MetricsRegistry
 from repro.sim.statevector import StatevectorSimulator
 from repro.utils.random import SeedLike
 
@@ -132,6 +133,7 @@ class _LocalBackend:
         seed: SeedLike = None,
         xp=None,
         exact_reference: Optional[bool] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         if sampler is None:
             if noise_model is None:
@@ -159,10 +161,34 @@ class _LocalBackend:
         #: coalescing save; benchmarks assert on these instead of wall time.
         #: ``stacked_evals``/``stacked_circuits`` count the contractions
         #: that ran stacked (batch > 1) and how many circuits rode them.
-        self.statevector_evals = 0
-        self.channel_evals = 0
-        self.stacked_evals = 0
-        self.stacked_circuits = 0
+        #: All live in a telemetry registry under ``backend.*`` so the
+        #: session/service snapshots fold them in; the attribute-style
+        #: reads below stay for back-compat.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._statevector_evals = self.metrics.counter(
+            "backend.statevector_evals"
+        )
+        self._channel_evals = self.metrics.counter("backend.channel_evals")
+        self._stacked_evals = self.metrics.counter("backend.stacked_evals")
+        self._stacked_circuits = self.metrics.counter(
+            "backend.stacked_circuits"
+        )
+
+    @property
+    def statevector_evals(self) -> int:
+        return self._statevector_evals.value
+
+    @property
+    def channel_evals(self) -> int:
+        return self._channel_evals.value
+
+    @property
+    def stacked_evals(self) -> int:
+        return self._stacked_evals.value
+
+    @property
+    def stacked_circuits(self) -> int:
+        return self._stacked_circuits.value
 
     # ------------------------------------------------------------------
 
@@ -242,12 +268,12 @@ class _LocalBackend:
         contractions, stacked, circuits = self._share_statevectors_detail(
             requests, xp=self.xp, exact_reference=self.exact_reference
         )
-        self.statevector_evals += contractions
-        self.stacked_evals += stacked
-        self.stacked_circuits += circuits
+        self._statevector_evals.add(contractions)
+        self._stacked_evals.add(stacked)
+        self._stacked_circuits.add(circuits)
         streams = self.request_streams(len(requests))
         pmfs = self._evaluate_group(requests, streams)
-        self.channel_evals += len(requests)
+        self._channel_evals.add(len(requests))
         return pmfs
 
     def _evaluate_group(
@@ -298,8 +324,8 @@ class LocalExactBackend(_LocalBackend):
             widths[k] = widths.get(k, 0) + 1
         for count in widths.values():
             if count > 1:
-                self.stacked_evals += 1
-                self.stacked_circuits += count
+                self._stacked_evals.add(1)
+                self._stacked_circuits.add(count)
         return [
             PMF.from_codes(codes, probs, num_bits)
             for codes, probs, num_bits in self.sampler.exact_group_distributions(
@@ -352,10 +378,13 @@ def local_backend(
     exact: bool,
     xp=None,
     exact_reference: Optional[bool] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Backend:
     """The default local backend for a sampler: exact or sampling."""
     if exact:
         return LocalExactBackend(
-            sampler, xp=xp, exact_reference=exact_reference
+            sampler, xp=xp, exact_reference=exact_reference, metrics=metrics
         )
-    return LocalSamplingBackend(sampler, xp=xp, exact_reference=exact_reference)
+    return LocalSamplingBackend(
+        sampler, xp=xp, exact_reference=exact_reference, metrics=metrics
+    )

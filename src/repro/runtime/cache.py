@@ -35,6 +35,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.runtime.plan import ExecutionPlan
+from repro.telemetry.metrics import Counter, MetricsRegistry
 
 __all__ = ["CompilationCache"]
 
@@ -49,12 +50,17 @@ class CompilationCache:
             the uncached legacy path.
         max_stage_entries: maximum per-stage artifacts kept (routed
             bodies dominate; they are small relative to plans).
+        metrics: the telemetry registry the hit/miss counters live in
+            (``cache.plan_hits``, ``cache.stage.route.hits`` ...);
+            defaults to a private one.  Attach it to a session's or
+            service's registry to fold the cache into a unified snapshot.
     """
 
     def __init__(
         self,
         max_entries: Optional[int] = 256,
         max_stage_entries: Optional[int] = 4096,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_entries is not None and max_entries < 0:
             raise ValueError("max_entries must be >= 0 or None")
@@ -62,10 +68,11 @@ class CompilationCache:
             raise ValueError("max_stage_entries must be >= 0 or None")
         self.max_entries = max_entries
         self.max_stage_entries = max_stage_entries
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._plans: "OrderedDict[str, ExecutionPlan]" = OrderedDict()
         self._stage_data: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
-        self._stage_hits: Dict[str, int] = {}
-        self._stage_misses: Dict[str, int] = {}
+        self._stage_hits: Dict[str, Counter] = {}
+        self._stage_misses: Dict[str, Counter] = {}
         # Guards both stores: pipelines share a cache across the CPM
         # compilation thread fan-out (``compile_workers``).
         self._lock = threading.RLock()
@@ -76,8 +83,18 @@ class CompilationCache:
         # the number of keys currently being computed.
         self._inflight: Dict[Tuple[str, str], threading.Lock] = {}
         self._inflight_guard = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self._hits = self.metrics.counter("cache.plan_hits")
+        self._misses = self.metrics.counter("cache.plan_misses")
+
+    @property
+    def hits(self) -> int:
+        """Plan-level cache hits (registry-backed, torn-read free)."""
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        """Plan-level cache misses (registry-backed, torn-read free)."""
+        return self._misses.value
 
     # ------------------------------------------------------------------
 
@@ -110,10 +127,10 @@ class CompilationCache:
         with self._lock:
             plan = self._plans.get(key)
             if plan is None:
-                self.misses += 1
+                self._misses.add(1)
                 return None
             self._plans.move_to_end(key)
-            self.hits += 1
+            self._hits.add(1)
             return plan
 
     def put(self, key: str, plan: ExecutionPlan) -> None:
@@ -142,11 +159,21 @@ class CompilationCache:
         with self._lock:
             value = self._stage_data.get((stage, key))
             if value is None:
-                self._stage_misses[stage] = self._stage_misses.get(stage, 0) + 1
+                self._stage_counter(self._stage_misses, stage, "misses").add(1)
                 return None
             self._stage_data.move_to_end((stage, key))
-            self._stage_hits[stage] = self._stage_hits.get(stage, 0) + 1
+            self._stage_counter(self._stage_hits, stage, "hits").add(1)
             return value
+
+    def _stage_counter(
+        self, table: Dict[str, Counter], stage: str, kind: str
+    ) -> Counter:
+        counter = table.get(stage)
+        if counter is None:
+            counter = table[stage] = self.metrics.counter(
+                f"cache.stage.{stage}.{kind}"
+            )
+        return counter
 
     def stage_put(self, stage: str, key: str, value: Any) -> None:
         """Store a stage artifact (no-op on a disabled cache)."""
@@ -218,8 +245,16 @@ class CompilationCache:
             stages = sorted(set(self._stage_hits) | set(self._stage_misses))
             return {
                 stage: {
-                    "hits": self._stage_hits.get(stage, 0),
-                    "misses": self._stage_misses.get(stage, 0),
+                    "hits": (
+                        self._stage_hits[stage].value
+                        if stage in self._stage_hits
+                        else 0
+                    ),
+                    "misses": (
+                        self._stage_misses[stage].value
+                        if stage in self._stage_misses
+                        else 0
+                    ),
                     "entries": sum(1 for s, _ in self._stage_data if s == stage),
                 }
                 for stage in stages

@@ -46,6 +46,7 @@ from repro.runtime.backend import (
 )
 from repro.runtime.fingerprint import executable_fingerprint
 from repro.sim.kernels import namespace_name
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["ShardedBackend", "sharded_local_backend"]
 
@@ -56,6 +57,7 @@ def sharded_local_backend(
     workers: Optional[int] = None,
     xp=None,
     exact_reference: Optional[bool] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Backend:
     """The local backend for a sampler, sharded when a fan-out is set.
 
@@ -63,12 +65,15 @@ def sharded_local_backend(
     shared by :class:`~repro.runtime.session.Session` and the JigSaw
     runners so their wrap rules cannot drift.  ``None``/``0``/``1``
     stays serial (no wrapper), anything larger shards; either way the
-    results are bit-for-bit identical.
+    results are bit-for-bit identical.  ``metrics`` lands on whichever
+    backend does the counting (the wrapper when sharded).
     """
-    backend = local_backend(sampler, exact, xp=xp, exact_reference=exact_reference)
     if workers is not None and workers > 1:
-        return ShardedBackend(backend, workers=workers)
-    return backend
+        backend = local_backend(sampler, exact, xp=xp, exact_reference=exact_reference)
+        return ShardedBackend(backend, workers=workers, metrics=metrics)
+    return local_backend(
+        sampler, exact, xp=xp, exact_reference=exact_reference, metrics=metrics
+    )
 
 
 def _evaluate_shard(payload) -> Tuple[List[int], List[tuple], Dict[str, int]]:
@@ -184,6 +189,7 @@ class ShardedBackend:
         workers: Optional[int] = None,
         coalesce: Optional[bool] = None,
         executor: str = "thread",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not isinstance(inner, _LocalBackend):
             raise SimulationError(
@@ -206,16 +212,63 @@ class ShardedBackend:
         # to respawn per execute().  close() (or the context manager)
         # releases it.
         self._pool = None
-        #: Cumulative work counters; see :meth:`stats`.
-        self.batches = 0
-        self.requests_seen = 0
-        self.groups_evaluated = 0
-        self.statevector_evals = 0
-        self.channel_evals = 0
-        self.spliced_parts = 0
-        self.shards_dispatched = 0
-        self.stacked_evals = 0
-        self.stacked_circuits = 0
+        #: Cumulative work counters (see :meth:`stats`), registry-backed
+        #: under ``backend.*`` so snapshots are torn-read free.  The
+        #: inner backend's registry is attached: whichever side counts an
+        #: event (the wrapper on sharded paths, the inner on direct
+        #: ``inner.execute`` calls), the merged view sums correctly.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if self.metrics is not inner.metrics:
+            self.metrics.attach(inner.metrics)
+        self._batches = self.metrics.counter("backend.batches")
+        self._requests_seen = self.metrics.counter("backend.requests")
+        self._groups_evaluated = self.metrics.counter("backend.groups")
+        self._statevector_evals = self.metrics.counter(
+            "backend.statevector_evals"
+        )
+        self._channel_evals = self.metrics.counter("backend.channel_evals")
+        self._spliced_parts = self.metrics.counter("backend.spliced_parts")
+        self._shards_dispatched = self.metrics.counter("backend.shards")
+        self._stacked_evals = self.metrics.counter("backend.stacked_evals")
+        self._stacked_circuits = self.metrics.counter(
+            "backend.stacked_circuits"
+        )
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def requests_seen(self) -> int:
+        return self._requests_seen.value
+
+    @property
+    def groups_evaluated(self) -> int:
+        return self._groups_evaluated.value
+
+    @property
+    def statevector_evals(self) -> int:
+        return self._statevector_evals.value
+
+    @property
+    def channel_evals(self) -> int:
+        return self._channel_evals.value
+
+    @property
+    def spliced_parts(self) -> int:
+        return self._spliced_parts.value
+
+    @property
+    def shards_dispatched(self) -> int:
+        return self._shards_dispatched.value
+
+    @property
+    def stacked_evals(self) -> int:
+        return self._stacked_evals.value
+
+    @property
+    def stacked_circuits(self) -> int:
+        return self._stacked_circuits.value
 
     # ------------------------------------------------------------------
 
@@ -343,7 +396,7 @@ class ShardedBackend:
             all_requests.extend(requests)
             all_samplers.extend([inner.sampler] * len(requests))
             bounds.append((start, len(all_requests)))
-        self.spliced_parts += len(prepared)
+        self._spliced_parts.add(len(prepared))
         if not all_requests:
             return [[] for _ in prepared]
         results = self._execute_prepared(all_requests, all_streams, all_samplers)
@@ -357,24 +410,24 @@ class ShardedBackend:
     ) -> List[PMF]:
         """Shared tail of ``execute``/``execute_spliced``: group, shard,
         fan out, rebuild PMFs in batch order."""
-        self.batches += 1
-        self.requests_seen += len(requests)
+        self._batches.add(1)
+        self._requests_seen.add(len(requests))
         exact_reference = getattr(self.inner, "exact_reference", False)
         contractions, stacked, circuits = (
             self.inner._share_statevectors_detail(
                 requests, xp=self.inner.xp, exact_reference=exact_reference
             )
         )
-        self.statevector_evals += contractions
-        self.stacked_evals += stacked
-        self.stacked_circuits += circuits
+        self._statevector_evals.add(contractions)
+        self._stacked_evals.add(stacked)
+        self._stacked_circuits.add(circuits)
         groups = self._group_indices(requests)
         group_payloads = self._payloads(requests, groups, streams, samplers)
-        self.groups_evaluated += len(groups)
-        self.channel_evals += len(groups)
+        self._groups_evaluated.add(len(groups))
+        self._channel_evals.add(len(groups))
 
         shards = self._shards(group_payloads)
-        self.shards_dispatched += len(shards)
+        self._shards_dispatched.add(len(shards))
         xp = self.inner.xp
         xp_spec = (
             xp if xp is None or isinstance(xp, str) else namespace_name(xp)
@@ -391,8 +444,8 @@ class ShardedBackend:
 
         results: List[Optional[PMF]] = [None] * len(requests)
         for indices, distributions, shard_stats in outcomes:
-            self.stacked_evals += shard_stats["stacked_evals"]
-            self.stacked_circuits += shard_stats["stacked_circuits"]
+            self._stacked_evals.add(shard_stats["stacked_evals"])
+            self._stacked_circuits.add(shard_stats["stacked_circuits"])
             shared: Dict[int, PMF] = {}
             for index, (codes, values, num_bits) in zip(indices, distributions):
                 # Exact groups share one distribution object; build the

@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.edm import ensemble_of_diverse_mappings
-from repro.compiler.pipeline import CompilerPipeline
+from repro.compiler.pipeline import CompilerPipeline, PipelineStats
 from repro.compiler.template import (
     DEFAULT_EPS_RESCORE_THRESHOLD,
     ParameterValues,
@@ -59,6 +59,7 @@ from repro.mitigation.combos import jigsaw_with_mbm, mitigate_executable_pmf
 from repro.mitigation.mbm import MAX_MBM_QUBITS
 from repro.noise.model import NoiseModel
 from repro.noise.sampler import NoisySampler
+from repro.telemetry.metrics import MetricsRegistry
 from repro.runtime.backend import Backend, ExecutionRequest
 from repro.runtime.cache import CompilationCache
 from repro.runtime.parallel import sharded_local_backend
@@ -179,6 +180,7 @@ class Session:
         workers: Optional[int] = None,
         backend: Optional[Backend] = None,
         cache: Optional[CompilationCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.device = device
         self.total_trials = total_trials
@@ -188,6 +190,11 @@ class Session:
         self.ensemble_size = ensemble_size
         self.compile_workers = compile_workers
         self.workers = workers
+        #: The session's unified telemetry registry: the sampler, the
+        #: default backend, and the session pipeline record straight into
+        #: it; runner pipelines/backends and the (possibly shared) cache
+        #: are attached, so :meth:`telemetry_snapshot` is one tree.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._rng = as_generator(seed)
         (
             self._baseline_seed,
@@ -198,16 +205,26 @@ class Session:
             self._sampler_seed,
         ) = spawn(self._rng, 6)
         self.noise_model = NoiseModel.from_device(device)
-        self.sampler = NoisySampler(self.noise_model, seed=self._sampler_seed)
+        self.sampler = NoisySampler(
+            self.noise_model, seed=self._sampler_seed, metrics=self.metrics
+        )
         self._backend_override = backend
         self.backend: Backend = backend or self._default_backend()
+        if backend is not None:
+            backend_metrics = getattr(backend, "metrics", None)
+            if backend_metrics is not None and backend_metrics is not self.metrics:
+                self.metrics.attach(backend_metrics)
         self.cache = CompilationCache() if cache is None else cache
+        if self.cache.metrics is not self.metrics:
+            self.metrics.attach(self.cache.metrics)
         self._cache_salt = f"session:{seed!r}"
         # Session-level staged compiler pipeline, bound to the session
         # cache: the baseline compilation, EDM mappings, and every JigSaw
         # runner (they receive the same cache) share one routed-body store,
         # so a (body, layout) pair is routed at most once per session.
-        self.compile_pipeline = CompilerPipeline(device, cache=self.cache)
+        self.compile_pipeline = CompilerPipeline(
+            device, cache=self.cache, stats=PipelineStats(self.metrics)
+        )
         # The shared baseline mapping per program (methodology, §5.2: the
         # global mode "is identical to the baseline policy").  Keyed by
         # circuit content, not workload name, and always on — it is a
@@ -229,7 +246,9 @@ class Session:
 
     def _default_backend(self) -> Backend:
         """Local simulation, sharded when a worker fan-out is configured."""
-        return sharded_local_backend(self.sampler, self.exact, self.workers)
+        return sharded_local_backend(
+            self.sampler, self.exact, self.workers, metrics=self.metrics
+        )
 
     def global_executable(
         self, workload: Union[Workload, QuantumCircuit]
@@ -308,6 +327,7 @@ class Session:
                 cache=self.cache,
                 cache_salt=self._cache_salt,
             )
+            self.metrics.attach(self._runners[key].pipeline.stats.metrics)
         return self._runners[key]
 
     def _jigsawm_runner(self) -> JigSawM:
@@ -319,6 +339,9 @@ class Session:
                 backend=self._backend_override,
                 cache=self.cache,
                 cache_salt=self._cache_salt,
+            )
+            self.metrics.attach(
+                self._runners["jigsaw_m"].pipeline.stats.metrics
             )
         runner: JigSawM = self._runners["jigsaw_m"]  # type: ignore[assignment]
         return runner
@@ -722,6 +745,25 @@ class Session:
             for name, value in runner.pipeline.stats.snapshot().items():
                 counters[name] = counters.get(name, 0) + value
         return {"counters": counters, "stages": self.cache.stage_stats()}
+
+    def telemetry_snapshot(self) -> dict:
+        """One unified registry snapshot over every session component.
+
+        Compiler counters (session pipeline + every runner's), backend
+        work counters, sampler counters, and the shared cache's hit/miss
+        accounting, all under their dotted telemetry names.  The legacy
+        ``pipeline_stats()``/``execution_stats()``/``cache_stats()``
+        views are projections of the same instruments, so the two
+        surfaces can never disagree.
+        """
+        # Runner backends materialise lazily; attach any that appeared
+        # since the last snapshot (attach is idempotent).
+        for runner in self._runners.values():
+            resolved = runner._resolved_backend
+            registry = getattr(resolved, "metrics", None)
+            if registry is not None and registry is not self.metrics:
+                self.metrics.attach(registry)
+        return self.metrics.snapshot()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

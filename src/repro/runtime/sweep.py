@@ -56,6 +56,7 @@ from repro.exceptions import ExperimentError
 from repro.mitigation.combos import jigsaw_with_mbm, mitigate_executable_pmf
 from repro.mitigation.mbm import MAX_MBM_QUBITS
 from repro.runtime.backend import Backend, ExecutionRequest
+from repro.telemetry.trace import get_tracer
 from repro.workloads.workload import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -229,7 +230,8 @@ class ParameterSweep:
             total_trials=self.total_trials,
             eps_rescore_threshold=self.eps_rescore_threshold,
         )
-        plans = template.bind_many(parameter_sets)
+        with get_tracer().span("sweep.bind", points=len(parameter_sets)):
+            plans = template.bind_many(parameter_sets)
         runner = session.runner_for(plans[0])
         requests: List[ExecutionRequest] = []
         bounds: List[Tuple[int, int]] = []
@@ -271,10 +273,13 @@ class ParameterSweep:
                 f"MBM limited to {MAX_MBM_QUBITS}-bit outputs"
             )
         prototype = session.global_executable(self.circuit)
-        bound = [
-            bind_executable(prototype, dict(zip(self.parameter_names, point)))
-            for point in parameter_sets
-        ]
+        with get_tracer().span("sweep.bind", points=len(parameter_sets)):
+            bound = [
+                bind_executable(
+                    prototype, dict(zip(self.parameter_names, point))
+                )
+                for point in parameter_sets
+            ]
         requests = [
             ExecutionRequest(exe, self.total_trials, tag=f"sweep[{k}]")
             for k, exe in enumerate(bound)
@@ -312,20 +317,21 @@ class ParameterSweep:
         allocations[0] += self.total_trials - per_mapping * len(prototypes)
         requests: List[ExecutionRequest] = []
         bounds: List[Tuple[int, int]] = []
-        for k, point in enumerate(parameter_sets):
-            by_name = dict(zip(self.parameter_names, point))
-            start = len(requests)
-            requests.extend(
-                ExecutionRequest(
-                    bind_executable(exe, by_name),
-                    trials,
-                    tag=f"sweep[{k}]edm[{index}]",
+        with get_tracer().span("sweep.bind", points=len(parameter_sets)):
+            for k, point in enumerate(parameter_sets):
+                by_name = dict(zip(self.parameter_names, point))
+                start = len(requests)
+                requests.extend(
+                    ExecutionRequest(
+                        bind_executable(exe, by_name),
+                        trials,
+                        tag=f"sweep[{k}]edm[{index}]",
+                    )
+                    for index, (exe, trials) in enumerate(
+                        zip(prototypes, allocations)
+                    )
                 )
-                for index, (exe, trials) in enumerate(
-                    zip(prototypes, allocations)
-                )
-            )
-            bounds.append((start, len(requests)))
+                bounds.append((start, len(requests)))
 
         def finish(pmfs: List[PMF]) -> SweepResult:
             results: List[object] = [
@@ -367,16 +373,33 @@ class ParameterSweep:
     ) -> PreparedSweep:
         """Compile/bind the whole sweep down to its execution seam."""
         normalized = self._normalize_sets(parameter_sets)
-        if self.scheme in PLAN_SWEEP_SCHEMES:
-            return self._prepare_plan_scheme(normalized)
-        if self.scheme == "edm":
-            return self._prepare_edm(normalized)
-        return self._prepare_global_scheme(normalized)
+        with get_tracer().span(
+            "sweep.prepare", scheme=self.scheme, points=len(normalized)
+        ):
+            if self.scheme in PLAN_SWEEP_SCHEMES:
+                return self._prepare_plan_scheme(normalized)
+            if self.scheme == "edm":
+                return self._prepare_edm(normalized)
+            return self._prepare_global_scheme(normalized)
 
     def run(self, parameter_sets: Sequence[ParameterValues]) -> SweepResult:
         """Execute all K iterations as one coalesced backend batch."""
-        prepared = self.prepare(parameter_sets)
-        return prepared.finish(prepared.backend.execute(prepared.requests))
+        tracer = get_tracer()
+        # A root span keeps prepare/execute/finish in one connected
+        # trace even when no caller (service job, test harness) has an
+        # active span to parent onto.
+        with tracer.span(
+            "sweep", scheme=self.scheme, points=len(parameter_sets)
+        ):
+            prepared = self.prepare(parameter_sets)
+            with tracer.span(
+                "sweep.execute",
+                requests=len(prepared.requests),
+                points=prepared.num_iterations,
+            ):
+                pmfs = prepared.backend.execute(prepared.requests)
+            with tracer.span("sweep.finish"):
+                return prepared.finish(pmfs)
 
     def run_point(self, values: ParameterValues) -> object:
         """One iteration (an optimizer step); still template-compiled."""

@@ -59,6 +59,8 @@ from repro.service.job import (
     SweepJobSpec,
     resolve_spec_circuit,
 )
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import get_tracer
 
 __all__ = [
     "BatchSink",
@@ -123,6 +125,9 @@ class DeviceRegistry:
         self._device_keys: Dict[str, str] = {}
         self._caches: Dict[str, CompilationCache] = {}
         self._lock = threading.RLock()
+        #: Telemetry parent of every shared cache's counters; engines
+        #: attach it so one snapshot folds in cross-worker cache reuse.
+        self.metrics = MetricsRegistry()
 
     def device(self, name: str) -> Device:
         """Resolve a device short name (memoised; factories run once)."""
@@ -152,6 +157,7 @@ class DeviceRegistry:
             cache = self._caches.get(device_key)
             if cache is None:
                 cache = self._caches[device_key] = CompilationCache()
+                self.metrics.attach(cache.metrics)
             return cache
 
     def compiler_stats(self) -> Dict[str, int]:
@@ -182,6 +188,11 @@ class ExecutionEngine:
         timers: optional ``observe(stage, seconds)`` callback for the
             tier's latency histograms (stages: ``prepare``, ``execute``,
             ``finish``).
+        metrics: the telemetry registry the engine counters live in
+            (``engine.batches`` ...); defaults to a private one.  The
+            shared :class:`DeviceRegistry` registry and every backend
+            pool's registry are attached, so one atomic snapshot covers
+            the whole lane.
     """
 
     def __init__(
@@ -194,6 +205,7 @@ class ExecutionEngine:
         workers: Optional[int] = None,
         executor: str = "thread",
         timers: Optional[Any] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.registry = registry
         self.store = store
@@ -208,10 +220,29 @@ class ExecutionEngine:
         )
         self._executors: Dict[Tuple[str, bool], ShardedBackend] = {}
         self._lock = threading.RLock()
-        #: Cumulative engine counters (the sink owns job-level ones).
-        self.batches = 0
-        self.memoized = 0
-        self.executed = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.attach(registry.metrics)
+        # Cumulative engine counters (the sink owns job-level ones);
+        # registry-backed, so concurrent readers get atomic values
+        # instead of torn plain-int reads.
+        self._batches = self.metrics.counter("engine.batches")
+        self._memoized = self.metrics.counter("engine.memoized")
+        self._executed = self.metrics.counter("engine.executed")
+
+    @property
+    def batches(self) -> int:
+        """Batches processed (registry-backed, torn-read free)."""
+        return self._batches.value
+
+    @property
+    def memoized(self) -> int:
+        """Jobs served from the result store or a batch primary."""
+        return self._memoized.value
+
+    @property
+    def executed(self) -> int:
+        """Jobs executed on the backend by this engine."""
+        return self._executed.value
 
     # ------------------------------------------------------------------
 
@@ -228,12 +259,17 @@ class ExecutionEngine:
             executor = self._executors.get(key)
             if executor is None:
                 sampler = NoisySampler(NoiseModel.from_device(device), seed=0)
+                # Each pool keeps its own registry (per-executor stats
+                # stay single-writer); attaching folds it into the
+                # engine's snapshot, where merge sums same-named
+                # counters across lanes.
                 executor = ShardedBackend(
                     local_backend(sampler, exact),
                     workers=self.workers,
                     executor=self.executor,
                 )
                 self._executors[key] = executor
+                self.metrics.attach(executor.metrics)
             return executor
 
     def _observe(self, stage: str, seconds: float) -> None:
@@ -253,7 +289,7 @@ class ExecutionEngine:
         unsettled jobs loudly — marked retryable, because an environment
         hiccup is exactly what the tier's retry path is for.
         """
-        self.batches += 1
+        self._batches.add(1)
         try:
             self._process_batch(jobs, sink)
         except Exception as exc:  # noqa: BLE001 - the worker must survive
@@ -271,8 +307,7 @@ class ExecutionEngine:
             # this one sat in the queue.
             cached = self.store.get(job.fingerprint)
             if cached is not None:
-                with self._lock:
-                    self.memoized += 1
+                self._memoized.add(1)
                 sink.finish(job, cached, source="memoized")
                 continue
             # Within-batch duplicates ride their primary's execution.
@@ -295,8 +330,7 @@ class ExecutionEngine:
         for primary in primaries.values():
             for job in followers.get(primary.job_id, []):
                 if primary.status is JobStatus.DONE:
-                    with self._lock:
-                        self.memoized += 1
+                    self._memoized.add(1)
                     sink.finish(job, primary.result, source="memoized")
                 else:
                     sink.fail(
@@ -309,6 +343,7 @@ class ExecutionEngine:
         self, jobs: List[Job], device_key: str, exact: bool, sink: BatchSink
     ) -> None:
         """Plan every job of one (device, mode) lane, splice, reconstruct."""
+        tracer = get_tracer()
         sessions: List[Session] = []
         prepared_jobs: List[tuple] = []
         device: Optional[Device] = None
@@ -316,46 +351,53 @@ class ExecutionEngine:
             prepare_start = time.perf_counter()
             for job in jobs:
                 job.status = JobStatus.RUNNING
-                try:
-                    if job.workload is None:
-                        job.workload = resolve_spec_circuit(job.spec)
-                    device = self.registry.device(job.spec.device)
-                    session = Session(
-                        device,
-                        seed=job.spec.seed,
-                        total_trials=job.spec.total_trials,
-                        exact=job.spec.exact,
-                        compile_attempts=self.compile_attempts,
-                        cpm_attempts=self.cpm_attempts,
-                        ensemble_size=self.ensemble_size,
-                        cache=self.registry.cache_for(device_key),
-                    )
-                    sessions.append(session)
-                    if isinstance(job.spec, SweepJobSpec):
-                        # The sweep seam is shape-compatible with the
-                        # scheme seam: one request batch plus a finisher,
-                        # so sweep jobs splice into merged batches like
-                        # any other job.
-                        prepared = session.prepare_sweep(
-                            job.spec.scheme,
-                            job.workload,
-                            job.spec.parameter_sets,
-                            eps_rescore_threshold=(
-                                job.spec.eps_rescore_threshold
-                            ),
+                # Context-activating the span makes the compiler's
+                # ``compile``/``compile.<stage>`` spans (and a sweep's
+                # ``sweep.*`` spans) nest under this job's tree.
+                with tracer.span(
+                    "prepare", parent=job.trace, scheme=job.spec.scheme
+                ):
+                    try:
+                        if job.workload is None:
+                            job.workload = resolve_spec_circuit(job.spec)
+                        device = self.registry.device(job.spec.device)
+                        session = Session(
+                            device,
+                            seed=job.spec.seed,
+                            total_trials=job.spec.total_trials,
+                            exact=job.spec.exact,
+                            compile_attempts=self.compile_attempts,
+                            cpm_attempts=self.cpm_attempts,
+                            ensemble_size=self.ensemble_size,
+                            cache=self.registry.cache_for(device_key),
                         )
-                    else:
-                        prepared = session.prepare_scheme(
-                            job.spec.scheme, job.workload
-                        )
-                except Exception as exc:
-                    # ReproError is the expected shape (bad scheme inputs,
-                    # MBM width, ...); anything else is a defect — either
-                    # way it fails this job deterministically (retrying
-                    # replays the same inputs), never its groupmates.
-                    sink.fail(job, str(exc) or repr(exc), retryable=False)
-                    continue
-                prepared_jobs.append((job, prepared))
+                        sessions.append(session)
+                        if isinstance(job.spec, SweepJobSpec):
+                            # The sweep seam is shape-compatible with the
+                            # scheme seam: one request batch plus a
+                            # finisher, so sweep jobs splice into merged
+                            # batches like any other job.
+                            prepared = session.prepare_sweep(
+                                job.spec.scheme,
+                                job.workload,
+                                job.spec.parameter_sets,
+                                eps_rescore_threshold=(
+                                    job.spec.eps_rescore_threshold
+                                ),
+                            )
+                        else:
+                            prepared = session.prepare_scheme(
+                                job.spec.scheme, job.workload
+                            )
+                    except Exception as exc:
+                        # ReproError is the expected shape (bad scheme
+                        # inputs, MBM width, ...); anything else is a
+                        # defect — either way it fails this job
+                        # deterministically (retrying replays the same
+                        # inputs), never its groupmates.
+                        sink.fail(job, str(exc) or repr(exc), retryable=False)
+                        continue
+                    prepared_jobs.append((job, prepared))
             self._observe("prepare", time.perf_counter() - prepare_start)
             if not prepared_jobs:
                 return
@@ -380,24 +422,42 @@ class ExecutionEngine:
                         job, f"batch execution failed: {exc}", retryable=True
                     )
                 return
-            self._observe("execute", time.perf_counter() - execute_start)
+            execute_elapsed = time.perf_counter() - execute_start
+            self._observe("execute", execute_elapsed)
+            if tracer.enabled:
+                # The merged batch runs once for the whole lane; each
+                # job's tree gets a post-hoc "execute" span covering it,
+                # stamped with how much company the job had.
+                for job, prepared in prepared_jobs:
+                    tracer.record(
+                        "execute",
+                        parent=job.trace,
+                        start=execute_start,
+                        duration=execute_elapsed,
+                        batch_jobs=len(prepared_jobs),
+                        requests=len(prepared.requests),
+                    )
             finish_start = time.perf_counter()
             for (job, prepared), pmfs in zip(prepared_jobs, pmf_lists):
-                try:
-                    result = prepared.finish(list(pmfs))
-                    payload = self._payload(job.spec, result)
-                except Exception as exc:
-                    sink.fail(job, str(exc) or repr(exc), retryable=False)
-                    continue
-                try:
-                    self.store.put(job.fingerprint, payload, shard=device_key)
-                except Exception:
-                    # A store that cannot persist (full disk, bad path)
-                    # costs memoization, never the computed result.
-                    sink.store_error(job)
-                with self._lock:
-                    self.executed += 1
-                sink.finish(job, payload, source="executed")
+                with tracer.span("reconstruct", parent=job.trace):
+                    try:
+                        result = prepared.finish(list(pmfs))
+                        payload = self._payload(job.spec, result)
+                    except Exception as exc:
+                        sink.fail(job, str(exc) or repr(exc), retryable=False)
+                        continue
+                with tracer.span("finish", parent=job.trace):
+                    try:
+                        self.store.put(
+                            job.fingerprint, payload, shard=device_key
+                        )
+                    except Exception:
+                        # A store that cannot persist (full disk, bad
+                        # path) costs memoization, never the computed
+                        # result.
+                        sink.store_error(job)
+                    self._executed.add(1)
+                    sink.finish(job, payload, source="executed")
             self._observe("finish", time.perf_counter() - finish_start)
         finally:
             for session in sessions:
@@ -449,12 +509,11 @@ class ExecutionEngine:
 
     def stats(self) -> Dict[str, Any]:
         """Engine counters + backend totals (JSON-ready)."""
-        with self._lock:
-            counters = {
-                "batches": self.batches,
-                "memoized": self.memoized,
-                "executed": self.executed,
-            }
+        counters: Dict[str, Any] = {
+            "batches": self.batches,
+            "memoized": self.memoized,
+            "executed": self.executed,
+        }
         counters["backend"] = self.backend_stats()
         return counters
 

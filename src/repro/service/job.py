@@ -283,6 +283,13 @@ class Job:
     sequence: int = 0
     #: Execution attempts so far (the serving tier's retry accounting).
     attempts: int = 0
+    #: Root telemetry span of the job's trace (set by a tracing
+    #: supervisor at admission; ``None`` when tracing is off).  Live
+    #: object, never serialized — compare/describe ignore it.
+    trace: Optional[Any] = field(default=None, repr=False, compare=False)
+    #: The in-flight ``queue_wait`` span, ended when a drain worker
+    #: claims the job (cross-thread, hence stored on the job).
+    queue_span: Optional[Any] = field(default=None, repr=False, compare=False)
 
     @property
     def done(self) -> bool:

@@ -42,6 +42,7 @@ from repro.service.engine import DeviceRegistry, ExecutionEngine
 from repro.service.job import Job, JobSpec, JobStatus, job_fingerprint, spec_circuit
 from repro.service.queue import FairShareQueue
 from repro.service.store import ResultStore
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["MitigationService"]
 
@@ -90,6 +91,10 @@ class MitigationService:
             raise ServiceError("max_batch must be >= 1")
         self.registry = registry or DeviceRegistry(devices)
         self.store = store if store is not None else ResultStore()
+        #: Unified telemetry root of the service (the engine's registry
+        #: — and through it the backend pool's and shared caches' — is
+        #: attached below).
+        self.metrics = MetricsRegistry()
         self.queue = FairShareQueue(capacity=capacity, fair_share=fair_share)
         self.max_batch = max_batch
         self.workers = workers
@@ -114,13 +119,39 @@ class MitigationService:
         self._job_done = threading.Condition(self._lock)
         self._thread: Optional[threading.Thread] = None
         self._stop_flag = threading.Event()
-        # Job-level counters (queue/store/backend keep their own).
-        self.submitted = 0
-        self.memoized = 0
-        self.executed = 0
-        self.failed = 0
-        self.batches = 0
-        self.store_errors = 0
+        self.metrics.attach(self.engine.metrics)
+        # Job-level counters (queue/store/backend keep their own) —
+        # registry-backed, so concurrent pollers never read torn counts.
+        self._submitted = self.metrics.counter("service.submitted")
+        self._memoized = self.metrics.counter("service.memoized")
+        self._executed = self.metrics.counter("service.executed")
+        self._failed = self.metrics.counter("service.failed")
+        self._batches = self.metrics.counter("service.batches")
+        self._store_errors = self.metrics.counter("service.store_errors")
+
+    @property
+    def submitted(self) -> int:
+        return self._submitted.value
+
+    @property
+    def memoized(self) -> int:
+        return self._memoized.value
+
+    @property
+    def executed(self) -> int:
+        return self._executed.value
+
+    @property
+    def failed(self) -> int:
+        return self._failed.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def store_errors(self) -> int:
+        return self._store_errors.value
 
     # ------------------------------------------------------------------
     # Submission
@@ -152,13 +183,13 @@ class MitigationService:
         if cached is not None:
             with self._lock:
                 self._jobs[job.job_id] = job
-                self.submitted += 1
+            self._submitted.add(1)
             self.finish(job, cached, source="memoized")
             return job
         self.queue.push(job)  # raises AdmissionError on backpressure
         with self._lock:
             self._jobs[job.job_id] = job
-            self.submitted += 1
+        self._submitted.add(1)
         return job
 
     def job(self, job_id: str) -> Job:
@@ -214,8 +245,7 @@ class MitigationService:
             batch = self.queue.pop_batch(self.max_batch, timeout=0)
             if not batch:
                 return settled
-            with self._lock:
-                self.batches += 1
+            self._batches.add(1)
             self.engine.process_batch(batch, self)
             settled.extend(batch)
 
@@ -244,8 +274,7 @@ class MitigationService:
             batch = self.queue.pop_batch(self.max_batch, timeout=0.05)
             if not batch:
                 continue
-            with self._lock:
-                self.batches += 1
+            self._batches.add(1)
             self.engine.process_batch(batch, self)
 
     # ------------------------------------------------------------------
@@ -253,28 +282,27 @@ class MitigationService:
     # ------------------------------------------------------------------
 
     def finish(self, job: Job, payload: Dict[str, Any], source: str) -> None:
+        if source == "memoized":
+            self._memoized.add(1)
+        elif source == "executed":
+            self._executed.add(1)
         with self._job_done:
             job.result = payload
             job.source = source
             job.status = JobStatus.DONE
-            if source == "memoized":
-                self.memoized += 1
-            elif source == "executed":
-                self.executed += 1
             self._job_done.notify_all()
 
     def fail(self, job: Job, error: str, retryable: bool = False) -> None:
         # The single-drain service has no retry path: retryable or not,
         # a failure is terminal here (the tier's sink re-queues instead).
+        self._failed.add(1)
         with self._job_done:
             job.error = error
             job.status = JobStatus.FAILED
-            self.failed += 1
             self._job_done.notify_all()
 
     def store_error(self, job: Job) -> None:
-        with self._lock:
-            self.store_errors += 1
+        self._store_errors.add(1)
 
     #: The payload shape is the engine's (kept here as an alias: tests and
     #: drivers compare solo-session payloads through it).
@@ -307,7 +335,13 @@ class MitigationService:
             "store": self.store.stats(),
             "backend": self.engine.backend_stats(),
             "compiler": self.registry.compiler_stats(),
+            "registry": {"counters": self.metrics.counter_values()},
         }
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """The unified registry view (service + engine + backend pool +
+        shared caches), merged: counters, gauges, histograms."""
+        return self.metrics.snapshot()
 
     def close(self) -> None:
         """Stop the worker loop and release executor worker pools."""

@@ -1,17 +1,26 @@
-"""Observability: structured counters and latency histograms.
+"""Observability: the serving tier's view over the telemetry registry.
 
-The serving tier's answer to "what is the system doing?" without a
-metrics dependency: fixed-bucket latency histograms (log-spaced, JSON
-snapshots) and a :class:`TierStats` aggregate the supervisor exposes via
-``tier_stats()`` / ``repro serve --stats-json``.  Everything is
-thread-safe and cheap enough to record on every batch.
+Historically this module owned its own histogram/counter classes; they
+now live in :mod:`repro.telemetry.metrics` as the stack-wide metric
+instruments.  :class:`LatencyHistogram` remains as a re-export (same
+API, plus quantile estimation and cross-worker ``merge()``), and
+:class:`TierStats` is a thin adapter that records into a
+:class:`~repro.telemetry.MetricsRegistry` under the ``tier.`` namespace
+(``tier.queue_wait``, ``tier.batches`` ...) while keeping its historical
+``snapshot()`` shape for ``tier_stats()`` / ``repro serve
+--stats-json``.  Because every read goes through the registry's locked
+instruments, snapshots can never observe torn counts.
 """
 
 from __future__ import annotations
 
-import bisect
-import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+)
 
 __all__ = ["LatencyHistogram", "TierStats", "STAGE_NAMES"]
 
@@ -19,56 +28,10 @@ __all__ = ["LatencyHistogram", "TierStats", "STAGE_NAMES"]
 STAGE_NAMES = ("queue_wait", "prepare", "execute", "finish", "job_total")
 
 #: Log-spaced upper bounds (seconds): 100us .. ~1.6e3 s, x4 per bucket.
-_DEFAULT_BOUNDS = tuple(1e-4 * 4**i for i in range(13))
+_DEFAULT_BOUNDS = DEFAULT_LATENCY_BOUNDS
 
-
-class LatencyHistogram:
-    """A fixed-bucket latency histogram with a JSON-ready snapshot.
-
-    Buckets are cumulative-free (each observation lands in exactly one
-    bucket, keyed by its upper bound; overflows land in ``inf``), which
-    keeps snapshots human-readable in ``--stats-json`` output.
-    """
-
-    def __init__(self, bounds: Optional[List[float]] = None) -> None:
-        self.bounds = tuple(bounds) if bounds is not None else _DEFAULT_BOUNDS
-        self._counts = [0] * (len(self.bounds) + 1)
-        self._lock = threading.Lock()
-        self.count = 0
-        self.total = 0.0
-        self.min: Optional[float] = None
-        self.max: Optional[float] = None
-
-    def observe(self, seconds: float) -> None:
-        """Record one latency observation."""
-        index = bisect.bisect_left(self.bounds, seconds)
-        with self._lock:
-            self._counts[index] += 1
-            self.count += 1
-            self.total += seconds
-            self.min = seconds if self.min is None else min(self.min, seconds)
-            self.max = seconds if self.max is None else max(self.max, seconds)
-
-    def snapshot(self) -> Dict[str, Any]:
-        """Counters + per-bucket counts (empty buckets elided)."""
-        with self._lock:
-            buckets = {
-                f"le_{bound:g}": count
-                for bound, count in zip(self.bounds, self._counts)
-                if count
-            }
-            if self._counts[-1]:
-                buckets["inf"] = self._counts[-1]
-            return {
-                "count": self.count,
-                "total_seconds": self.total,
-                "mean_seconds": (
-                    self.total / self.count if self.count else None
-                ),
-                "min_seconds": self.min,
-                "max_seconds": self.max,
-                "buckets": buckets,
-            }
+#: The tier's historical histogram class is now the stack-wide one.
+LatencyHistogram = Histogram
 
 
 class TierStats:
@@ -76,17 +39,22 @@ class TierStats:
 
     One instance is shared by the supervisor, its drain workers, and
     their engines (which call :meth:`observe` through the engine's
-    ``timers`` hook).  ``snapshot()`` is the ``tier_stats()['latency']``
-    / ``['workers']`` payload.
+    ``timers`` hook).  All state lives in a
+    :class:`~repro.telemetry.MetricsRegistry` (pass one to fold the tier
+    into a larger telemetry tree); ``snapshot()`` is the
+    ``tier_stats()['latency']`` payload, unchanged in shape.
     """
 
-    def __init__(self) -> None:
-        self.stage = {name: LatencyHistogram() for name in STAGE_NAMES}
-        self._lock = threading.Lock()
-        self.batches = 0
-        self.batch_jobs = 0
-        self.retries = 0
-        self.worker_crashes = 0
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stage = {
+            name: self.metrics.histogram(f"tier.{name}")
+            for name in STAGE_NAMES
+        }
+        self._batches = self.metrics.counter("tier.batches")
+        self._batch_jobs = self.metrics.counter("tier.batch_jobs")
+        self._retries = self.metrics.counter("tier.retries")
+        self._crashes = self.metrics.counter("tier.worker_crashes")
 
     # -- the engine's ``timers`` protocol -------------------------------
 
@@ -94,42 +62,48 @@ class TierStats:
         """Record one stage latency (unknown stages get a histogram)."""
         histogram = self.stage.get(stage)
         if histogram is None:
-            with self._lock:
-                histogram = self.stage.setdefault(stage, LatencyHistogram())
+            histogram = self.metrics.histogram(f"tier.{stage}")
+            self.stage.setdefault(stage, histogram)
         histogram.observe(seconds)
 
     # -- worker-side counters -------------------------------------------
 
     def record_batch(self, size: int) -> None:
-        with self._lock:
-            self.batches += 1
-            self.batch_jobs += size
+        self._batches.add(1)
+        self._batch_jobs.add(size)
 
     def record_retry(self) -> None:
-        with self._lock:
-            self.retries += 1
+        self._retries.add(1)
 
     def record_crash(self) -> None:
-        with self._lock:
-            self.worker_crashes += 1
+        self._crashes.add(1)
 
     # -------------------------------------------------------------------
 
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def retries(self) -> int:
+        return self._retries.value
+
+    @property
+    def worker_crashes(self) -> int:
+        return self._crashes.value
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready aggregate: occupancy, retries, stage histograms."""
-        with self._lock:
-            batches = self.batches
-            batch_jobs = self.batch_jobs
-            retries = self.retries
-            crashes = self.worker_crashes
+        batches = self._batches.value
+        batch_jobs = self._batch_jobs.value
         return {
             "batches": batches,
             "batch_jobs": batch_jobs,
             "avg_batch_occupancy": (
                 batch_jobs / batches if batches else None
             ),
-            "retries": retries,
-            "worker_crashes": crashes,
+            "retries": self._retries.value,
+            "worker_crashes": self._crashes.value,
             "stages": {
                 name: histogram.snapshot()
                 for name, histogram in sorted(self.stage.items())

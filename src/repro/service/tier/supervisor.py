@@ -49,6 +49,8 @@ from repro.service.tier.events import JobEvent, JobEventLog
 from repro.service.tier.quota import AdmissionController, TenantPolicy
 from repro.service.tier.stats import TierStats
 from repro.service.tier.worker import DrainWorker, FaultInjector
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import NULL_TRACER, Span, Tracer
 
 __all__ = ["ServiceSupervisor"]
 
@@ -87,6 +89,11 @@ class ServiceSupervisor:
         fault_injector: test hook, see :mod:`repro.service.tier.worker`.
         clock: injectable monotonic clock (rate limiter + backoff
             schedule; tests step it deterministically).
+        tracing: collect hierarchical spans for every job (admission ->
+            queue_wait -> prepare -> compile stages -> execute ->
+            reconstruct -> finish); retrieve with :meth:`job_trace`.
+            Off by default — the disabled path costs one branch per
+            span site.
     """
 
     def __init__(
@@ -112,6 +119,7 @@ class ServiceSupervisor:
         fault_injector: Optional[FaultInjector] = None,
         poll_interval: float = 0.02,
         clock=time.monotonic,
+        tracing: bool = False,
     ) -> None:
         if workers < 1:
             raise ServiceError("workers must be >= 1")
@@ -152,7 +160,12 @@ class ServiceSupervisor:
             default_policy=default_policy,
             clock=clock,
         )
-        self.stats = TierStats()
+        #: Unified telemetry root: tier counters + latency histograms
+        #: live here; every worker engine's registry is attached, so
+        #: :meth:`telemetry_snapshot` is one atomic view of the tier.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer() if tracing else NULL_TRACER
+        self.stats = TierStats(metrics=self.metrics)
         self._jobs: Dict[str, Job] = {}
         self._events: Dict[str, JobEventLog] = {}
         self._lane_of: Dict[str, int] = {}
@@ -170,13 +183,38 @@ class ServiceSupervisor:
         self._stop_flag = threading.Event()
         self._started = False
         self._closed = False
-        # Job-level counters.
-        self.submitted = 0
-        self.memoized = 0
-        self.executed = 0
-        self.failed = 0
-        self.retried = 0
-        self.store_errors = 0
+        # Job-level counters — registry-backed, so concurrent readers
+        # (tier_stats from another thread) never see torn counts.
+        self._submitted = self.metrics.counter("tier.submitted")
+        self._memoized = self.metrics.counter("tier.memoized")
+        self._executed = self.metrics.counter("tier.executed")
+        self._failed = self.metrics.counter("tier.failed")
+        self._retried = self.metrics.counter("tier.retried")
+        self._store_errors = self.metrics.counter("tier.store_errors")
+
+    @property
+    def submitted(self) -> int:
+        return self._submitted.value
+
+    @property
+    def memoized(self) -> int:
+        return self._memoized.value
+
+    @property
+    def executed(self) -> int:
+        return self._executed.value
+
+    @property
+    def failed(self) -> int:
+        return self._failed.value
+
+    @property
+    def retried(self) -> int:
+        return self._retried.value
+
+    @property
+    def store_errors(self) -> int:
+        return self._store_errors.value
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -190,6 +228,10 @@ class ServiceSupervisor:
             timers=self.stats,
             **self._engine_kwargs,
         )
+        # Fold the lane's counters (engine + backend pool + shared
+        # caches) into the tier registry; the merge dedups the shared
+        # DeviceRegistry child by identity across lanes.
+        self.metrics.attach(engine.metrics)
         worker = DrainWorker(
             self,
             index=index,
@@ -289,12 +331,26 @@ class ServiceSupervisor:
         )
         job = Job(spec=spec, fingerprint=fingerprint)
         log = JobEventLog(job.job_id)
+        tracer = self.tracer
+        if tracer.enabled:
+            # The root of the job's trace; ended by finish()/fail().
+            job.trace = tracer.start_span(
+                "job",
+                trace_id=tracer.new_trace_id(),
+                job_id=job.job_id,
+                tenant=spec.tenant,
+                device=spec.device,
+                scheme=spec.scheme,
+            )
+            log.trace_id = job.trace.trace_id
+        admission_span = tracer.start_span("admission", parent=job.trace)
         cached = self.store.get(fingerprint)
         if cached is not None:
             with self._lock:
                 self._jobs[job.job_id] = job
                 self._events[job.job_id] = log
-                self.submitted += 1
+            self._submitted.add(1)
+            tracer.end_span(admission_span, memoized=True)
             log.append("queued", memoized=True)
             self.finish(job, cached, source="memoized")
             return job
@@ -304,7 +360,12 @@ class ServiceSupervisor:
                 if self.placement == "round_robin"
                 else 0
             )
-        self.admission.admit(job, lane=lane)  # raises on rejection
+        try:
+            self.admission.admit(job, lane=lane)  # raises on rejection
+        except Exception as exc:
+            tracer.end_span(admission_span, rejected=type(exc).__name__)
+            tracer.end_span(job.trace, status="rejected")
+            raise
         now = self._clock()
         with self._lock:
             self._placement_counter += 1
@@ -313,8 +374,12 @@ class ServiceSupervisor:
             self._lane_of[job.job_id] = lane
             self._enqueued_at[job.job_id] = now
             self._deadline_of[job.job_id] = now + self.retry_timeout
-            self.submitted += 1
             self._open_jobs += 1
+        self._submitted.add(1)
+        tracer.end_span(admission_span, memoized=False, lane=lane)
+        # Cross-thread interval: opened here, closed by the drain
+        # worker that claims the batch (_begin_batch).
+        job.queue_span = tracer.start_span("queue_wait", parent=job.trace)
         log.append("queued", lane=lane)
         return job
 
@@ -438,6 +503,8 @@ class ServiceSupervisor:
             enqueued = self._enqueued_at.get(job.job_id)
             if enqueued is not None:
                 self.stats.observe("queue_wait", max(0.0, now - enqueued))
+            span, job.queue_span = job.queue_span, None
+            self.tracer.end_span(span, worker=worker.name)
             log = self._events.get(job.job_id)
             if log is not None:
                 log.append("running", worker=worker.name, attempt=job.attempts)
@@ -452,14 +519,14 @@ class ServiceSupervisor:
 
     def finish(self, job: Job, payload: Dict[str, Any], source: str) -> None:
         now = self._clock()
+        if source == "memoized":
+            self._memoized.add(1)
+        else:
+            self._executed.add(1)
         with self._job_done:
             job.result = payload
             job.source = source
             job.status = JobStatus.DONE
-            if source == "memoized":
-                self.memoized += 1
-            else:
-                self.executed += 1
             enqueued = self._enqueued_at.pop(job.job_id, None)
             self._deadline_of.pop(job.job_id, None)
             if enqueued is not None:
@@ -467,6 +534,7 @@ class ServiceSupervisor:
                 self.stats.observe("job_total", max(0.0, now - enqueued))
             log = self._events.get(job.job_id)
             self._job_done.notify_all()
+        self.tracer.end_span(job.trace, status="done", source=source)
         if log is not None:
             log.append("done", source=source)
 
@@ -476,21 +544,23 @@ class ServiceSupervisor:
         terminally."""
         if retryable and self._schedule_retry(job, error):
             return
+        self._failed.add(1)
         with self._job_done:
             job.error = error
             job.status = JobStatus.FAILED
-            self.failed += 1
             if self._enqueued_at.pop(job.job_id, None) is not None:
                 self._open_jobs -= 1
             self._deadline_of.pop(job.job_id, None)
             log = self._events.get(job.job_id)
             self._job_done.notify_all()
+        span, job.queue_span = job.queue_span, None
+        self.tracer.end_span(span, outcome="failed")
+        self.tracer.end_span(job.trace, status="failed", error=error)
         if log is not None:
             log.append("failed", error=error, attempts=job.attempts)
 
     def store_error(self, job: Job) -> None:
-        with self._lock:
-            self.store_errors += 1
+        self._store_errors.add(1)
 
     def _schedule_retry(self, job: Job, error: str) -> bool:
         """Queue a backed-off re-queue; False when the budget is gone.
@@ -508,7 +578,7 @@ class ServiceSupervisor:
             job.attempts += 1
             delay = self.backoff_base * (2 ** (job.attempts - 1))
             self._delayed.append((now + delay, job))
-            self.retried += 1
+            self._retried.add(1)
             self.stats.record_retry()
             job.status = JobStatus.QUEUED
             log = self._events.get(job.job_id)
@@ -540,6 +610,10 @@ class ServiceSupervisor:
         for _, job in sorted(due, key=lambda entry: entry[0]):
             lane = self._lane_of.get(job.job_id, 0)
             self.admission.requeue(job, lane=lane)
+            # A re-queued job waits again: a fresh queue_wait interval.
+            job.queue_span = self.tracer.start_span(
+                "queue_wait", parent=job.trace, attempt=job.attempts
+            )
             with self._lock:
                 log = self._events.get(job.job_id)
             if log is not None:
@@ -570,17 +644,24 @@ class ServiceSupervisor:
     # ------------------------------------------------------------------
 
     def tier_stats(self) -> Dict[str, Any]:
-        """The whole tier, one JSON-ready snapshot."""
+        """The whole tier, one JSON-ready snapshot.
+
+        Job-level and per-worker counts come from the unified metrics
+        registry (atomic per-counter reads — no torn counts while
+        workers drain), so this surface and
+        :meth:`telemetry_snapshot` agree by construction.
+        """
+        registry_counters = self.metrics.counter_values()
         with self._lock:
             jobs = {
-                "submitted": self.submitted,
+                "submitted": registry_counters.get("tier.submitted", 0),
                 "queued": len(self.queue),
                 "open": self._open_jobs,
-                "memoized": self.memoized,
-                "executed": self.executed,
-                "failed": self.failed,
-                "retried": self.retried,
-                "store_errors": self.store_errors,
+                "memoized": registry_counters.get("tier.memoized", 0),
+                "executed": registry_counters.get("tier.executed", 0),
+                "failed": registry_counters.get("tier.failed", 0),
+                "retried": registry_counters.get("tier.retried", 0),
+                "store_errors": registry_counters.get("tier.store_errors", 0),
                 "delayed_requeues": len(self._delayed),
             }
             workers = [
@@ -603,7 +684,25 @@ class ServiceSupervisor:
             "store": self.store.stats(),
             "compiler": self.registry.compiler_stats(),
             "latency": self.stats.snapshot(),
+            "registry": {"counters": registry_counters},
         }
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """The unified registry view: every counter, gauge, and
+        histogram of the tier (supervisor + workers' engines + backend
+        pools + shared caches), merged."""
+        return self.metrics.snapshot()
+
+    def job_trace(self, job_or_id: Union[Job, str]) -> List[Span]:
+        """Every finished span of one job's trace (start order).
+
+        Empty when tracing is off or the job is still running its first
+        span.  The root ``job`` span files when the job settles.
+        """
+        job = self._resolve(job_or_id)
+        if job.trace is None:
+            return []
+        return self.tracer.spans_for(job.trace.trace_id)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

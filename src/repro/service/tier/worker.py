@@ -27,6 +27,7 @@ from typing import Any, Callable, List, Optional
 
 from repro.service.engine import ExecutionEngine
 from repro.service.job import Job
+from repro.telemetry.trace import use_tracer
 
 __all__ = ["DrainWorker"]
 
@@ -73,7 +74,9 @@ class DrainWorker:
             else f"worker-{index}.r{generation}"
         )
         self.crashed: Optional[BaseException] = None
-        self.batches = 0
+        # Registry-backed so tier_stats never reads a torn count while
+        # the loop increments.
+        self._batches = engine.metrics.counter("worker.batches")
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name=f"tier-{self.name}", daemon=True
@@ -95,6 +98,10 @@ class DrainWorker:
     def alive(self) -> bool:
         return self._thread.is_alive()
 
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
     # ------------------------------------------------------------------
 
     def _run(self) -> None:
@@ -106,14 +113,18 @@ class DrainWorker:
             )
             if not batch:
                 continue
-            self.batches += 1
+            self._batches.add(1)
             self.supervisor._begin_batch(self, batch)
             try:
                 if self.fault_injector is not None:
                     self.fault_injector(self.name, batch)
                 # The engine's backstop settles every job on an internal
                 # defect, so reaching _end_batch is the normal path.
-                self.engine.process_batch(batch, self.supervisor)
+                # The supervisor's tracer becomes this thread's active
+                # tracer, so the engine's per-job spans (and the
+                # compiler spans nested under them) land in it.
+                with use_tracer(self.supervisor.tracer):
+                    self.engine.process_batch(batch, self.supervisor)
             except BaseException as exc:  # noqa: BLE001 - crash boundary
                 # Crash: exit WITHOUT clearing the in-flight registry —
                 # that registration is exactly how the monitor finds the

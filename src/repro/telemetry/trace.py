@@ -1,0 +1,355 @@
+"""Hierarchical tracing: spans, context propagation, and a null path.
+
+A :class:`Tracer` produces :class:`Span`\\ s — named intervals with a
+``trace_id``/``span_id``/``parent_id`` hierarchy, monotonic start and
+duration, and typed attributes.  The *current* span propagates through
+``contextvars``, so nested instrumentation (compiler stages under a
+job's ``prepare`` span) parents itself without plumbing span objects
+through every call signature.  Cross-thread edges (a job admitted on the
+front-end thread, executed on a drain worker) pass the parent span
+explicitly — the job object carries its root span across the seam.
+
+The *active tracer* is itself a contextvar (:func:`get_tracer`,
+default :data:`NULL_TRACER`), so deep layers — the compiler pipeline,
+the sweep, the engine — instrument unconditionally: when tracing is off
+they hit the no-op tracer, whose ``span()`` returns a shared null
+context manager.  Cost when disabled: one contextvar read plus one
+method call per span site, no allocation.
+
+Span ids are deterministic per tracer (``t000001``/``s000001`` in
+creation order), so tests can assert trace shape exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "use_tracer",
+    "current_span",
+]
+
+
+class Span:
+    """One named interval in a trace.
+
+    ``start`` is ``time.perf_counter()`` at creation (monotonic;
+    meaningful only relative to other spans of the same process);
+    ``duration`` is seconds, ``None`` while the span is open.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "duration",
+        "attrs",
+        "thread",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        start: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.duration: Optional[float] = None
+        self.attrs = attrs
+        self.thread = threading.current_thread().name
+
+    def set(self, **attrs: Any) -> None:
+        """Attach or update attributes on an open span."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready row (the JSONL exporter's wire shape)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "thread": self.thread,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, dur={self.duration})"
+        )
+
+
+class _NullContext:
+    """The shared no-op context manager the null tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+#: The per-context current span (parent of the next nested span).
+_CURRENT_SPAN: ContextVar[Optional[Span]] = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+class NullTracer:
+    """The disabled path: every operation is a no-op.
+
+    ``enabled`` lets the hottest call sites skip even attribute-dict
+    construction with a single branch.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, parent: Optional[Span] = None, **attrs: Any):
+        return _NULL_CONTEXT
+
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        trace_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Optional[Span]:
+        return None
+
+    def end_span(self, span: Optional[Span], **attrs: Any) -> None:
+        return None
+
+    def record(
+        self,
+        name: str,
+        parent: Optional[Span],
+        start: float,
+        duration: float,
+        **attrs: Any,
+    ) -> None:
+        return None
+
+    def new_trace_id(self) -> Optional[str]:
+        return None
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def spans_for(self, trace_id: Optional[str]) -> List[Span]:
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullTracer()"
+
+
+#: The module-level no-op tracer (the contextvar default).
+NULL_TRACER = NullTracer()
+
+_ACTIVE_TRACER: ContextVar[Any] = ContextVar(
+    "repro_active_tracer", default=NULL_TRACER
+)
+
+
+def get_tracer():
+    """The context's active tracer (:data:`NULL_TRACER` by default)."""
+    return _ACTIVE_TRACER.get()
+
+
+@contextmanager
+def use_tracer(tracer) -> Iterator[None]:
+    """Make ``tracer`` the active tracer within this context."""
+    token = _ACTIVE_TRACER.set(tracer if tracer is not None else NULL_TRACER)
+    try:
+        yield
+    finally:
+        _ACTIVE_TRACER.reset(token)
+
+
+def current_span() -> Optional[Span]:
+    """The context's current (innermost open) span, if any."""
+    return _CURRENT_SPAN.get()
+
+
+class _SpanContext:
+    """Context manager for one span: activates it, times it, closes it."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT_SPAN.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _CURRENT_SPAN.reset(self._token)
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer.end_span(self._span)
+
+
+class Tracer:
+    """Collects hierarchical spans; thread-safe, deterministically named.
+
+    Finished spans accumulate in an in-memory list (bounded by
+    ``max_spans``; the oldest spans drop first), keyed by ``trace_id``
+    for per-job retrieval.  Use :meth:`span` for same-thread scopes,
+    :meth:`start_span`/:meth:`end_span` for intervals that cross threads
+    (queue wait), and :meth:`record` for post-hoc spans whose interval
+    was timed externally (one stacked execution reported under several
+    jobs' trees).
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._dropped = 0
+        self._next_trace = 0
+        self._next_span = 0
+
+    # -- id allocation --------------------------------------------------
+
+    def new_trace_id(self) -> str:
+        with self._lock:
+            self._next_trace += 1
+            return f"t{self._next_trace:06d}"
+
+    def _new_span(
+        self,
+        name: str,
+        parent: Optional[Span],
+        trace_id: Optional[str],
+        start: float,
+        attrs: Dict[str, Any],
+    ) -> Span:
+        if parent is None:
+            parent = _CURRENT_SPAN.get()
+        with self._lock:
+            self._next_span += 1
+            span_id = f"s{self._next_span:06d}"
+            if trace_id is None:
+                if parent is not None:
+                    trace_id = parent.trace_id
+                else:
+                    self._next_trace += 1
+                    trace_id = f"t{self._next_trace:06d}"
+        return Span(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start=start,
+            attrs=attrs,
+        )
+
+    # -- span lifecycles ------------------------------------------------
+
+    def span(
+        self, name: str, parent: Optional[Span] = None, **attrs: Any
+    ) -> _SpanContext:
+        """A context manager that opens, activates, and closes one span."""
+        span = self._new_span(
+            name, parent, None, time.perf_counter(), attrs
+        )
+        return _SpanContext(self, span)
+
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        trace_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span without activating it (cross-thread intervals)."""
+        return self._new_span(
+            name, parent, trace_id, time.perf_counter(), attrs
+        )
+
+    def end_span(self, span: Optional[Span], **attrs: Any) -> None:
+        """Close a span (idempotent) and file it."""
+        if span is None:
+            return
+        if attrs:
+            span.attrs.update(attrs)
+        if span.duration is not None:
+            return
+        span.duration = time.perf_counter() - span.start
+        self._file(span)
+
+    def record(
+        self,
+        name: str,
+        parent: Optional[Span],
+        start: float,
+        duration: float,
+        **attrs: Any,
+    ) -> Span:
+        """File a span whose interval was timed externally."""
+        span = self._new_span(name, parent, None, start, attrs)
+        span.duration = duration
+        self._file(span)
+        return span
+
+    def _file(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            if len(self._spans) > self.max_spans:
+                overflow = len(self._spans) - self.max_spans
+                del self._spans[:overflow]
+                self._dropped += overflow
+
+    # -- retrieval ------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Every finished span, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def spans_for(self, trace_id: Optional[str]) -> List[Span]:
+        """Finished spans of one trace, ordered by start time."""
+        if trace_id is None:
+            return []
+        with self._lock:
+            matched = [s for s in self._spans if s.trace_id == trace_id]
+        matched.sort(key=lambda s: s.start)
+        return matched
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return f"Tracer(spans={len(self._spans)})"

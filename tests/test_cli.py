@@ -333,6 +333,169 @@ class TestServeTier:
         assert '"placement"' in completed.stdout  # the stats snapshot
 
 
+class TestTraceCLI:
+    def _jobs_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "jobs.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"tenant": "alice", "workload": "GHZ-4",
+                     "total_trials": 1024, "seed": 0},
+                    {"tenant": "bob", "workload": "GHZ-4",
+                     "total_trials": 1024, "seed": 1},
+                ]
+            )
+        )
+        return path
+
+    def _serve_traced(self, tmp_path, capsys, extra=()):
+        trace_dir = tmp_path / "traces"
+        stats_path = tmp_path / "stats.json"
+        code = main(
+            ["serve", "--jobs", str(self._jobs_file(tmp_path)),
+             "--workers", "2", "--trace", str(trace_dir),
+             "--stats-json", str(stats_path), *extra]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return trace_dir, stats_path
+
+    def _job_ids(self, trace_dir):
+        # Job ids are process-global (job-N keeps counting across serve
+        # invocations), so tests discover them from the written files.
+        return sorted(
+            p.name[: -len(".trace.json")] for p in trace_dir.iterdir()
+        )
+
+    def test_serve_trace_writes_chrome_trace_files(self, tmp_path, capsys):
+        import json
+
+        trace_dir, _ = self._serve_traced(tmp_path, capsys)
+        job_ids = self._job_ids(trace_dir)
+        assert len(job_ids) == 2
+        for job_id in job_ids:
+            document = json.loads(
+                (trace_dir / f"{job_id}.trace.json").read_text()
+            )
+            events = [
+                e for e in document["traceEvents"] if e["ph"] == "X"
+            ]
+            assert {e["name"] for e in events} >= {
+                "job", "admission", "queue_wait", "prepare",
+                "execute", "reconstruct", "finish",
+            }
+            assert document["status"] == "done"
+            assert document["job_id"] == job_id
+
+    def test_memoized_job_trace_is_short(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store.jsonl")
+        self._serve_traced(tmp_path, capsys, extra=("--store", store))
+        # Restart against the same store: every job memoizes, so the new
+        # traces stop at admission.
+        trace_dir = tmp_path / "traces2"
+        assert main(
+            ["serve", "--jobs", str(self._jobs_file(tmp_path)),
+             "--workers", "2", "--store", store,
+             "--trace", str(trace_dir)]
+        ) == 0
+        capsys.readouterr()
+        job_ids = self._job_ids(trace_dir)
+        assert len(job_ids) == 2
+        for job_id in job_ids:
+            document = json.loads(
+                (trace_dir / f"{job_id}.trace.json").read_text()
+            )
+            names = {row["name"] for row in document["spans"]}
+            assert "admission" in names
+            assert "execute" not in names
+            assert document["source"] == "memoized"
+
+    def test_trace_command_renders_tree(self, tmp_path, capsys):
+        trace_dir, _ = self._serve_traced(tmp_path, capsys)
+        job_id = self._job_ids(trace_dir)[0]
+        code = main(["trace", job_id, "--dir", str(trace_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert job_id in out
+        for name in ("admission", "queue_wait", "prepare", "execute",
+                     "reconstruct", "finish"):
+            assert name in out
+
+    def test_trace_command_json_round_trip(self, tmp_path, capsys):
+        import json
+
+        trace_dir, _ = self._serve_traced(tmp_path, capsys)
+        job_id = self._job_ids(trace_dir)[0]
+        code = main(["trace", job_id, "--dir", str(trace_dir), "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["job_id"] == job_id
+        assert document["spans"]
+
+    def test_trace_command_missing_file(self, tmp_path, capsys):
+        code = main(["trace", "job-404", "--dir", str(tmp_path)])
+        assert code == 1
+        assert "job-404" in capsys.readouterr().err
+
+    def test_trace_requires_workers(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--jobs", str(self._jobs_file(tmp_path)),
+             "--trace", str(tmp_path / "traces")]
+        )
+        assert code == 1
+        assert "--workers" in capsys.readouterr().err
+
+    def test_stats_json_carries_telemetry(self, tmp_path, capsys):
+        import json
+
+        _, stats_path = self._serve_traced(tmp_path, capsys)
+        stats = json.loads(stats_path.read_text())
+        counters = stats["telemetry"]["counters"]
+        assert counters["tier.submitted"] == 2
+        assert counters["tier.executed"] == 2
+        assert counters["tier.memoized"] == 0
+        assert stats["registry"]["counters"] == counters
+        quantiles = stats["telemetry"]["histograms"]["tier.job_total"][
+            "quantiles"
+        ]
+        assert set(quantiles) == {"p50", "p95", "p99"}
+
+    def test_stats_command_renders_summary(self, tmp_path, capsys):
+        _, stats_path = self._serve_traced(tmp_path, capsys)
+        code = main(["stats", str(stats_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tier.submitted" in out
+        assert "p50" in out
+
+    def test_stats_command_prometheus(self, tmp_path, capsys):
+        _, stats_path = self._serve_traced(tmp_path, capsys)
+        code = main(["stats", str(stats_path), "--prometheus"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_tier_submitted counter" in out
+        assert 'repro_tier_job_total_bucket{le="+Inf"} 2' in out
+
+    def test_single_drain_stats_json_telemetry(self, tmp_path, capsys):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        code = main(
+            ["serve", "--jobs", str(self._jobs_file(tmp_path)),
+             "--stats-json", str(stats_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        stats = json.loads(stats_path.read_text())
+        counters = stats["telemetry"]["counters"]
+        assert counters["service.submitted"] == 2
+        assert counters["service.executed"] == 2
+
+
 class TestStoreCompact:
     def test_migrates_legacy_journal(self, tmp_path, capsys):
         from repro.service import ResultStore
